@@ -1,0 +1,147 @@
+(* The benchmark harness: regenerates every table and figure of
+   EXPERIMENTS.md, then times the toolkit's key kernels with Bechamel
+   (one Test.make per experiment id).
+
+     dune exec bench/main.exe *)
+
+open Msl_machine
+module Core = Msl_core
+module Experiments = Msl_core.Experiments
+module Pipeline = Msl_mir.Pipeline
+module Compaction = Msl_mir.Compaction
+module Regalloc = Msl_mir.Regalloc
+
+(* -- part 1: the tables ------------------------------------------------------ *)
+
+let print_tables () =
+  Fmt.pr
+    "=============================================================@.\
+     Reproduction tables for Sint (1980), \"A survey of high level@.\
+     microprogramming languages\" — see EXPERIMENTS.md for the@.\
+     paper-vs-measured discussion of every row.@.\
+     =============================================================@.@.";
+  List.iter
+    (fun t ->
+      Msl_util.Tbl.print t;
+      print_newline ())
+    (Experiments.all_tables ())
+
+(* -- part 2: Bechamel micro-benchmarks --------------------------------------- *)
+
+open Bechamel
+
+let compile_simpl_fpmul () =
+  ignore
+    (Core.Toolkit.compile Core.Toolkit.Simpl Machines.h1
+       Core.Handcoded.simpl_fpmul)
+
+let compile_yalll_v11 () =
+  ignore
+    (Core.Toolkit.compile Core.Toolkit.Yalll Machines.v11
+       Core.Handcoded.yalll_translit_v11)
+
+let compaction_ops =
+  Core.Workloads.compaction_block Machines.hp3 ~seed:42 ~n:16 ~p_dep:30
+
+let compact algo () =
+  ignore (Compaction.compact ~algo Machines.hp3 compaction_ops)
+
+let pressure_src = Core.Workloads.pressure_program ~seed:7 ~nvars:32 ~nops:100
+
+let allocate strategy () =
+  ignore
+    (Core.Toolkit.compile
+       ~options:{ Pipeline.default_options with strategy; pool_limit = Some 8 }
+       Core.Toolkit.Empl Machines.hp3 pressure_src)
+
+let sim_dot =
+  let c = Core.Toolkit.compile Core.Toolkit.Yalll Machines.hp3 Core.Handcoded.yalll_dot in
+  fun () ->
+    let sim = Core.Toolkit.load c in
+    Memory.load_ints (Sim.memory sim) ~base:100 [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+    Memory.load_ints (Sim.memory sim) ~base:200 [ 8; 7; 6; 5; 4; 3; 2; 1 ];
+    Sim.set_reg_int sim "R1" 100;
+    Sim.set_reg_int sim "R2" 200;
+    Sim.set_reg_int sim "R3" 8;
+    ignore (Sim.run sim)
+
+let sstar_verify =
+  let prog =
+    Msl_sstar.Parser.parse
+      "program Z;\nvar x : seq [7..0] bit at R1;\npre { x < 100 };\n\
+       post { x = 0 };\n\
+       begin while x <> 0 inv { x < 100 } do x := x - 1 od end\n"
+  in
+  fun () -> ignore (Msl_sstar.Verify.verify Machines.hp3 prog)
+
+let emulate =
+  fun () ->
+    ignore
+      (Core.Emulator.run Core.Emulator.dot_macro
+         ~setup:
+           (Core.Emulator.dot_setup ~x:[ 1; 2; 3; 4 ] ~y:[ 4; 3; 2; 1 ]))
+
+let tests =
+  Test.make_grouped ~name:"msl"
+    [
+      (* T2: a full SIMPL compile to horizontal code *)
+      Test.make ~name:"T2-compile-simpl-fpmul" (Staged.stage compile_simpl_fpmul);
+      (* T3: retargeting YALLL to the baroque machine *)
+      Test.make ~name:"T3-compile-yalll-v11" (Staged.stage compile_yalll_v11);
+      (* T4: one Test.make per composition algorithm *)
+      Test.make ~name:"T4-compact-sequential"
+        (Staged.stage (compact Compaction.Sequential));
+      Test.make ~name:"T4-compact-fcfs" (Staged.stage (compact Compaction.Fcfs));
+      Test.make ~name:"T4-compact-critical-path"
+        (Staged.stage (compact Compaction.Critical_path));
+      Test.make ~name:"T4-compact-optimal"
+        (Staged.stage (compact Compaction.Optimal));
+      (* T5: allocation under pressure, both strategies *)
+      Test.make ~name:"T5-alloc-first-fit"
+        (Staged.stage (allocate Regalloc.First_fit));
+      Test.make ~name:"T5-alloc-priority"
+        (Staged.stage (allocate Regalloc.Priority));
+      (* T6/T7: the simulator itself *)
+      Test.make ~name:"T6-simulate-dot" (Staged.stage sim_dot);
+      Test.make ~name:"F2-emulate-mac16" (Staged.stage emulate);
+      (* S*/Strum verification *)
+      Test.make ~name:"V-verify-loop" (Staged.stage sstar_verify);
+    ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  Analyze.merge ols instances results
+
+let print_bench () =
+  Fmt.pr "== microbenchmarks (monotonic clock, ns per run) ==@.";
+  let results = benchmark () in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun _metric tbl ->
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> rows := (name, t) :: !rows
+          | Some [] | None -> ())
+        tbl)
+    results;
+  List.iter
+    (fun (name, t) ->
+      if t >= 1_000_000.0 then Fmt.pr "%-28s %10.2f ms@." name (t /. 1e6)
+      else if t >= 1_000.0 then Fmt.pr "%-28s %10.2f us@." name (t /. 1e3)
+      else Fmt.pr "%-28s %10.0f ns@." name t)
+    (List.sort compare !rows)
+
+let () =
+  print_tables ();
+  print_bench ()

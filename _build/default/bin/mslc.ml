@@ -1,0 +1,180 @@
+(* mslc: the command-line driver of the toolkit.
+
+     mslc compile -l yalll -m hp3 prog.yll       compile, print the listing
+     mslc run -l simpl -m h1 prog.simpl          compile and execute
+     mslc verify prog.sstar                      discharge S* proof obligations
+     mslc machines                               list machine models
+     mslc matrix                                 print the survey's language matrix
+     mslc experiments [name ...]                 regenerate experiment tables *)
+
+open Cmdliner
+module Machines = Msl_machine.Machines
+module Masm = Msl_machine.Masm
+module Sim = Msl_machine.Sim
+module Desc = Msl_machine.Desc
+module Encode = Msl_machine.Encode
+module Diag = Msl_util.Diag
+module Core = Msl_core
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let handle_diag f =
+  try f () with Diag.Error d ->
+    Fmt.epr "%s@." (Diag.to_string d);
+    exit 1
+
+let lang_arg =
+  let doc = "Source language: simpl, empl, sstar or yalll." in
+  Arg.(
+    required
+    & opt (some (enum [ ("simpl", Core.Toolkit.Simpl); ("empl", Core.Toolkit.Empl);
+                        ("sstar", Core.Toolkit.Sstar); ("yalll", Core.Toolkit.Yalll) ]))
+        None
+    & info [ "l"; "language" ] ~docv:"LANG" ~doc)
+
+let machine_arg =
+  let doc = "Target machine: h1, hp3, v11 or b17." in
+  Arg.(
+    value
+    & opt string "hp3"
+    & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let compile_cmd =
+  let run lang machine file =
+    handle_diag (fun () ->
+        let d = Machines.get machine in
+        let c = Core.Toolkit.compile lang d (read_file file) in
+        print_string (Masm.print d c.Core.Toolkit.c_insts);
+        Fmt.pr "; %d words, %d microoperations, %d control-store bits@."
+          c.Core.Toolkit.c_words c.Core.Toolkit.c_ops c.Core.Toolkit.c_bits)
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a program and print its microcode")
+    Term.(const run $ lang_arg $ machine_arg $ file_arg)
+
+let run_cmd =
+  let run lang machine file =
+    handle_diag (fun () ->
+        let d = Machines.get machine in
+        let c = Core.Toolkit.compile lang d (read_file file) in
+        let sim = Core.Toolkit.run c in
+        Fmt.pr "halted after %d cycles (%d microinstructions executed)@."
+          (Sim.cycles sim) (Sim.insts_executed sim);
+        List.iter
+          (fun (r : Desc.reg) ->
+            let v = Sim.get_reg_id sim r.Desc.r_id in
+            if not (Msl_bitvec.Bitvec.is_zero v) then
+              Fmt.pr "  %-6s = %a@." r.Desc.r_name Msl_bitvec.Bitvec.pp v)
+          (Desc.regs d))
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Compile and execute a program")
+    Term.(const run $ lang_arg $ machine_arg $ file_arg)
+
+let verify_cmd =
+  let run machine file =
+    handle_diag (fun () ->
+        let d = Machines.get machine in
+        let prog = Msl_sstar.Parser.parse (read_file file) in
+        let report = Msl_sstar.Verify.verify d prog in
+        Fmt.pr "%a@." Msl_sstar.Verify.pp_report report;
+        if not (Msl_sstar.Verify.ok report) then exit 1)
+  in
+  Cmd.v (Cmd.info "verify" ~doc:"Discharge the proof obligations of an S* program")
+    Term.(const run $ machine_arg $ file_arg)
+
+let encode_cmd =
+  let run lang machine file =
+    handle_diag (fun () ->
+        let d = Machines.get machine in
+        let c = Core.Toolkit.compile lang d (read_file file) in
+        Fmt.pr "; %s control store, %d-bit words@." d.Msl_machine.Desc.d_name
+          (Encode.word_bits d);
+        List.iteri
+          (fun i inst ->
+            let w = Encode.encode_inst d inst in
+            (* decode back as a self-check of the ROM image *)
+            let back = Encode.decode_inst d w in
+            Fmt.pr "%4d: %s  ; %a@." i (Encode.word_to_hex w)
+              (Msl_machine.Inst.pp d) back)
+          c.Core.Toolkit.c_insts)
+  in
+  Cmd.v
+    (Cmd.info "encode"
+       ~doc:"Compile and print the binary control store (hex + disassembly)")
+    Term.(const run $ lang_arg $ machine_arg $ file_arg)
+
+let machines_cmd =
+  let run () =
+    List.iter
+      (fun (d : Desc.t) ->
+        Fmt.pr "%-4s %2d-bit, %d registers, %d-phase, %3d-bit control word%s@.     %s@."
+          d.Desc.d_name d.Desc.d_word
+          (Array.length d.Desc.d_regs)
+          d.Desc.d_phases (Encode.word_bits d)
+          (if d.Desc.d_vertical then " (vertical)" else "")
+          d.Desc.d_note)
+      Machines.all
+  in
+  Cmd.v (Cmd.info "machines" ~doc:"List the machine models")
+    Term.(const run $ const ())
+
+let matrix_cmd =
+  let run () =
+    List.iter (fun t -> Msl_util.Tbl.print t; print_newline ()) (Core.Experiments.t1 ())
+  in
+  Cmd.v (Cmd.info "matrix" ~doc:"Print the survey's language matrix")
+    Term.(const run $ const ())
+
+let experiments_cmd =
+  let names_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"NAME")
+  in
+  let run names =
+    handle_diag (fun () ->
+        let all =
+          [ ("t1", fun () -> Core.Experiments.t1 ());
+            ("t2", fun () -> [ Core.Experiments.t2 () ]);
+            ("t3", fun () -> [ Core.Experiments.t3 () ]);
+            ("t4", fun () -> [ Core.Experiments.t4 () ]);
+            ("t5", fun () -> [ Core.Experiments.t5 () ]);
+            ("t6", fun () -> [ Core.Experiments.t6 () ]);
+            ("t7", fun () -> [ Core.Experiments.t7 () ]);
+            ("t8", fun () -> [ Core.Experiments.t8 () ]);
+            ("f1", fun () -> [ Core.Experiments.f1 () ]);
+            ("f2", fun () -> Core.Experiments.f2 ());
+            ("a1", fun () -> [ Core.Experiments.a1 () ]) ]
+        in
+        let wanted =
+          if names = [] then List.map fst all
+          else List.map String.lowercase_ascii names
+        in
+        List.iter
+          (fun n ->
+            match List.assoc_opt n all with
+            | Some f ->
+                List.iter
+                  (fun t -> Msl_util.Tbl.print t; print_newline ())
+                  (f ())
+            | None -> Fmt.epr "unknown experiment %S@." n)
+          wanted)
+  in
+  Cmd.v (Cmd.info "experiments" ~doc:"Regenerate the experiment tables")
+    Term.(const run $ names_arg)
+
+let () =
+  let info =
+    Cmd.info "mslc" ~version:"1.0"
+      ~doc:"Microprogramming-language toolkit (Sint 1980 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ compile_cmd; run_cmd; encode_cmd; verify_cmd; machines_cmd; matrix_cmd;
+            experiments_cmd ]))

@@ -1,0 +1,1 @@
+examples/extensible_stack.ml: Fmt Machines Masm Msl_core Msl_machine Sim

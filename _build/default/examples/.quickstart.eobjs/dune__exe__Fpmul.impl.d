@@ -1,0 +1,1 @@
+examples/fpmul.ml: Bitvec Fmt Int64 Machines Masm Msl_bitvec Msl_core Msl_machine Sim

@@ -1,0 +1,1 @@
+examples/macro_emulation.ml: Bitvec Fmt List Machines Memory Msl_bitvec Msl_core Msl_machine Sim

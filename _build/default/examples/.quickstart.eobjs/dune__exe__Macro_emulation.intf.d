@@ -1,0 +1,1 @@
+examples/macro_emulation.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Desc Encode Fmt Machines Masm Msl_bitvec Msl_core Msl_machine Sim

@@ -1,0 +1,1 @@
+examples/retarget.ml: Bitvec Desc Encode Fmt List Machines Msl_bitvec Msl_core Msl_machine Msl_util Sim

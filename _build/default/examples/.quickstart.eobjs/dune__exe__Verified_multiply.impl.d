@@ -1,0 +1,1 @@
+examples/verified_multiply.ml: Bitvec Fmt Machines Msl_bitvec Msl_machine Msl_sstar Sim

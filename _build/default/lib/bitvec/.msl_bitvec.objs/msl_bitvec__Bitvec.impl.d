@@ -1,0 +1,1 @@
+lib/bitvec/bitvec.ml: Buffer Format Int64 Printf String

@@ -1,0 +1,1 @@
+lib/core/emulator.ml: Bitvec Hashtbl List Machines Masm Memory Msl_bitvec Msl_machine Msl_util Printf Sim

@@ -1,0 +1,1 @@
+lib/core/emulator.mli: Msl_machine

@@ -1,0 +1,1 @@
+lib/core/language_info.ml: List Msl_util Printf

@@ -1,0 +1,1 @@
+lib/core/language_info.mli: Msl_util

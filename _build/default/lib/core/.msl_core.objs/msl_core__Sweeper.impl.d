@@ -1,0 +1,1 @@
+lib/core/sweeper.ml: Desc List Msl_machine Printf Rtl Tmpl

@@ -1,0 +1,1 @@
+lib/core/sweeper.mli: Msl_machine

@@ -1,0 +1,1 @@
+lib/core/toolkit.ml: Desc Encode Hashtbl Inst List Masm Msl_empl Msl_machine Msl_mir Msl_simpl Msl_sstar Msl_util Msl_yalll Printf Sim String

@@ -1,0 +1,1 @@
+lib/core/toolkit.mli: Desc Inst Msl_machine Msl_mir Sim

@@ -1,0 +1,1 @@
+lib/core/workloads.ml: Array Buffer Desc Inst Int64 List Msl_bitvec Msl_machine Msl_mir Printf

@@ -1,0 +1,1 @@
+lib/core/workloads.mli: Msl_machine Msl_mir

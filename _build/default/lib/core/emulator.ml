@@ -1,0 +1,227 @@
+(* A macroarchitecture realised in microcode.
+
+   "Traditionally, microprogramming has been used for the realization of
+   macroarchitectures" (survey §1).  This module defines MAC-16, a small
+   accumulator machine, and implements its interpreter as a hand-written
+   HP3 microprogram (fetch / dispatch / execute).  Experiment T6 runs the
+   same computation three ways — as a MAC-16 macroprogram under this
+   interpreter, as compiled microcode, and as hand-written microcode — to
+   reproduce the survey's closing trade-off: "speed up a heavily used
+   procedure by a factor of five with comparatively little effort" versus
+   "a factor of ten only after mastering a complicated microassembly
+   language". *)
+
+open Msl_bitvec
+open Msl_machine
+module Diag = Msl_util.Diag
+
+(* -- the MAC-16 instruction set ----------------------------------------------- *)
+
+(* 16-bit words: opcode in bits 15..12, a 12-bit address/immediate below. *)
+type minst =
+  | Halt
+  | Loadi of int  (* ACC := n *)
+  | Load of int  (* ACC := mem[a] *)
+  | Store of int  (* mem[a] := ACC *)
+  | Add of int  (* ACC := ACC + mem[a] *)
+  | Sub of int
+  | Jmp of int
+  | Jnz of int  (* if ACC <> 0 then PC := a *)
+  | Loadx of int  (* ACC := mem[mem[a]]: one level of indirection *)
+  | Stox of int  (* mem[mem[a]] := ACC *)
+  | Incm of int  (* mem[a] := mem[a] + 1 *)
+  | Decm of int  (* mem[a] := mem[a] - 1 *)
+
+let opcode = function
+  | Halt -> 0
+  | Loadi _ -> 1
+  | Load _ -> 2
+  | Store _ -> 3
+  | Add _ -> 4
+  | Sub _ -> 5
+  | Jmp _ -> 6
+  | Jnz _ -> 7
+  | Loadx _ -> 8
+  | Stox _ -> 9
+  | Incm _ -> 10
+  | Decm _ -> 11
+
+let operand = function
+  | Halt -> 0
+  | Loadi n | Load n | Store n | Add n | Sub n | Jmp n | Jnz n | Loadx n
+  | Stox n | Incm n | Decm n ->
+      if n < 0 || n > 0xFFF then
+        invalid_arg (Printf.sprintf "MAC-16 operand %d outside 0..4095" n)
+      else n
+
+let encode i = (opcode i lsl 12) lor operand i
+
+let assemble prog = List.map encode prog
+
+(* -- the microcoded interpreter (HP3) ------------------------------------------ *)
+
+(* Register conventions: R20 = PC, R21 = ACC, R22 = IR, R23 = operand,
+   R24 = 0x0FFF operand mask. *)
+let interpreter_hp3 =
+  "  [ ldc R24, #4095 ]\n\
+   fetch:\n\
+  \  [ mov MAR, R20 ]\n\
+  \  [ rd | inc R20, R20 ]\n\
+  \  [ and R23, MBR, R24 | mov R22, MBR ]\n\
+  \  [ ] -> dispatch R22<15..12> + optable\n\
+   optable:\n\
+  \  [ ] -> goto op_halt\n\
+  \  [ ] -> goto op_loadi\n\
+  \  [ ] -> goto op_load\n\
+  \  [ ] -> goto op_store\n\
+  \  [ ] -> goto op_add\n\
+  \  [ ] -> goto op_sub\n\
+  \  [ ] -> goto op_jmp\n\
+  \  [ ] -> goto op_jnz\n\
+  \  [ ] -> goto op_loadx\n\
+  \  [ ] -> goto op_stox\n\
+  \  [ ] -> goto op_incm\n\
+  \  [ ] -> goto op_decm\n\
+  \  [ ] -> goto op_halt\n\
+  \  [ ] -> goto op_halt\n\
+  \  [ ] -> goto op_halt\n\
+  \  [ ] -> goto op_halt\n\
+   op_halt:\n\
+  \  [ ] -> halt\n\
+   op_loadi:\n\
+  \  [ mov R21, R23 ] -> goto fetch\n\
+   op_load:\n\
+  \  [ mov MAR, R23 ]\n\
+  \  [ rd ]\n\
+  \  [ mov R21, MBR ] -> goto fetch\n\
+   op_store:\n\
+  \  [ mov MAR, R23 ]\n\
+  \  [ mov MBR, R21 | wr ] -> goto fetch\n\
+   op_add:\n\
+  \  [ mov MAR, R23 ]\n\
+  \  [ rd ]\n\
+  \  [ add R21, R21, MBR ] -> goto fetch\n\
+   op_sub:\n\
+  \  [ mov MAR, R23 ]\n\
+  \  [ rd ]\n\
+  \  [ sub R21, R21, MBR ] -> goto fetch\n\
+   op_jmp:\n\
+  \  [ mov R20, R23 ] -> goto fetch\n\
+   op_jnz:\n\
+  \  [ ] -> if R21 <> 0 goto op_jmp\n\
+  \  [ ] -> goto fetch\n\
+   op_loadx:\n\
+  \  [ mov MAR, R23 ]\n\
+  \  [ rd ]\n\
+  \  [ mov MAR, MBR ]\n\
+  \  [ rd ]\n\
+  \  [ mov R21, MBR ] -> goto fetch\n\
+   op_stox:\n\
+  \  [ mov MAR, R23 ]\n\
+  \  [ rd ]\n\
+  \  [ mov MAR, MBR ]\n\
+  \  [ mov MBR, R21 | wr ] -> goto fetch\n\
+   op_incm:\n\
+  \  [ mov MAR, R23 ]\n\
+  \  [ rd ]\n\
+  \  [ inc MBR, MBR ]\n\
+  \  [ wr ] -> goto fetch\n\
+   op_decm:\n\
+  \  [ mov MAR, R23 ]\n\
+  \  [ rd ]\n\
+  \  [ dec MBR, MBR ]\n\
+  \  [ wr ] -> goto fetch\n"
+
+let code_base = 1024  (* macro code lives here in main memory *)
+
+(* Load the interpreter and a macroprogram, run to completion, and return
+   the simulator for inspection. *)
+let run ?(fuel = 5_000_000) ?(setup = fun _ -> ()) (prog : minst list) =
+  let d = Machines.hp3 in
+  let micro = Masm.parse_program d interpreter_hp3 in
+  let sim = Sim.create d in
+  Sim.load_store sim micro;
+  Memory.load_ints (Sim.memory sim) ~base:code_base (assemble prog);
+  Sim.set_reg_int sim "R20" code_base;
+  setup sim;
+  match Sim.run ~fuel sim with
+  | Sim.Halted -> sim
+  | Sim.Out_of_fuel ->
+      Diag.error Diag.Execution "macroprogram did not halt within %d cycles"
+        fuel
+
+let acc sim = Bitvec.to_int (Sim.get_reg sim "R21")
+
+(* -- a macro assembler with labels ---------------------------------------------- *)
+
+type masm_item = L of string | I of minst | Iref of (int -> minst) * string
+
+(* Two-pass assembly of a labelled macro program into instructions. *)
+let link items =
+  let pc = ref 0 in
+  let labels = Hashtbl.create 8 in
+  List.iter
+    (fun it ->
+      match it with
+      | L name -> Hashtbl.replace labels name (code_base + !pc)
+      | I _ | Iref _ -> incr pc)
+    items;
+  List.filter_map
+    (fun it ->
+      match it with
+      | L _ -> None
+      | I i -> Some i
+      | Iref (f, name) -> (
+          match Hashtbl.find_opt labels name with
+          | Some a -> Some (f a)
+          | None -> invalid_arg ("unknown macro label " ^ name)))
+    items
+
+(* -- the T6 workload: dot product as a macroprogram ------------------------------ *)
+
+(* Memory map: 10 = x pointer, 11 = y pointer, 12 = n, 13 = acc, 14 = a,
+   15 = b, 16 = t. *)
+let dot_macro =
+  link
+    [
+      I (Loadi 0);
+      I (Store 13);
+      L "loop";
+      I (Load 12);
+      Iref ((fun a -> Jnz a), "cont");
+      Iref ((fun a -> Jmp a), "end");
+      L "cont";
+      I (Loadx 10);
+      I (Store 14);
+      I (Loadx 11);
+      I (Store 15);
+      I (Loadi 0);
+      I (Store 16);
+      L "mul";
+      I (Load 16);
+      I (Add 14);
+      I (Store 16);
+      I (Decm 15);
+      I (Load 15);
+      Iref ((fun a -> Jnz a), "mul");
+      I (Load 13);
+      I (Add 16);
+      I (Store 13);
+      I (Incm 10);
+      I (Incm 11);
+      I (Decm 12);
+      I (Load 12);
+      Iref ((fun a -> Jnz a), "loop");
+      L "end";
+      I Halt;
+    ]
+
+(* Shared T6 data setup: x at 100.., y at 200.., pointers and n in page 0. *)
+let dot_setup ~x ~y sim =
+  let mem = Sim.memory sim in
+  Memory.load_ints mem ~base:100 x;
+  Memory.load_ints mem ~base:200 y;
+  Memory.load_ints mem ~base:10 [ 100; 200; List.length x ]
+
+let dot_reference x y =
+  List.fold_left2 (fun acc a b -> acc + (a * b)) 0 x y

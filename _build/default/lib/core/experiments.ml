@@ -1,0 +1,693 @@
+(* The experiment drivers: one function per table/figure of EXPERIMENTS.md.
+   Each returns a rendered table (and exposes the raw numbers the test
+   suite checks the *shape* claims against). *)
+
+open Msl_bitvec
+open Msl_machine
+module Tbl = Msl_util.Tbl
+module Pipeline = Msl_mir.Pipeline
+module Compaction = Msl_mir.Compaction
+module Regalloc = Msl_mir.Regalloc
+module Dataflow = Msl_mir.Dataflow
+module Mir = Msl_mir.Mir
+
+(* -- T1: the language matrix --------------------------------------------------- *)
+
+let t1 () = [ Language_info.to_table (); Language_info.tallies_table () ]
+
+(* -- T2: compiled vs hand-written code size ------------------------------------- *)
+
+type t2_row = {
+  t2_name : string;
+  t2_machine : string;
+  t2_compiled : int;  (* control-store words *)
+  t2_hand : int;
+}
+
+let t2_rows () =
+  let words (c : Toolkit.compiled) = c.Toolkit.c_words in
+  [
+    {
+      t2_name = "transliterate (YALLL)";
+      t2_machine = "HP3";
+      t2_compiled =
+        words (Toolkit.compile Toolkit.Yalll Machines.hp3 Handcoded.yalll_translit);
+      t2_hand = words (Toolkit.assemble Machines.hp3 Handcoded.translit_hp3);
+    };
+    {
+      t2_name = "transliterate (YALLL)";
+      t2_machine = "V11";
+      t2_compiled =
+        words
+          (Toolkit.compile Toolkit.Yalll Machines.v11 Handcoded.yalll_translit_v11);
+      t2_hand = words (Toolkit.assemble Machines.v11 Handcoded.translit_v11);
+    };
+    {
+      t2_name = "fp multiply (SIMPL)";
+      t2_machine = "H1";
+      t2_compiled =
+        words (Toolkit.compile Toolkit.Simpl Machines.h1 Handcoded.simpl_fpmul);
+      t2_hand = words (Toolkit.assemble Machines.h1 Handcoded.fpmul_h1);
+    };
+    {
+      t2_name = "multiply loop (SIMPL)";
+      t2_machine = "H1";
+      t2_compiled =
+        words (Toolkit.compile Toolkit.Simpl Machines.h1 Handcoded.simpl_mpy);
+      t2_hand = words (Toolkit.assemble Machines.h1 Handcoded.mpy_h1);
+    };
+    {
+      t2_name = "dot product (YALLL)";
+      t2_machine = "HP3";
+      t2_compiled =
+        words (Toolkit.compile Toolkit.Yalll Machines.hp3 Handcoded.yalll_dot);
+      t2_hand = words (Toolkit.assemble Machines.hp3 Handcoded.dot_hp3);
+    };
+  ]
+
+let t2 () =
+  let t =
+    Tbl.make
+      ~title:
+        "T2: compiled vs hand-written code size (survey: MPGL stayed within \
+         +15%)"
+      ~aligns:[ Tbl.Left; Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right ]
+      [ "program"; "machine"; "compiled words"; "hand words"; "overhead" ]
+  in
+  List.iter
+    (fun r ->
+      Tbl.add_row t
+        [
+          r.t2_name; r.t2_machine;
+          Tbl.cell_int r.t2_compiled;
+          Tbl.cell_int r.t2_hand;
+          Tbl.cell_pct r.t2_compiled r.t2_hand;
+        ])
+    (t2_rows ());
+  t
+
+(* -- T3: YALLL on two machines ---------------------------------------------------- *)
+
+let translit_setup d sim =
+  let mem = Sim.memory sim in
+  for i = 0 to 127 do
+    Memory.poke mem (500 + i) (Bitvec.of_int ~width:d.Desc.d_word (i + 1))
+  done;
+  Memory.load_ints mem ~base:300 [ 104; 101; 108; 108; 111; 0 ]  (* "hello" *)
+
+type t3_row = {
+  t3_machine : string;
+  t3_words : int;
+  t3_cycles : int;
+  t3_ops : int;
+}
+
+let t3_rows () =
+  let run d src str_reg tbl_reg =
+    let c = Toolkit.compile Toolkit.Yalll d src in
+    let sim =
+      Toolkit.run c ~setup:(fun sim ->
+          translit_setup d sim;
+          Sim.set_reg_int sim str_reg 300;
+          Sim.set_reg_int sim tbl_reg 500)
+    in
+    { t3_machine = d.Desc.d_name; t3_words = c.Toolkit.c_words;
+      t3_cycles = Sim.cycles sim; t3_ops = c.Toolkit.c_ops }
+  in
+  [
+    run Machines.hp3 Handcoded.yalll_translit "DB" "SB";
+    run Machines.v11 Handcoded.yalll_translit_v11 "R0" "R1";
+  ]
+
+let t3 () =
+  let t =
+    Tbl.make
+      ~title:
+        "T3: the same YALLL program on its two machines (survey: \"the HP \
+         implementation performed a lot better\")"
+      ~aligns:[ Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right ]
+      [ "machine"; "words"; "microops"; "cycles" ]
+  in
+  List.iter
+    (fun r ->
+      Tbl.add_row t
+        [ r.t3_machine; Tbl.cell_int r.t3_words; Tbl.cell_int r.t3_ops;
+          Tbl.cell_int r.t3_cycles ])
+    (t3_rows ());
+  t
+
+(* -- T4: compaction algorithms ------------------------------------------------------ *)
+
+type t4_row = {
+  t4_machine : string;
+  t4_n : int;
+  t4_pdep : int;
+  t4_words : (Compaction.algo * int) list;
+  t4_nodes : int;
+  t4_exact : bool;
+}
+
+let t4_algos =
+  [ Compaction.Sequential; Compaction.Fcfs; Compaction.Critical_path;
+    Compaction.Optimal ]
+
+let t4_rows () =
+  let cases =
+    [ (Machines.hp3, 8, 30); (Machines.hp3, 16, 30); (Machines.hp3, 16, 60);
+      (Machines.h1, 12, 30); (Machines.h1, 12, 60); (Machines.hp3, 28, 40) ]
+  in
+  List.mapi
+    (fun i (d, n, p_dep) ->
+      let ops = Workloads.compaction_block d ~seed:(i + 1) ~n ~p_dep in
+      let nodes = ref 0 and exact = ref true in
+      let words =
+        List.map
+          (fun algo ->
+            let r = Compaction.compact ~algo d ops in
+            if algo = Compaction.Optimal then begin
+              nodes := r.Compaction.nodes;
+              exact := r.Compaction.exact
+            end;
+            (algo, List.length r.Compaction.groups))
+          t4_algos
+      in
+      { t4_machine = d.Desc.d_name; t4_n = n; t4_pdep = p_dep; t4_words = words;
+        t4_nodes = !nodes; t4_exact = !exact })
+    cases
+
+let t4 () =
+  let t =
+    Tbl.make
+      ~title:
+        "T4: microinstruction composition algorithms [refs 3, 18, 21, 22]"
+      ~aligns:
+        [ Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right;
+          Tbl.Right; Tbl.Right ]
+      [ "machine"; "ops"; "dep%"; "sequential"; "fcfs"; "critical-path";
+        "optimal"; "B&B nodes" ]
+  in
+  List.iter
+    (fun r ->
+      let w algo = List.assoc algo r.t4_words in
+      Tbl.add_row t
+        [
+          r.t4_machine; Tbl.cell_int r.t4_n; Tbl.cell_int r.t4_pdep;
+          Tbl.cell_int (w Compaction.Sequential);
+          Tbl.cell_int (w Compaction.Fcfs);
+          Tbl.cell_int (w Compaction.Critical_path);
+          Tbl.cell_int (w Compaction.Optimal)
+          ^ (if r.t4_exact then "" else "*");
+          Tbl.cell_int r.t4_nodes;
+        ])
+    (t4_rows ());
+  t
+
+(* -- T5: register allocation under pressure ------------------------------------------ *)
+
+type t5_row = {
+  t5_nregs : int;
+  t5_strategy : Regalloc.strategy;
+  t5_spilled : int;
+  t5_traffic : int;  (* spill loads + stores (static) *)
+}
+
+let t5_rows () =
+  let src = Workloads.pressure_program ~seed:7 ~nvars:48 ~nops:150 in
+  let sizes = [ 4; 8; 16; 32; 64; 128; 256 ] in
+  List.concat_map
+    (fun nregs ->
+      let d = Sweeper.machine ~nregs in
+      List.map
+        (fun strategy ->
+          let c =
+            Toolkit.compile
+              ~options:{ Pipeline.default_options with strategy }
+              Toolkit.Empl d src
+          in
+          match c.Toolkit.c_alloc with
+          | Some s ->
+              {
+                t5_nregs = nregs;
+                t5_strategy = strategy;
+                t5_spilled = s.Regalloc.spilled;
+                t5_traffic = s.Regalloc.spill_loads + s.Regalloc.spill_stores;
+              }
+          | None ->
+              { t5_nregs = nregs; t5_strategy = strategy; t5_spilled = 0;
+                t5_traffic = 0 })
+        [ Regalloc.First_fit; Regalloc.Priority ])
+    sizes
+
+let t5 () =
+  let t =
+    Tbl.make
+      ~title:
+        "T5: spill traffic vs register-file size, 16..256 being the survey's \
+         range (48 symbolic variables)"
+      ~aligns:[ Tbl.Right; Tbl.Left; Tbl.Right; Tbl.Right ]
+      [ "registers"; "allocator"; "vars spilled"; "spill load/stores" ]
+  in
+  List.iter
+    (fun r ->
+      Tbl.add_row t
+        [
+          Tbl.cell_int r.t5_nregs;
+          Regalloc.strategy_name r.t5_strategy;
+          Tbl.cell_int r.t5_spilled;
+          Tbl.cell_int r.t5_traffic;
+        ])
+    (t5_rows ());
+  t
+
+(* -- T6: macro interpretation vs compiled vs hand microcode --------------------------- *)
+
+type t6_row = { t6_version : string; t6_cycles : int; t6_speedup : float }
+
+let t6_rows () =
+  let x = [ 3; 1; 4; 1; 5; 9; 2; 6; 5; 3; 5; 9 ] in
+  let y = [ 2; 7; 1; 8; 2; 8; 1; 8; 2; 8; 4; 5 ] in
+  let expected = Emulator.dot_reference x y in
+  (* 1: interpreted on the microcoded MAC-16 *)
+  let sim_macro =
+    Emulator.run Emulator.dot_macro ~setup:(Emulator.dot_setup ~x ~y)
+  in
+  assert (Bitvec.to_int (Memory.peek (Sim.memory sim_macro) 13) = expected);
+  let macro_cycles = Sim.cycles sim_macro in
+  (* 2: a high-level EMPL version — symbolic variables, multiplication left
+     to the compiler's shift-and-add expansion: the survey's "factor of
+     five with comparatively little effort" *)
+  let empl_src =
+    let pairs =
+      List.map2 (fun a b -> Printf.sprintf "A = %d * %d;\nS = S + A;\n" a b) x y
+    in
+    "DECLARE S FIXED;\nDECLARE A FIXED;\nDECLARE OUT(1) FIXED;\nS = 0;\n"
+    ^ String.concat "" pairs ^ "OUT(0) = S;\n"
+  in
+  let ce = Toolkit.compile Toolkit.Empl Machines.hp3 empl_src in
+  let sim_e = Toolkit.run ce in
+  let found =
+    let mem = Sim.memory sim_e in
+    let base = Machines.hp3.Desc.d_scratch_base - 256 in
+    let rec scan a =
+      a < Machines.hp3.Desc.d_scratch_base
+      && (Bitvec.to_int (Memory.peek mem a) = expected || scan (a + 1))
+    in
+    scan base
+  in
+  assert found;
+  let empl_cycles = Sim.cycles sim_e in
+  (* 3: compiled microcode (YALLL) *)
+  let setup_micro sim =
+    Memory.load_ints (Sim.memory sim) ~base:100 x;
+    Memory.load_ints (Sim.memory sim) ~base:200 y;
+    Sim.set_reg_int sim "R1" 100;
+    Sim.set_reg_int sim "R2" 200;
+    Sim.set_reg_int sim "R3" (List.length x)
+  in
+  let c = Toolkit.compile Toolkit.Yalll Machines.hp3 Handcoded.yalll_dot in
+  let sim_c = Toolkit.run c ~setup:setup_micro in
+  assert (Bitvec.to_int (Sim.get_reg sim_c "R0") = expected);
+  let compiled_cycles = Sim.cycles sim_c in
+  (* 3: hand microcode *)
+  let h = Toolkit.assemble Machines.hp3 Handcoded.dot_hp3 in
+  let sim_h = Toolkit.run h ~setup:setup_micro in
+  assert (Bitvec.to_int (Sim.get_reg sim_h "R0") = expected);
+  let hand_cycles = Sim.cycles sim_h in
+  let sp c = float_of_int macro_cycles /. float_of_int c in
+  [
+    { t6_version = "MAC-16 macroprogram (interpreted)"; t6_cycles = macro_cycles;
+      t6_speedup = 1.0 };
+    { t6_version = "high-level microcode (EMPL, symbolic vars)";
+      t6_cycles = empl_cycles; t6_speedup = sp empl_cycles };
+    { t6_version = "compiled microcode (YALLL)"; t6_cycles = compiled_cycles;
+      t6_speedup = sp compiled_cycles };
+    { t6_version = "hand-written microcode"; t6_cycles = hand_cycles;
+      t6_speedup = sp hand_cycles };
+  ]
+
+let t6 () =
+  let t =
+    Tbl.make
+      ~title:
+        "T6: dot product four ways on HP3 (survey: ~5x compiled vs ~10x \
+         expert microcode)"
+      ~aligns:[ Tbl.Left; Tbl.Right; Tbl.Right ]
+      [ "version"; "cycles"; "speedup" ]
+  in
+  List.iter
+    (fun r ->
+      Tbl.add_row t
+        [ r.t6_version; Tbl.cell_int r.t6_cycles;
+          Printf.sprintf "%.1fx" r.t6_speedup ])
+    (t6_rows ());
+  t
+
+(* -- T7: horizontal vs vertical -------------------------------------------------------- *)
+
+type t7_row = {
+  t7_program : string;
+  t7_machine : string;
+  t7_cycles : int;
+  t7_word_bits : int;
+  t7_program_bits : int;
+}
+
+let t7_rows () =
+  let progs =
+    [ ("multiply loop (SIMPL)", Handcoded.simpl_mpy,
+       fun sim ->
+         Sim.set_reg_int sim "R1" 11;
+         Sim.set_reg_int sim "R2" 9);
+      ("while sum (SIMPL)",
+       "begin 25 -> R1; 0 -> R2; while R1 <> 0 do begin R2 + R1 -> R2; R1 - \
+        1 -> R1; end; end",
+       fun _ -> ()) ]
+  in
+  List.concat_map
+    (fun (name, src, setup) ->
+      List.map
+        (fun d ->
+          let c = Toolkit.compile Toolkit.Simpl d src in
+          let sim = Toolkit.run c ~setup in
+          {
+            t7_program = name;
+            t7_machine = d.Desc.d_name;
+            t7_cycles = Sim.cycles sim;
+            t7_word_bits = Encode.word_bits d;
+            t7_program_bits = c.Toolkit.c_bits;
+          })
+        [ Machines.hp3; Machines.b17 ])
+    progs
+
+let t7 () =
+  let t =
+    Tbl.make
+      ~title:
+        "T7: horizontal (HP3) vs vertical (B17) encoding [Dasgupta 79]: \
+         vertical trades speed for narrow words"
+      ~aligns:[ Tbl.Left; Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right ]
+      [ "program"; "machine"; "cycles"; "word bits"; "program bits" ]
+  in
+  List.iter
+    (fun r ->
+      Tbl.add_row t
+        [
+          r.t7_program; r.t7_machine; Tbl.cell_int r.t7_cycles;
+          Tbl.cell_int r.t7_word_bits; Tbl.cell_int r.t7_program_bits;
+        ])
+    (t7_rows ());
+  t
+
+(* -- T8: compiler sizes ------------------------------------------------------------------ *)
+
+let count_lines dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then None
+  else
+    Some
+      (Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli")
+      |> List.fold_left
+           (fun acc f ->
+             let ic = open_in (Filename.concat dir f) in
+             let n = ref 0 in
+             (try
+                while true do
+                  ignore (input_line ic);
+                  incr n
+                done
+              with End_of_file -> close_in ic);
+             acc + !n)
+           0)
+
+let t8 () =
+  let t =
+    Tbl.make
+      ~title:
+        "T8: compiler sizes (survey: each YALLL compiler was ~5000 lines; a \
+         full optimising compiler \"will be huge\")"
+      ~aligns:[ Tbl.Left; Tbl.Right; Tbl.Left ]
+      [ "component"; "lines"; "role" ]
+  in
+  let row name dir role =
+    match count_lines dir with
+    | Some n -> Tbl.add_row t [ name; Tbl.cell_int n; role ]
+    | None -> Tbl.add_row t [ name; "n/a"; role ]
+  in
+  row "SIMPL frontend" "lib/simpl" "lexer+parser+compiler";
+  row "EMPL frontend" "lib/empl" "lexer+parser+inliner+compiler";
+  row "S* frontend" "lib/sstar" "lexer+parser+composer+verifier";
+  row "YALLL frontend" "lib/yalll" "parser+compiler";
+  row "shared middle end" "lib/mir" "dataflow+compaction+allocation+selection";
+  row "machine models" "lib/machine" "4 machines, simulator, assembler";
+  t
+
+(* -- F1: single-identity parallelism vs block size ----------------------------------------- *)
+
+type f1_row = {
+  f1_n : int;
+  f1_parallelism : float;  (* available under the single-identity order *)
+  f1_ops_per_word_h1 : float;  (* achieved on H1 (3-phase, chained) *)
+  f1_ops_per_word_hp3 : float;
+}
+
+let f1_rows () =
+  let achieved d stmts =
+    let p =
+      { Mir.main = [ { Mir.b_label = "b"; b_stmts = stmts; b_term = Mir.Halt } ];
+        procs = []; vreg_names = []; next_vreg = 0 }
+    in
+    let _, _, m = Pipeline.compile d p in
+    if m.Pipeline.m_instructions = 0 then 0.0
+    else float_of_int m.Pipeline.m_ops /. float_of_int m.Pipeline.m_instructions
+  in
+  List.map
+    (fun n ->
+      let stmts = Workloads.simpl_block Machines.hp3 ~seed:n ~n ~p_dep:40 in
+      let stmts_h1 = Workloads.simpl_block Machines.h1 ~seed:n ~n ~p_dep:40 in
+      {
+        f1_n = n;
+        f1_parallelism = Dataflow.parallelism stmts;
+        f1_ops_per_word_h1 = achieved Machines.h1 stmts_h1;
+        f1_ops_per_word_hp3 = achieved Machines.hp3 stmts;
+      })
+    [ 4; 8; 16; 32; 64 ]
+
+let f1 () =
+  let t =
+    Tbl.make
+      ~title:
+        "F1: parallelism under the single-identity order vs what the \
+         machines realise (ops per word)"
+      ~aligns:[ Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right ]
+      [ "block size"; "available"; "achieved HP3"; "achieved H1" ]
+  in
+  List.iter
+    (fun r ->
+      Tbl.add_row t
+        [
+          Tbl.cell_int r.f1_n;
+          Tbl.cell_float r.f1_parallelism;
+          Tbl.cell_float r.f1_ops_per_word_hp3;
+          Tbl.cell_float r.f1_ops_per_word_h1;
+        ])
+    (f1_rows ());
+  t
+
+(* -- F2: interrupts and microtraps (survey §2.1.5) ------------------------------------------ *)
+
+type f2_result = {
+  f2_poll : bool;
+  f2_serviced : int;
+  f2_avg_latency : float;
+  f2_max_latency : int;
+  f2_total_cycles : int;
+}
+
+let f2_interrupts () =
+  let d = Machines.hp3 in
+  let src =
+    "begin 400 -> R1; 0 -> R2; while R1 <> 0 do begin R2 + R1 -> R2; R1 - 1 \
+     -> R1; end; end"
+  in
+  let p = Msl_simpl.Compile.parse_compile d src in
+  let run poll =
+    let sim, _, _ =
+      Pipeline.load ~options:{ Pipeline.default_options with poll } d p
+    in
+    Sim.schedule_interrupts sim [ 100; 500; 900; 1300; 1700 ];
+    (match Sim.run sim with
+    | Sim.Halted -> ()
+    | Sim.Out_of_fuel -> failwith "F2 loop did not halt");
+    let avg, mx = Sim.interrupt_latency_stats sim in
+    {
+      f2_poll = poll;
+      f2_serviced = Sim.interrupts_serviced sim;
+      f2_avg_latency = avg;
+      f2_max_latency = mx;
+      f2_total_cycles = Sim.cycles sim;
+    }
+  in
+  [ run false; run true ]
+
+(* The incread microtrap hazard, reproduced and repaired — both at the
+   microassembly level and by the compiler's trap-safe recompilation pass
+   on the SIMPL source. *)
+type f2_trap = { f2_variant : string; f2_final : int; f2_traps : int }
+
+let f2_traps () =
+  let d = Machines.hp3 in
+  let run_insts insts =
+    let sim = Sim.create ~trap_mode:Sim.Restart d in
+    Sim.load_store sim insts;
+    Sim.set_reg_int sim "R1" 299;
+    Memory.mark_absent (Sim.memory sim) ~page:1;
+    (match Sim.run sim with
+    | Sim.Halted -> ()
+    | Sim.Out_of_fuel -> failwith "trap demo did not halt");
+    (Bitvec.to_int (Sim.get_reg sim "R1"), Sim.traps_taken sim)
+  in
+  let run_masm src = run_insts (Masm.parse_program d src) in
+  let buggy = "  [ inc R1, R1 ]\n  [ mov MAR, R1 ]\n  [ rd ]\n  [ ] -> halt\n" in
+  let safe =
+    "  [ inc R2, R1 ]\n  [ mov MAR, R2 ]\n  [ rd ]\n  [ mov R1, R2 ]\n\
+    \  [ ] -> halt\n"
+  in
+  let vb, tb = run_masm buggy in
+  let vs, ts = run_masm safe in
+  (* the survey's incread, from SIMPL source, compiled both ways *)
+  let incread_src = "begin R1 + 1 -> R1; read R1 -> R2; end" in
+  let run_simpl trap_safe =
+    let p = Msl_simpl.Compile.parse_compile d incread_src in
+    let insts, _, _ =
+      Pipeline.compile ~options:{ Pipeline.default_options with trap_safe } d p
+    in
+    run_insts insts
+  in
+  let vc, tc = run_simpl false in
+  let vt, tt = run_simpl true in
+  [
+    { f2_variant = "hand microcode, as written (survey's bug)"; f2_final = vb;
+      f2_traps = tb };
+    { f2_variant = "hand microcode, restart-safe"; f2_final = vs; f2_traps = ts };
+    { f2_variant = "compiled SIMPL incread, literal"; f2_final = vc;
+      f2_traps = tc };
+    { f2_variant = "compiled SIMPL incread, trap_safe pass"; f2_final = vt;
+      f2_traps = tt };
+  ]
+
+let f2 () =
+  let t =
+    Tbl.make
+      ~title:
+        "F2a: interrupt service with and without compiler poll points \
+         (survey: \"completely neglected\")"
+      ~aligns:[ Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right ]
+      [ "poll points"; "serviced (of 5)"; "avg latency"; "max latency";
+        "total cycles" ]
+  in
+  List.iter
+    (fun r ->
+      Tbl.add_row t
+        [
+          (if r.f2_poll then "back edges" else "none");
+          Tbl.cell_int r.f2_serviced;
+          Tbl.cell_float r.f2_avg_latency;
+          Tbl.cell_int r.f2_max_latency;
+          Tbl.cell_int r.f2_total_cycles;
+        ])
+    (f2_interrupts ());
+  let t2 =
+    Tbl.make
+      ~title:
+        "F2b: the incread page-fault hazard (R1 starts at 299; correct \
+         final value is 300)"
+      ~aligns:[ Tbl.Left; Tbl.Right; Tbl.Right ]
+      [ "variant"; "final R1"; "traps" ]
+  in
+  List.iter
+    (fun r ->
+      Tbl.add_row t2
+        [ r.f2_variant; Tbl.cell_int r.f2_final; Tbl.cell_int r.f2_traps ])
+    (f2_traps ());
+  [ t; t2 ]
+
+(* -- A1: design-choice ablations -------------------------------------------------------------- *)
+
+type a1_row = { a1_what : string; a1_base : int; a1_variant : int; a1_unit : string }
+
+let a1_rows () =
+  (* (a) transport chaining on the 3-phase H1: a memory-traversal program
+     whose address transfers (phase 0) chain into reads (phase 2) *)
+  let chain_src =
+    "begin 200 -> R1; read R1 -> R2; R2 + R2 -> R3; R3 -> R4; write R4 -> \
+     R1; end"
+  in
+  let p = Msl_simpl.Compile.parse_compile Machines.h1 chain_src in
+  let words chain =
+    let _, _, m =
+      Pipeline.compile ~options:{ Pipeline.default_options with chain }
+        Machines.h1 p
+    in
+    m.Pipeline.m_instructions
+  in
+  let chain_on = words true and chain_off = words false in
+  (* (b) EMPL MICROOP vs inlining on B17 *)
+  let stack_src =
+    "TYPE STACK\n  DECLARE STK(16) FIXED;\n  DECLARE STKPTR FIXED;\n\
+    \  DECLARE VALUE FIXED;\n  INITIALLY DO; STKPTR = 0; END;\n\
+    \  PUSH: OPERATION ACCEPTS (VALUE)\n        MICROOP: PUSH 3 0;\n\
+    \        IF STKPTR = 16 THEN ERROR;\n\
+    \        ELSE DO; STKPTR = STKPTR + 1; STK(STKPTR) = VALUE; END\n\
+     END;\n\
+    \  POP: OPERATION RETURNS (VALUE)\n        MICROOP: POP 3 0;\n\
+    \        IF STKPTR = 0 THEN ERROR;\n\
+    \        ELSE DO; VALUE = STK(STKPTR); STKPTR = STKPTR - 1; END\n\
+     END;\n\
+     ENDTYPE;\n\
+     DECLARE S STACK;\nDECLARE A FIXED;\n\
+     S.PUSH(1);\nS.PUSH(2);\nS.PUSH(3);\nA = S.POP();\nA = S.POP();\n"
+  in
+  let stack_words use_microops =
+    (Toolkit.compile ~use_microops Toolkit.Empl Machines.b17 stack_src)
+      .Toolkit.c_words
+  in
+  (* (c) priority vs first-fit on a tight machine *)
+  let pressure = Workloads.pressure_program ~seed:3 ~nvars:24 ~nops:80 in
+  let traffic strategy =
+    let c =
+      Toolkit.compile
+        ~options:
+          { Pipeline.default_options with strategy; pool_limit = Some 6 }
+        Toolkit.Empl Machines.hp3 pressure
+    in
+    match c.Toolkit.c_alloc with
+    | Some s -> s.Regalloc.spill_loads + s.Regalloc.spill_stores
+    | None -> 0
+  in
+  [
+    { a1_what = "H1 memory walk words: chaining on/off"; a1_base = chain_on;
+      a1_variant = chain_off; a1_unit = "words" };
+    { a1_what = "B17 stack words: MICROOP/inlined"; a1_base = stack_words true;
+      a1_variant = stack_words false; a1_unit = "words" };
+    { a1_what = "HP3 spill traffic: priority/first-fit";
+      a1_base = traffic Regalloc.Priority;
+      a1_variant = traffic Regalloc.First_fit; a1_unit = "load/stores" };
+  ]
+
+let a1 () =
+  let t =
+    Tbl.make ~title:"A1: design-choice ablations"
+      ~aligns:[ Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Left ]
+      [ "choice"; "with"; "without"; "unit" ]
+  in
+  List.iter
+    (fun r ->
+      Tbl.add_row t
+        [ r.a1_what; Tbl.cell_int r.a1_base; Tbl.cell_int r.a1_variant;
+          r.a1_unit ])
+    (a1_rows ());
+  t
+
+let all_tables () =
+  t1 () @ [ t2 (); t3 (); t4 (); t5 (); t6 (); t7 (); t8 (); f1 () ]
+  @ f2 () @ [ a1 () ]

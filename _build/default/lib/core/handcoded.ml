@@ -1,0 +1,171 @@
+(* Hand-written reference microprograms.
+
+   The survey's efficiency baselines are always "equivalent hand written
+   microprograms"; these are ours, written in the microassembly format and
+   therefore checked against the conflict model — a hand-coded program
+   cannot use parallelism the machine does not have.  Each corresponds to
+   a compiled program in the experiments (T2, T6). *)
+
+(* The YALLL transliteration example (survey §2.2.4), hand-scheduled for
+   HP3.  String addressed by DB, table by SB, zero terminator. *)
+let translit_hp3 =
+  "loop:\n\
+  \  [ rdr MBR, DB ] -> if MBR = 0 goto out\n\
+  \  [ add MAR, MBR, SB ]\n\
+  \  [ rd ]\n\
+  \  [ wrr DB, MBR ]\n\
+  \  [ inc DB, DB ] -> goto loop\n\
+   out:\n\
+  \  [ ] -> halt\n"
+
+(* The same program for the baroque V11: everything through ACC and MAR/MBR,
+   flag tests only. *)
+let translit_v11 =
+  "loop:\n\
+  \  [ mov MAR, R0 ]\n\
+  \  [ rd ]\n\
+  \  [ tst MBR ] -> if Z goto out\n\
+  \  [ add MBR, R1 ]\n\
+  \  [ mov MAR, ACC ]\n\
+  \  [ rd ]\n\
+  \  [ mov MAR, R0 ]\n\
+  \  [ wr ]\n\
+  \  [ ldc R2, #1 ]\n\
+  \  [ add R0, R2 ]\n\
+  \  [ mov R0, ACC ] -> goto loop\n\
+   out:\n\
+  \  [ ] -> halt\n"
+
+(* The SIMPL floating-point multiply (survey §2.2.1), hand-compacted for
+   H1.  Masks preset: R8 = exponent mask, R9 = mantissa mask; operands in
+   R1/R2; result in R3 (initially 0); R0 = 0. *)
+let fpmul_h1 =
+  "  [ and ACC, R1, R8 ]\n\
+  \  [ and R4, R2, R8 ]\n\
+  \  [ add ACC, R4, ACC ]\n\
+  \  [ or R3, R3, ACC ]\n\
+  \  [ and R1, R1, R9 | mov ACC, R0 ]\n\
+  \  [ and R2, R2, R9 ]\n\
+   loop:\n\
+  \  [ ] -> if R2 = 0 goto pack\n\
+  \  [ shr ACC, ACC, #1 ]\n\
+  \  [ shrf R2, R2, #1 ] -> if !U goto loop\n\
+  \  [ add ACC, R1, ACC ] -> goto loop\n\
+   pack:\n\
+  \  [ or R3, R3, ACC ] -> halt\n"
+
+(* Multiplication by repeated addition (the S* MPY example), hand-coded
+   for H1: a two-word loop, the same density the S* programmer achieves
+   with cocycle composition.  R1 = multiplier, R2 = multiplicand,
+   R3 = product (initially 0). *)
+let mpy_h1 =
+  "  [ ] -> if R1 = 0 goto out\n\
+   loop:\n\
+  \  [ add R3, R3, R2 | dec R1, R1 ] -> if R1 <> 0 goto loop\n\
+   out:\n\
+  \  [ ] -> halt\n"
+
+(* Dot product of two [n]-vectors for HP3 (experiment T6's "heavily used
+   procedure").  R1 = base of x, R2 = base of y, R3 = n, result in R0. *)
+let dot_hp3 =
+  "  [ ldc R0, #0 ]\n\
+  \  [ ] -> if R3 = 0 goto out\n\
+   loop:\n\
+  \  [ rdr R4, R1 ]\n\
+  \  [ rdr R5, R2 | inc R1, R1 ]\n\
+  \  [ ldc R6, #0 | inc R2, R2 ]\n\
+   mul:\n\
+  \  [ add R6, R6, R4 | dec R5, R5 ] -> if R5 <> 0 goto mul\n\
+  \  [ add R0, R0, R6 | dec R3, R3 ] -> if R3 <> 0 goto loop\n\
+   out:\n\
+  \  [ ] -> halt\n"
+
+(* The YALLL sources whose compiled code the hand versions are compared
+   against (T2). *)
+let yalll_translit =
+  "reg str = db\n\
+   reg tbl = sb\n\
+   reg char = mbr\n\
+   loop:\n\
+  \  load char,str\n\
+  \  jump out if char = 0\n\
+  \  add  mar,char,tbl\n\
+  \  load char,mar\n\
+  \  stor char,str\n\
+  \  add  str,str,1\n\
+  \  jump loop\n\
+   out: exit\n"
+
+let yalll_translit_v11 =
+  "reg str = r0\n\
+   reg tbl = r1\n\
+   reg char = mbr\n\
+   loop:\n\
+  \  load char,str\n\
+  \  jump out if char = 0\n\
+  \  add  mar,char,tbl\n\
+  \  load char,mar\n\
+  \  stor char,str\n\
+  \  add  str,str,1\n\
+  \  jump loop\n\
+   out: exit\n"
+
+(* The SIMPL floating-point multiply source (survey §2.2.1). *)
+let simpl_fpmul =
+  "program fpmul;\n\
+   alias M3 = R8;\n\
+   alias M4 = R9;\n\
+   begin\n\
+  \  R1 & M3 -> ACC;\n\
+  \  R2 & M3 -> R4;\n\
+  \  R4 + ACC -> ACC;\n\
+  \  R3 | ACC -> R3;\n\
+  \  R1 & M4 -> R1;\n\
+  \  R2 & M4 -> R2;\n\
+  \  R0 -> ACC;\n\
+  \  while R2 <> 0 do\n\
+  \  begin\n\
+  \    ACC ^-1 -> ACC;\n\
+  \    R2 ^-1 -> R2;\n\
+  \    if UF = 1 then R1 + ACC -> ACC;\n\
+  \  end;\n\
+  \  R3 | ACC -> R3;\n\
+   end\n"
+
+(* SIMPL multiply-by-repeated-addition, the compiled counterpart of
+   [mpy_h1]. *)
+let simpl_mpy =
+  "begin\n\
+  \  0 -> R3;\n\
+  \  while R1 <> 0 do\n\
+  \  begin\n\
+  \    R3 + R2 -> R3;\n\
+  \    R1 - 1 -> R1;\n\
+  \  end;\n\
+   end\n"
+
+(* YALLL dot product, the compiled counterpart of [dot_hp3]. *)
+let yalll_dot =
+  "reg xp = r1\n\
+   reg yp = r2\n\
+   reg n = r3\n\
+   reg acc = r0\n\
+   reg a = r4\n\
+   reg b = r5\n\
+   reg t = r6\n\
+  \  set acc, 0\n\
+  \  jump out if n = 0\n\
+   loop:\n\
+  \  load a,xp\n\
+  \  load b,yp\n\
+  \  inc  xp,xp\n\
+  \  inc  yp,yp\n\
+  \  set  t, 0\n\
+   mul:\n\
+  \  add  t,t,a\n\
+  \  dec  b,b\n\
+  \  jump mul if b <> 0\n\
+  \  add  acc,acc,t\n\
+  \  dec  n,n\n\
+  \  jump loop if n <> 0\n\
+   out: exit\n"

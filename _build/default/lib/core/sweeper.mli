@@ -1,0 +1,8 @@
+(** Parametric machine descriptions for the register-pressure sweep.
+
+    The survey's §2.1.3 range — 16 registers (VAX-11) to 256 (CDC 480) —
+    swept by manufacturing HP3-like machines with any allocatable-register
+    count (control-word fields sized to fit). *)
+
+val machine : nregs:int -> Msl_machine.Desc.t
+(** @raise Invalid_argument below 2 registers. *)

@@ -1,0 +1,81 @@
+(* The toolkit façade: compile any of the four surveyed languages to any
+   machine model, load, run, and collect metrics. *)
+
+open Msl_machine
+module Pipeline = Msl_mir.Pipeline
+module Diag = Msl_util.Diag
+
+type language = Simpl | Empl | Sstar | Yalll
+
+let language_name = function
+  | Simpl -> "SIMPL"
+  | Empl -> "EMPL"
+  | Sstar -> "S*"
+  | Yalll -> "YALLL"
+
+let language_of_string s =
+  match String.lowercase_ascii s with
+  | "simpl" -> Simpl
+  | "empl" -> Empl
+  | "sstar" | "s*" | "s" -> Sstar
+  | "yalll" -> Yalll
+  | other -> invalid_arg (Printf.sprintf "unknown language %S" other)
+
+type compiled = {
+  c_language : language;
+  c_machine : Desc.t;
+  c_insts : Inst.t list;
+  c_labels : (string * int) list;
+  c_words : int;  (* control-store words *)
+  c_ops : int;  (* microoperations *)
+  c_bits : int;  (* control-store bits *)
+  c_alloc : Msl_mir.Regalloc.stats option;
+}
+
+let of_insts language d insts labels alloc =
+  {
+    c_language = language;
+    c_machine = d;
+    c_insts = insts;
+    c_labels = labels;
+    c_words = List.length insts;
+    c_ops = List.fold_left (fun acc i -> acc + List.length i.Inst.ops) 0 insts;
+    c_bits = Encode.program_bits d insts;
+    c_alloc = alloc;
+  }
+
+let compile ?options ?use_microops (language : language) (d : Desc.t) src =
+  match language with
+  | Simpl ->
+      let p = Msl_simpl.Compile.parse_compile d src in
+      let insts, labels, m = Pipeline.compile ?options d p in
+      of_insts language d insts labels m.Pipeline.m_alloc
+  | Empl ->
+      let p = Msl_empl.Compile.parse_compile ?use_microops d src in
+      let insts, labels, m = Pipeline.compile ?options d p in
+      of_insts language d insts labels m.Pipeline.m_alloc
+  | Yalll ->
+      let p = Msl_yalll.Compile.parse_compile d src in
+      let insts, labels, m = Pipeline.compile ?options d p in
+      of_insts language d insts labels m.Pipeline.m_alloc
+  | Sstar ->
+      let insts, labels = Msl_sstar.Compile.parse_compile d src in
+      of_insts language d insts labels None
+
+(* Assemble a hand-written microprogram, with the same metrics. *)
+let assemble (d : Desc.t) src =
+  let insts, labels = Masm.parse d src in
+  let labels = Hashtbl.fold (fun k v acc -> (k, v) :: acc) labels [] in
+  of_insts Yalll d insts labels None
+
+let load ?(mem_words = 4096) ?trap_mode (c : compiled) =
+  let sim = Sim.create ?trap_mode ~mem_words c.c_machine in
+  Sim.load_store sim c.c_insts;
+  sim
+
+let run ?fuel ?(setup = fun _ -> ()) (c : compiled) =
+  let sim = load c in
+  setup sim;
+  match Sim.run ?fuel sim with
+  | Sim.Halted -> sim
+  | Sim.Out_of_fuel -> Diag.error Diag.Execution "program did not halt"

@@ -1,0 +1,45 @@
+(** The toolkit façade: compile any of the four surveyed languages to any
+    machine model, assemble hand-written microcode, run programs, and
+    collect the metrics the experiments report. *)
+
+open Msl_machine
+
+type language = Simpl | Empl | Sstar | Yalll
+
+val language_name : language -> string
+
+val language_of_string : string -> language
+(** @raise Invalid_argument on unknown names. *)
+
+type compiled = {
+  c_language : language;
+  c_machine : Desc.t;
+  c_insts : Inst.t list;
+  c_labels : (string * int) list;
+  c_words : int;  (** control-store words *)
+  c_ops : int;  (** microoperations *)
+  c_bits : int;  (** control-store bits *)
+  c_alloc : Msl_mir.Regalloc.stats option;
+      (** present when the register allocator ran (symbolic-variable
+          programs) *)
+}
+
+val compile :
+  ?options:Msl_mir.Pipeline.options ->
+  ?use_microops:bool ->
+  language ->
+  Desc.t ->
+  string ->
+  compiled
+(** Parse and compile source text.  [use_microops] applies to EMPL only.
+    @raise Msl_util.Diag.Error on any front- or back-end failure. *)
+
+val assemble : Desc.t -> string -> compiled
+(** Assemble hand-written microcode (see {!Msl_machine.Masm}), with the
+    same metrics. *)
+
+val load : ?mem_words:int -> ?trap_mode:Sim.trap_mode -> compiled -> Sim.t
+
+val run : ?fuel:int -> ?setup:(Sim.t -> unit) -> compiled -> Sim.t
+(** Load, apply [setup], and run to halt.
+    @raise Msl_util.Diag.Error when the program does not halt in [fuel]. *)

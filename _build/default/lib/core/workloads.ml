@@ -1,0 +1,137 @@
+(* Deterministic workload generators for the experiments.
+
+   All generators are seeded so that every run of the benchmark harness
+   regenerates identical workloads. *)
+
+open Msl_machine
+module Mir = Msl_mir.Mir
+module Rtl = Msl_machine.Rtl
+
+(* A tiny deterministic PRNG (xorshift), independent of Stdlib.Random
+   state. *)
+type rng = { mutable s : int64 }
+
+let rng seed = { s = Int64.of_int (0x9E3779B9 lxor seed) }
+
+let next r =
+  let x = r.s in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  r.s <- x;
+  Int64.to_int (Int64.logand x 0x3FFFFFFFL)
+
+let pick r n = next r mod n
+
+(* -- straight-line microoperation blocks (T4 compaction) ---------------------- *)
+
+(* Generate a block of [n] microoperations for machine [d] with a
+   controllable dependence density: with probability [p_dep]/100 an
+   operand is the destination of an earlier op (creating RAW chains),
+   otherwise a fresh register. *)
+let compaction_block d ~seed ~n ~p_dep =
+  let r = rng seed in
+  let gprs =
+    Desc.regs_of_class d "alloc" |> List.map (fun rg -> rg.Desc.r_id)
+  in
+  let gprs = Array.of_list gprs in
+  let written = ref [] in
+  let src () =
+    if !written <> [] && pick r 100 < p_dep then
+      List.nth !written (pick r (List.length !written))
+    else gprs.(pick r (Array.length gprs))
+  in
+  let dst () = gprs.(pick r (Array.length gprs)) in
+  let alu_ops = [| "add"; "sub"; "and"; "or"; "xor" |] in
+  (* the shift-amount immediate width differs per machine *)
+  let shl_amt_width =
+    match (Desc.get_template d "shl").Desc.t_operands.(2).Desc.o_kind with
+    | Desc.O_imm w -> w
+    | Desc.O_reg _ -> 4
+  in
+  List.init n (fun _ ->
+      let op =
+        match pick r 10 with
+        | 0 | 1 ->
+            let dreg = dst () in
+            written := dreg :: !written;
+            Inst.make d "mov" [ Inst.A_reg dreg; Inst.A_reg (src ()) ]
+        | 2 ->
+            let dreg = dst () in
+            written := dreg :: !written;
+            Inst.make d "inc" [ Inst.A_reg dreg; Inst.A_reg (src ()) ]
+        | 3 ->
+            let dreg = dst () in
+            written := dreg :: !written;
+            Inst.make d "shl"
+              [ Inst.A_reg dreg; Inst.A_reg (src ());
+                Inst.A_imm (Msl_bitvec.Bitvec.of_int ~width:shl_amt_width (1 + pick r 3)) ]
+        | _ ->
+            let dreg = dst () in
+            let a = src () and b = src () in
+            written := dreg :: !written;
+            Inst.make d alu_ops.(pick r (Array.length alu_ops))
+              [ Inst.A_reg dreg; Inst.A_reg a; Inst.A_reg b ]
+      in
+      op)
+
+(* -- EMPL-style register-pressure programs (T5) --------------------------------- *)
+
+(* A program over [nvars] symbolic variables with [nops] operations whose
+   operands favour recently-defined variables (a working set), summing
+   everything into variable 0 at the end.  Returns EMPL source text. *)
+let pressure_program ~seed ~nvars ~nops =
+  let r = rng seed in
+  let buf = Buffer.create 1024 in
+  for i = 0 to nvars - 1 do
+    Buffer.add_string buf (Printf.sprintf "DECLARE V%d FIXED;\n" i)
+  done;
+  Buffer.add_string buf "DECLARE OUT(1) FIXED;\n";
+  for i = 0 to nvars - 1 do
+    Buffer.add_string buf (Printf.sprintf "V%d = %d;\n" i (i + 1))
+  done;
+  for _ = 1 to nops do
+    let d = pick r nvars in
+    let a = pick r nvars and b = pick r nvars in
+    match pick r 4 with
+    | 0 -> Buffer.add_string buf (Printf.sprintf "V%d = V%d + V%d;\n" d a b)
+    | 1 -> Buffer.add_string buf (Printf.sprintf "V%d = V%d XOR V%d;\n" d a b)
+    | 2 -> Buffer.add_string buf (Printf.sprintf "V%d = V%d & V%d;\n" d a b)
+    | _ -> Buffer.add_string buf (Printf.sprintf "V%d = V%d | V%d;\n" d a b)
+  done;
+  (* fold everything into V0 so no assignment is dead *)
+  for i = 1 to nvars - 1 do
+    Buffer.add_string buf (Printf.sprintf "V0 = V0 XOR V%d;\n" i)
+  done;
+  Buffer.add_string buf "OUT(0) = V0;\n";
+  Buffer.contents buf
+
+(* -- SIMPL-style straight-line blocks (F1) ---------------------------------------- *)
+
+(* MIR statement blocks with tunable independence, for the single-identity
+   parallelism profile. *)
+let simpl_block d ~seed ~n ~p_dep =
+  let r = rng seed in
+  let gprs =
+    Desc.regs_of_class d "alloc" |> List.map (fun rg -> Mir.Phys rg.Desc.r_id)
+  in
+  let gprs = Array.of_list gprs in
+  let written = ref [] in
+  let src () =
+    if !written <> [] && pick r 100 < p_dep then
+      List.nth !written (pick r (List.length !written))
+    else gprs.(pick r (Array.length gprs))
+  in
+  let ops = [| Rtl.A_add; Rtl.A_sub; Rtl.A_and; Rtl.A_or; Rtl.A_xor |] in
+  List.init n (fun _ ->
+      let d0 = gprs.(pick r (Array.length gprs)) in
+      written := d0 :: !written;
+      (* mixed statement kinds, like a real SIMPL block: transfers and
+         shifts spread across the machine's buses and units *)
+      match pick r 8 with
+      | 0 | 1 -> Mir.assign d0 (Mir.R_copy (src ()))
+      | 2 -> Mir.assign d0 (Mir.R_shift_imm (Rtl.A_shl, src (), 1 + pick r 3))
+      | 3 -> Mir.assign d0 (Mir.R_inc (src ()))
+      | _ ->
+          Mir.assign d0
+            (Mir.R_binop (ops.(pick r (Array.length ops)), src (), src ())))

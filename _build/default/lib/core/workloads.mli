@@ -1,0 +1,19 @@
+(** Deterministic, seeded workload generators for the experiments: the
+    same seed always regenerates the same workload. *)
+
+val compaction_block :
+  Msl_machine.Desc.t -> seed:int -> n:int -> p_dep:int ->
+  Msl_machine.Inst.op list
+(** A straight-line block of [n] microoperations; with probability
+    [p_dep]% an operand is the destination of an earlier op (RAW chains).
+    Experiment T4 and the schedule-equivalence properties. *)
+
+val pressure_program : seed:int -> nvars:int -> nops:int -> string
+(** EMPL source over [nvars] symbolic variables and [nops] operations,
+    folding everything into V0 and storing it to OUT(0) so no assignment
+    is dead.  Experiment T5. *)
+
+val simpl_block :
+  Msl_machine.Desc.t -> seed:int -> n:int -> p_dep:int -> Msl_mir.Mir.stmt list
+(** Mixed-kind MIR statement blocks for the single-identity parallelism
+    profile (experiment F1). *)

@@ -1,0 +1,1 @@
+lib/empl/ast.ml: Msl_util

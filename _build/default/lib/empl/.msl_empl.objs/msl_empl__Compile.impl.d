@@ -1,0 +1,1 @@
+lib/empl/compile.ml: Array Ast Bitvec Build Desc Hashtbl Int64 List Mir Msl_bitvec Msl_machine Msl_mir Msl_util Option Parser Printf Rtl String

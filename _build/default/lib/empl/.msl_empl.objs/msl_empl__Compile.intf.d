@@ -1,0 +1,1 @@
+lib/empl/compile.mli: Ast Msl_machine Msl_mir

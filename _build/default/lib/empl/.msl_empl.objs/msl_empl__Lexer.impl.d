@@ -1,0 +1,1 @@
+lib/empl/lexer.ml: Int64 List Msl_util Printf String

@@ -1,0 +1,1 @@
+lib/empl/parser.ml: Ast Int64 Lexer List Msl_util Option String

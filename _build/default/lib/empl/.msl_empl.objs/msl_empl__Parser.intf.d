@@ -1,0 +1,1 @@
+lib/empl/parser.mli: Ast

@@ -1,0 +1,94 @@
+(* EMPL — Extensible MicroProgramming Language (DeWitt 1976; survey §2.2.2).
+
+   The most conventional of the surveyed languages: symbolic (global)
+   variables instead of registers, PL/I-flavoured syntax, procedures
+   without parameters, operator declarations with any number of formal
+   parameters, and the SIMULA-class-like *extension statement*:
+
+       TYPE STACK
+         DECLARE STK(16) FIXED;
+         DECLARE STKPTR FIXED;
+         INITIALLY DO; STKPTR = 0; END;
+         PUSH: OPERATION ACCEPTS (VALUE)
+               MICROOP: PUSH 3 0;
+               IF STKPTR = 16 THEN ERROR;
+               ELSE DO; STKPTR = STKPTR + 1; STK(STKPTR) = VALUE; END
+         END;
+       ENDTYPE;
+       DECLARE ADDRESS_STK STACK;
+
+   Operators compile to the named machine microoperation when the target
+   has one (the MICROOP hint), and are inlined statement-by-statement
+   otherwise — exactly the survey's account, including its remark that
+   heavy use of inlining "will lead to an increase in the size of the
+   produced code" (measured by the T2 ablation). *)
+
+module Loc = Msl_util.Loc
+
+type ref_ =
+  | Name of string
+  | Index of string * atom  (* array element: STK(STKPTR) *)
+
+and atom = Ref of ref_ | Num of int64
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor | Nand | Nor | Nxor
+
+type builtin1 = Bnot | Bneg
+
+type shiftop = Shl | Shr | Sar | Rol | Ror
+
+type expr =
+  | Atom of atom
+  | Bin of binop * atom * atom
+  | Un of builtin1 * atom
+  | Shift of shiftop * atom * int  (* constant amount *)
+  | Opcall of string option * string * atom list
+      (* [obj.]OP(args): declared-operator invocation *)
+
+type relop = Req | Rne | Rlt | Rle | Rgt | Rge
+
+type cond = relop * atom * atom
+
+type stmt =
+  | Assign of ref_ * expr * Loc.t
+  | Do_op of string option * string * atom list * Loc.t  (* [obj.]OP(args); *)
+  | Call of string * Loc.t
+  | Return of Loc.t
+  | Error_stmt of Loc.t  (* the ERROR statement of the stack example *)
+  | If of cond * stmt * stmt option
+  | While of cond * stmt list
+  | Group of stmt list  (* DO; ... END *)
+  | Goto of string * Loc.t
+  | Labelled of string * stmt
+
+type operation = {
+  op_name : string;
+  accepts : string list;
+  returns : string option;
+  microop : string option;  (* MICROOP hint: machine template name *)
+  op_body : stmt list;
+}
+
+type type_decl = {
+  ty_name : string;
+  ty_fields : (string * int option) list;  (* name, array length *)
+  ty_init : stmt list;
+  ty_ops : operation list;
+}
+
+type decl =
+  | Dscalar of string * Loc.t
+  | Darray of string * int * Loc.t
+  | Dobject of string * string * Loc.t  (* object name, type name *)
+
+type procedure = { pc_name : string; pc_body : stmt list }
+
+type program = {
+  types : type_decl list;
+  decls : decl list;
+  global_ops : operation list;
+  procs : procedure list;
+  body : stmt list;
+}

@@ -1,0 +1,552 @@
+(* EMPL -> MIR.
+
+   Scalars (and scalar fields of objects) become virtual registers for the
+   allocator; arrays live in a static data region of main memory ("no
+   difference is made in the language between variables residing in
+   registers and variables residing in main memory", survey §2.2.2).
+
+   Operator invocations either emit the machine microoperation named by
+   the MICROOP hint (when the target machine has it — e.g. B17's hardware
+   push/pop, the survey's §2.1.2 example) or are inlined statement-by-
+   statement with textual substitution of the actual parameters, exactly
+   the implementation scheme the survey describes and criticises.  The
+   [use_microops] flag turns hints off so experiment T2 can measure the
+   inlining cost. *)
+
+open Msl_bitvec
+open Msl_machine
+open Msl_mir
+module Diag = Msl_util.Diag
+module Loc = Msl_util.Loc
+
+type var_kind =
+  | Scalar of Mir.reg
+  | Array of { base : int; len : int }
+
+type env = {
+  d : Desc.t;
+  use_microops : bool;
+  mutable next_vreg : int;
+  mutable vreg_names : (int * string) list;
+  globals : (string, var_kind) Hashtbl.t;
+  types : (string, Ast.type_decl) Hashtbl.t;
+  (* object name -> (type name, field scope) *)
+  objects : (string, string * (string * var_kind) list) Hashtbl.t;
+  global_ops : (string, Ast.operation) Hashtbl.t;
+  mutable proc_names : string list;
+  mutable data_ptr : int;
+  data_limit : int;
+  mutable inline_depth : int;
+}
+
+(* What RETURN means at the current point. *)
+type return_ctx = Ret_halt | Ret_proc | Ret_inline of string  (* join label *)
+
+let canon = String.lowercase_ascii
+
+let fresh_vreg env name =
+  let v = env.next_vreg in
+  env.next_vreg <- v + 1;
+  env.vreg_names <- (v, name) :: env.vreg_names;
+  Mir.Virt v
+
+let alloc_array env loc name len =
+  (* 1-based indexing as in the survey's stack example: reserve len+1 *)
+  let base = env.data_ptr in
+  env.data_ptr <- env.data_ptr + len + 1;
+  if env.data_ptr > env.data_limit then
+    Diag.error ~loc Diag.Semantic "static data for %S overflows the data region"
+      name;
+  Array { base; len }
+
+let make_env ?(use_microops = true) d =
+  let data_limit = d.Desc.d_scratch_base in
+  {
+    d;
+    use_microops;
+    next_vreg = 0;
+    vreg_names = [];
+    globals = Hashtbl.create 32;
+    types = Hashtbl.create 8;
+    objects = Hashtbl.create 8;
+    global_ops = Hashtbl.create 8;
+    proc_names = [];
+    data_ptr = max 0 (data_limit - 256);
+    data_limit;
+    inline_depth = 0;
+  }
+
+(* Name resolution: innermost scope (operator fields/locals) first, then
+   globals. *)
+let lookup env scope name =
+  match List.assoc_opt (canon name) scope with
+  | Some k -> Some k
+  | None -> Hashtbl.find_opt env.globals (canon name)
+
+let const_rv env v = Mir.R_const (Bitvec.of_int64 ~width:env.d.Desc.d_word v)
+
+(* -- operator resolution ------------------------------------------------------ *)
+
+(* Find the operation [op] invoked on [obj_opt]; returns the declaration
+   and the field scope it executes in. *)
+let find_operation env loc obj_opt opname =
+  match obj_opt with
+  | Some obj -> (
+      match Hashtbl.find_opt env.objects (canon obj) with
+      | None -> Diag.error ~loc Diag.Semantic "undeclared object %S" obj
+      | Some (ty_name, field_scope) -> (
+          match Hashtbl.find_opt env.types (canon ty_name) with
+          | None -> Diag.error ~loc Diag.Semantic "unknown type %S" ty_name
+          | Some ty -> (
+              match
+                List.find_opt
+                  (fun (o : Ast.operation) -> canon o.op_name = canon opname)
+                  ty.Ast.ty_ops
+              with
+              | Some op -> (op, field_scope)
+              | None ->
+                  Diag.error ~loc Diag.Semantic "type %S has no operation %S"
+                    ty_name opname)))
+  | None -> (
+      match Hashtbl.find_opt env.global_ops (canon opname) with
+      | Some op -> (op, [])
+      | None -> Diag.error ~loc Diag.Semantic "undeclared operation %S" opname)
+
+(* The MICROOP hint is usable when the machine has a template of that name
+   whose operand count matches actuals (+1 when the operation returns). *)
+let microop_usable env (op : Ast.operation) nargs =
+  if not env.use_microops then None
+  else
+    match op.Ast.microop with
+    | None -> None
+    | Some name -> (
+        match Desc.find_template env.d name with
+        | Some tm
+          when Array.length tm.Desc.t_operands
+               = nargs + (match op.Ast.returns with Some _ -> 1 | None -> 0) ->
+            Some name
+        | Some _ | None -> None)
+
+(* -- substitution for inlining ------------------------------------------------- *)
+
+(* Textual replacement of formal names by actual atoms, as the survey
+   describes.  Substitution applies to every name position. *)
+type subst = (string * Ast.atom) list
+
+let subst_name (s : subst) name =
+  match List.assoc_opt (canon name) s with
+  | Some a -> Some a
+  | None -> None
+
+let rec subst_atom s (a : Ast.atom) : Ast.atom =
+  match a with
+  | Ast.Num _ -> a
+  | Ast.Ref (Ast.Name n) -> (
+      match subst_name s n with Some a' -> a' | None -> a)
+  | Ast.Ref (Ast.Index (n, idx)) -> (
+      let idx = subst_atom s idx in
+      match subst_name s n with
+      | Some (Ast.Ref (Ast.Name n')) -> Ast.Ref (Ast.Index (n', idx))
+      | Some _ -> a  (* substituting an array name by a non-name: ill-formed *)
+      | None -> Ast.Ref (Ast.Index (n, idx)))
+
+let subst_ref s (r : Ast.ref_) loc : Ast.ref_ =
+  match r with
+  | Ast.Name n -> (
+      match subst_name s n with
+      | Some (Ast.Ref r') -> r'
+      | Some (Ast.Num _) ->
+          Diag.error ~loc Diag.Semantic
+            "operator assigns to a constant actual parameter"
+      | None -> r)
+  | Ast.Index (n, idx) -> (
+      let idx = subst_atom s idx in
+      match subst_name s n with
+      | Some (Ast.Ref (Ast.Name n')) -> Ast.Index (n', idx)
+      | Some _ ->
+          Diag.error ~loc Diag.Semantic "bad substitution for array %S" n
+      | None -> Ast.Index (n, idx))
+
+let subst_expr s (e : Ast.expr) : Ast.expr =
+  match e with
+  | Ast.Atom a -> Ast.Atom (subst_atom s a)
+  | Ast.Bin (op, a, b) -> Ast.Bin (op, subst_atom s a, subst_atom s b)
+  | Ast.Un (op, a) -> Ast.Un (op, subst_atom s a)
+  | Ast.Shift (op, a, n) -> Ast.Shift (op, subst_atom s a, n)
+  | Ast.Opcall (obj, op, args) ->
+      Ast.Opcall (obj, op, List.map (subst_atom s) args)
+
+let rec subst_stmt s (st : Ast.stmt) : Ast.stmt =
+  match st with
+  | Ast.Assign (r, e, loc) -> Ast.Assign (subst_ref s r loc, subst_expr s e, loc)
+  | Ast.Do_op (obj, op, args, loc) ->
+      Ast.Do_op (obj, op, List.map (subst_atom s) args, loc)
+  | Ast.Call _ | Ast.Return _ | Ast.Error_stmt _ | Ast.Goto _ -> st
+  | Ast.If (c, s1, s2) ->
+      let rel, a, b = c in
+      Ast.If
+        ( (rel, subst_atom s a, subst_atom s b),
+          subst_stmt s s1,
+          Option.map (subst_stmt s) s2 )
+  | Ast.While (c, body) ->
+      let rel, a, b = c in
+      Ast.While ((rel, subst_atom s a, subst_atom s b), List.map (subst_stmt s) body)
+  | Ast.Group body -> Ast.Group (List.map (subst_stmt s) body)
+  | Ast.Labelled (l, inner) -> Ast.Labelled (l, subst_stmt s inner)
+
+(* -- compilation ------------------------------------------------------------------ *)
+
+type cctx = {
+  b : Build.t;
+  scope : (string * var_kind) list;
+  ret : return_ctx;
+}
+
+(* An atom as a register, possibly emitting setup statements. *)
+let rec atom_reg env cc loc (a : Ast.atom) : Mir.reg =
+  match a with
+  | Ast.Num v ->
+      let t = fresh_vreg env (Printf.sprintf "c%Ld" v) in
+      Build.add cc.b (Mir.assign t (const_rv env v));
+      t
+  | Ast.Ref (Ast.Name n) -> (
+      match lookup env cc.scope n with
+      | Some (Scalar r) -> r
+      | Some (Array _) ->
+          Diag.error ~loc Diag.Semantic "array %S used without a subscript" n
+      | None -> Diag.error ~loc Diag.Semantic "undeclared variable %S" n)
+  | Ast.Ref (Ast.Index (n, idx)) -> (
+      match lookup env cc.scope n with
+      | Some (Array { base; _ }) ->
+          let t = fresh_vreg env (n ^ "_elt") in
+          Build.add cc.b (Mir.assign t (Mir.R_mem (array_addr env cc loc base idx)));
+          t
+      | Some (Scalar _) ->
+          Diag.error ~loc Diag.Semantic "%S is a scalar, not an array" n
+      | None ->
+          (* single-argument undotted call parsed as an index: an operator *)
+          opcall_value env cc loc None n [ idx ])
+
+and array_addr env cc loc base idx =
+  let a = fresh_vreg env "addr" in
+  Build.add cc.b (Mir.assign a (const_rv env (Int64.of_int base)));
+  let i = atom_reg env cc loc idx in
+  let a2 = fresh_vreg env "addr2" in
+  Build.add cc.b (Mir.assign a2 (Mir.R_binop (Rtl.A_add, a, i)));
+  a2
+
+(* Invoke an operation for its value; returns the register holding it. *)
+and opcall_value env cc loc obj opname args =
+  let dst = fresh_vreg env (opname ^ "_res") in
+  opcall env cc loc obj opname args (Some dst);
+  dst
+
+(* Invoke an operation, storing any returned value into [dst_reg]. *)
+and opcall env cc loc obj opname args dst_reg =
+  let op, field_scope = find_operation env loc obj opname in
+  if List.length args <> List.length op.Ast.accepts then
+    Diag.error ~loc Diag.Semantic "operation %S expects %d parameters, got %d"
+      op.Ast.op_name
+      (List.length op.Ast.accepts)
+      (List.length args);
+  (match (op.Ast.returns, dst_reg) with
+  | None, Some _ ->
+      Diag.error ~loc Diag.Semantic "operation %S returns no value"
+        op.Ast.op_name
+  | _ -> ());
+  match microop_usable env op (List.length args) with
+  | Some tname ->
+      let arg_regs = List.map (atom_reg env cc loc) args in
+      let all =
+        arg_regs @ (match dst_reg with Some r -> [ r ] | None -> [])
+      in
+      Build.add cc.b (Mir.Special { op = tname; args = all })
+  | None ->
+      (* inline with textual substitution *)
+      if env.inline_depth > 16 then
+        Diag.error ~loc Diag.Semantic
+          "operator inlining exceeds depth 16 (recursive operator %S?)"
+          op.Ast.op_name;
+      env.inline_depth <- env.inline_depth + 1;
+      let ret_tmp =
+        Option.map (fun formal -> (formal, fresh_vreg env (canon formal))) op.Ast.returns
+      in
+      let s : subst =
+        List.map2
+          (fun formal actual -> (canon formal, actual))
+          op.Ast.accepts args
+      in
+      let scope' =
+        (match ret_tmp with
+        | Some (formal, r) -> [ (canon formal, Scalar r) ]
+        | None -> [])
+        @ field_scope
+      in
+      let join = Build.fresh_label cc.b in
+      let cc' = { cc with scope = scope'; ret = Ret_inline join } in
+      List.iter (fun st -> compile_stmt env cc' (subst_stmt s st)) op.Ast.op_body;
+      Build.finish cc.b (Mir.Goto join);
+      Build.start cc.b join;
+      (match (ret_tmp, dst_reg) with
+      | Some (_, r), Some dst -> Build.add cc.b (Mir.assign dst (Mir.R_copy r))
+      | _, _ -> ());
+      env.inline_depth <- env.inline_depth - 1
+
+(* expression into [dst] *)
+and compile_expr env cc loc (e : Ast.expr) (dst : Mir.reg) =
+  match e with
+  | Ast.Atom (Ast.Num v) -> Build.add cc.b (Mir.assign dst (const_rv env v))
+  | Ast.Atom a ->
+      let r = atom_reg env cc loc a in
+      Build.add cc.b (Mir.assign dst (Mir.R_copy r))
+  | Ast.Un (Ast.Bnot, a) ->
+      Build.add cc.b (Mir.assign dst (Mir.R_not (atom_reg env cc loc a)))
+  | Ast.Un (Ast.Bneg, a) ->
+      Build.add cc.b (Mir.assign dst (Mir.R_neg (atom_reg env cc loc a)))
+  | Ast.Shift (op, a, n) ->
+      let mop =
+        match op with
+        | Ast.Shl -> Rtl.A_shl
+        | Ast.Shr -> Rtl.A_shr
+        | Ast.Sar -> Rtl.A_sra
+        | Ast.Rol -> Rtl.A_rol
+        | Ast.Ror -> Rtl.A_ror
+      in
+      Build.add cc.b
+        (Mir.assign dst (Mir.R_shift_imm (mop, atom_reg env cc loc a, n)))
+  | Ast.Bin (op, a, b) -> (
+      let ra = atom_reg env cc loc a in
+      let rb = atom_reg env cc loc b in
+      match op with
+      | Ast.Add -> Build.add cc.b (Mir.assign dst (Mir.R_binop (Rtl.A_add, ra, rb)))
+      | Ast.Sub -> Build.add cc.b (Mir.assign dst (Mir.R_binop (Rtl.A_sub, ra, rb)))
+      | Ast.Mul -> Build.add cc.b (Mir.assign dst (Mir.R_binop (Rtl.A_mul, ra, rb)))
+      | Ast.Div -> Build.add cc.b (Mir.assign dst (Mir.R_div (ra, rb)))
+      | Ast.Rem -> Build.add cc.b (Mir.assign dst (Mir.R_rem (ra, rb)))
+      | Ast.And -> Build.add cc.b (Mir.assign dst (Mir.R_binop (Rtl.A_and, ra, rb)))
+      | Ast.Or -> Build.add cc.b (Mir.assign dst (Mir.R_binop (Rtl.A_or, ra, rb)))
+      | Ast.Xor -> Build.add cc.b (Mir.assign dst (Mir.R_binop (Rtl.A_xor, ra, rb)))
+      | Ast.Nand | Ast.Nor | Ast.Nxor ->
+          let base =
+            match op with
+            | Ast.Nand -> Rtl.A_and
+            | Ast.Nor -> Rtl.A_or
+            | _ -> Rtl.A_xor
+          in
+          let t = fresh_vreg env "nl" in
+          Build.add cc.b (Mir.assign t (Mir.R_binop (base, ra, rb)));
+          Build.add cc.b (Mir.assign dst (Mir.R_not t)))
+  | Ast.Opcall (obj, opname, args) -> opcall env cc loc obj opname args (Some dst)
+
+and assign_ref env cc loc (r : Ast.ref_) mk =
+  (* [mk dst] emits code computing the value into dst *)
+  match r with
+  | Ast.Name n -> (
+      match lookup env cc.scope n with
+      | Some (Scalar reg) -> mk reg
+      | Some (Array _) ->
+          Diag.error ~loc Diag.Semantic "cannot assign to array %S" n
+      | None -> Diag.error ~loc Diag.Semantic "undeclared variable %S" n)
+  | Ast.Index (n, idx) -> (
+      match lookup env cc.scope n with
+      | Some (Array { base; _ }) ->
+          let t = fresh_vreg env (n ^ "_val") in
+          mk t;
+          let addr = array_addr env cc loc base idx in
+          Build.add cc.b (Mir.Store { addr; src = t })
+      | Some (Scalar _) ->
+          Diag.error ~loc Diag.Semantic "%S is a scalar, not an array" n
+      | None -> Diag.error ~loc Diag.Semantic "undeclared array %S" n)
+
+and compile_cond env cc loc ((rel, a, b) : Ast.cond) :
+    Mir.stmt list * Mir.cond =
+  match (rel, a, b) with
+  | Ast.Req, x, Ast.Num 0L | Ast.Req, Ast.Num 0L, x ->
+      ([], Mir.Zero (atom_reg env cc loc x))
+  | Ast.Rne, x, Ast.Num 0L | Ast.Rne, Ast.Num 0L, x ->
+      ([], Mir.Nonzero (atom_reg env cc loc x))
+  | _ ->
+      let sub_into lhs rhs =
+        let rl = atom_reg env cc loc lhs in
+        let rr = atom_reg env cc loc rhs in
+        let t = fresh_vreg env "cmp" in
+        [
+          Mir.Assign
+            { dst = t; rv = Mir.R_binop (Rtl.A_sub, rl, rr); set_flags = true };
+        ]
+      in
+      (match rel with
+      | Ast.Req -> (sub_into a b, Mir.Flag_set Rtl.Z)
+      | Ast.Rne -> (sub_into a b, Mir.Flag_clear Rtl.Z)
+      | Ast.Rlt -> (sub_into a b, Mir.Flag_set Rtl.C)
+      | Ast.Rge -> (sub_into a b, Mir.Flag_clear Rtl.C)
+      | Ast.Rgt -> (sub_into b a, Mir.Flag_set Rtl.C)
+      | Ast.Rle -> (sub_into b a, Mir.Flag_clear Rtl.C))
+
+and compile_stmt env cc (st : Ast.stmt) =
+  match st with
+  | Ast.Group body -> List.iter (compile_stmt env cc) body
+  | Ast.Assign (r, e, loc) ->
+      assign_ref env cc loc r (fun dst -> compile_expr env cc loc e dst)
+  | Ast.Do_op (obj, opname, args, loc) -> opcall env cc loc obj opname args None
+  | Ast.Call (name, loc) ->
+      if not (List.mem (canon name) env.proc_names) then
+        Diag.error ~loc Diag.Semantic "undeclared procedure %S" name;
+      let cont = Build.fresh_label cc.b in
+      Build.finish cc.b (Mir.Call { proc = "ep$" ^ canon name; cont });
+      Build.start cc.b cont
+  | Ast.Return _ -> (
+      let dead = Build.fresh_label cc.b in
+      match cc.ret with
+      | Ret_halt ->
+          Build.finish cc.b Mir.Halt;
+          Build.start cc.b dead
+      | Ret_proc ->
+          Build.finish cc.b Mir.Ret;
+          Build.start cc.b dead
+      | Ret_inline join ->
+          Build.finish cc.b (Mir.Goto join);
+          Build.start cc.b dead)
+  | Ast.Error_stmt _ ->
+      (* the ERROR exit of the survey's stack example: halt *)
+      let dead = Build.fresh_label cc.b in
+      Build.finish cc.b Mir.Halt;
+      Build.start cc.b dead
+  | Ast.Goto (l, _) ->
+      let dead = Build.fresh_label cc.b in
+      Build.finish cc.b (Mir.Goto ("u$" ^ canon l));
+      Build.start cc.b dead
+  | Ast.Labelled (l, inner) ->
+      Build.finish cc.b (Mir.Goto ("u$" ^ canon l));
+      Build.start cc.b ("u$" ^ canon l);
+      compile_stmt env cc inner
+  | Ast.If (c, s1, s2) ->
+      let loc = Loc.dummy in
+      let pre, mc = compile_cond env cc loc c in
+      Build.add_list cc.b pre;
+      let l_then = Build.fresh_label cc.b in
+      let l_else = Build.fresh_label cc.b in
+      let l_join = Build.fresh_label cc.b in
+      Build.finish cc.b (Mir.If (mc, l_then, l_else));
+      Build.start cc.b l_then;
+      compile_stmt env cc s1;
+      Build.finish cc.b (Mir.Goto l_join);
+      Build.start cc.b l_else;
+      (match s2 with Some s -> compile_stmt env cc s | None -> ());
+      Build.finish cc.b (Mir.Goto l_join);
+      Build.start cc.b l_join
+  | Ast.While (c, body) ->
+      let loc = Loc.dummy in
+      let l_head = Build.fresh_label cc.b in
+      let l_body = Build.fresh_label cc.b in
+      let l_exit = Build.fresh_label cc.b in
+      Build.finish cc.b (Mir.Goto l_head);
+      Build.start cc.b l_head;
+      let pre, mc = compile_cond env cc loc c in
+      Build.add_list cc.b pre;
+      Build.finish cc.b (Mir.If (mc, l_body, l_exit));
+      Build.start cc.b l_body;
+      List.iter (compile_stmt env cc) body;
+      Build.finish cc.b (Mir.Goto l_head);
+      Build.start cc.b l_exit
+
+(* -- declarations --------------------------------------------------------------- *)
+
+let declare_object env loc name ty_name =
+  match Hashtbl.find_opt env.types (canon ty_name) with
+  | None -> Diag.error ~loc Diag.Semantic "unknown type %S" ty_name
+  | Some ty ->
+      let scope =
+        List.map
+          (fun (fname, len) ->
+            match len with
+            | None ->
+                (canon fname, Scalar (fresh_vreg env (name ^ "." ^ fname)))
+            | Some n ->
+                (canon fname, alloc_array env loc (name ^ "." ^ fname) n))
+          ty.Ast.ty_fields
+      in
+      Hashtbl.replace env.objects (canon name) (ty.Ast.ty_name, scope);
+      scope
+
+(* If the object's type uses hardware stack microops, point the machine's
+   SP at the object's first array field so both implementations share the
+   data region. *)
+let hw_stack_init env cc scope (ty : Ast.type_decl) =
+  let uses_hw =
+    env.use_microops
+    && List.exists
+         (fun (o : Ast.operation) ->
+           match o.Ast.microop with
+           | Some m -> (
+               match Desc.find_template env.d m with
+               | Some _ -> true
+               | None -> false)
+           | None -> false)
+         ty.Ast.ty_ops
+  in
+  if uses_hw then
+    match Desc.regs_of_class env.d "sp" with
+    | sp :: _ -> (
+        match
+          List.find_opt
+            (fun (_, k) -> match k with Array _ -> true | Scalar _ -> false)
+            scope
+        with
+        | Some (_, Array { base; _ }) ->
+            Build.add cc.b
+              (Mir.assign (Mir.Phys sp.Desc.r_id)
+                 (const_rv env (Int64.of_int base)))
+        | Some (_, Scalar _) | None -> ())
+    | [] -> ()
+
+let compile ?(use_microops = true) (d : Desc.t) (p : Ast.program) : Mir.program =
+  let env = make_env ~use_microops d in
+  List.iter
+    (fun (ty : Ast.type_decl) -> Hashtbl.replace env.types (canon ty.Ast.ty_name) ty)
+    p.Ast.types;
+  List.iter
+    (fun (o : Ast.operation) ->
+      Hashtbl.replace env.global_ops (canon o.Ast.op_name) o)
+    p.Ast.global_ops;
+  env.proc_names <-
+    List.map (fun (pc : Ast.procedure) -> canon pc.Ast.pc_name) p.Ast.procs;
+  let b = Build.make ~prefix:"el" ~entry:"main" () in
+  let cc = { b; scope = []; ret = Ret_halt } in
+  (* declarations, with INITIALLY bodies run in declaration order *)
+  List.iter
+    (fun (dec : Ast.decl) ->
+      match dec with
+      | Ast.Dscalar (n, _) ->
+          Hashtbl.replace env.globals (canon n) (Scalar (fresh_vreg env n))
+      | Ast.Darray (n, len, loc) ->
+          Hashtbl.replace env.globals (canon n) (alloc_array env loc n len)
+      | Ast.Dobject (n, ty_name, loc) ->
+          let scope = declare_object env loc n ty_name in
+          let ty = Hashtbl.find env.types (canon ty_name) in
+          hw_stack_init env cc scope ty;
+          let cc' = { cc with scope } in
+          List.iter (compile_stmt env cc') ty.Ast.ty_init)
+    p.Ast.decls;
+  List.iter (compile_stmt env cc) p.Ast.body;
+  Build.finish b Mir.Halt;
+  let procs =
+    List.map
+      (fun (pc : Ast.procedure) ->
+        let name = "ep$" ^ canon pc.Ast.pc_name in
+        let pb = Build.make ~prefix:name ~entry:(name ^ "$entry") () in
+        let pcc = { b = pb; scope = []; ret = Ret_proc } in
+        List.iter (compile_stmt env pcc) pc.Ast.pc_body;
+        Build.finish pb Mir.Ret;
+        { Mir.p_name = name; p_blocks = Build.blocks pb })
+      p.Ast.procs
+  in
+  {
+    Mir.main = Build.blocks b;
+    procs;
+    vreg_names = env.vreg_names;
+    next_vreg = env.next_vreg;
+  }
+
+let parse_compile ?file ?use_microops d src =
+  compile ?use_microops d (Parser.parse ?file src)

@@ -1,0 +1,22 @@
+(** EMPL → MIR (survey §2.2.2).
+
+    Scalars become virtual registers for the allocator; arrays live in a
+    static data region of main memory.  Operator invocations either emit
+    the machine microoperation named by their [MICROOP] hint (when the
+    target has it) or are inlined statement-by-statement with textual
+    parameter substitution — exactly the implementation scheme the survey
+    describes and criticises. *)
+
+val compile :
+  ?use_microops:bool -> Msl_machine.Desc.t -> Ast.program -> Msl_mir.Mir.program
+(** [use_microops] (default true) honours MICROOP hints; pass [false] to
+    force inlining (the T2/A1 ablation).
+    @raise Msl_util.Diag.Error on undeclared names, arity mismatches,
+    recursive operators (inline depth 16), or data-region overflow. *)
+
+val parse_compile :
+  ?file:string ->
+  ?use_microops:bool ->
+  Msl_machine.Desc.t ->
+  string ->
+  Msl_mir.Mir.program

@@ -1,0 +1,135 @@
+(* Tokeniser for EMPL.  PL/I flavour: case-insensitive keywords,
+   slash-star comments, '^=' for not-equal. *)
+
+module Diag = Msl_util.Diag
+module Loc = Msl_util.Loc
+module Scanner = Msl_util.Scanner
+
+type token =
+  | Ident of string  (* original spelling *)
+  | Number of int64
+  | Kw of string  (* keyword, lowercased *)
+  | Lparen
+  | Rparen
+  | Comma
+  | Semi
+  | Colon
+  | Dot
+  | Eq  (* '=': assignment or equality, by context *)
+  | Ne  (* '^=' or '<>' *)
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Amp
+  | Bar
+  | Eof
+
+let keywords =
+  [ "declare"; "fixed"; "type"; "endtype"; "initially"; "do"; "end"; "while";
+    "operation"; "accepts"; "returns"; "microop"; "if"; "then"; "else";
+    "goto"; "call"; "return"; "error"; "procedure"; "xor"; "nand"; "nor";
+    "nxor"; "mod"; "not"; "neg"; "shl"; "shr"; "sar"; "rol"; "ror" ]
+
+type t = { sc : Scanner.t; mutable tok : token; mutable tok_loc : Loc.t }
+
+let err lx fmt = Diag.error ~loc:(Scanner.here lx.sc) Diag.Lexing fmt
+
+let rec skip_trivia lx =
+  let sc = lx.sc in
+  Scanner.skip_spaces sc;
+  if Scanner.peek sc = Some '/' && Scanner.peek2 sc = Some '*' then begin
+    Scanner.advance sc;
+    Scanner.advance sc;
+    let rec loop () =
+      match Scanner.next sc with
+      | None -> err lx "unterminated comment"
+      | Some '*' when Scanner.peek sc = Some '/' -> Scanner.advance sc
+      | Some _ -> loop ()
+    in
+    loop ();
+    skip_trivia lx
+  end
+
+let scan lx =
+  let sc = lx.sc in
+  skip_trivia lx;
+  let start = Scanner.pos sc in
+  let fin tok =
+    lx.tok <- tok;
+    lx.tok_loc <- Scanner.loc_from sc start
+  in
+  match Scanner.peek sc with
+  | None -> fin Eof
+  | Some c when Scanner.is_ident_start c ->
+      let word = Scanner.ident sc in
+      let lower = String.lowercase_ascii word in
+      if List.mem lower keywords then fin (Kw lower) else fin (Ident word)
+  | Some c when Scanner.is_digit c ->
+      let s = Scanner.take_while sc Scanner.is_alnum in
+      let v =
+        try Int64.of_string s with Failure _ -> err lx "malformed number %S" s
+      in
+      fin (Number v)
+  | Some '(' -> Scanner.advance sc; fin Lparen
+  | Some ')' -> Scanner.advance sc; fin Rparen
+  | Some ',' -> Scanner.advance sc; fin Comma
+  | Some ';' -> Scanner.advance sc; fin Semi
+  | Some ':' -> Scanner.advance sc; fin Colon
+  | Some '.' -> Scanner.advance sc; fin Dot
+  | Some '=' -> Scanner.advance sc; fin Eq
+  | Some '^' ->
+      Scanner.advance sc;
+      if Scanner.eat sc '=' then fin Ne else err lx "expected '^='"
+  | Some '<' ->
+      Scanner.advance sc;
+      if Scanner.eat sc '>' then fin Ne
+      else if Scanner.eat sc '=' then fin Le
+      else fin Lt
+  | Some '>' ->
+      Scanner.advance sc;
+      if Scanner.eat sc '=' then fin Ge else fin Gt
+  | Some '+' -> Scanner.advance sc; fin Plus
+  | Some '-' -> Scanner.advance sc; fin Minus
+  | Some '*' -> Scanner.advance sc; fin Star
+  | Some '/' -> Scanner.advance sc; fin Slash
+  | Some '&' -> Scanner.advance sc; fin Amp
+  | Some '|' -> Scanner.advance sc; fin Bar
+  | Some c -> err lx "unexpected character '%c'" c
+
+let make ?(file = "<empl>") src =
+  let lx = { sc = Scanner.make ~file src; tok = Eof; tok_loc = Loc.dummy } in
+  scan lx;
+  lx
+
+let token lx = lx.tok
+let loc lx = lx.tok_loc
+let advance lx = scan lx
+
+let token_name = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Number n -> Printf.sprintf "number %Ld" n
+  | Kw k -> Printf.sprintf "keyword %S" (String.uppercase_ascii k)
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Comma -> "','"
+  | Semi -> "';'"
+  | Colon -> "':'"
+  | Dot -> "'.'"
+  | Eq -> "'='"
+  | Ne -> "'^='"
+  | Lt -> "'<'"
+  | Le -> "'<='"
+  | Gt -> "'>'"
+  | Ge -> "'>='"
+  | Plus -> "'+'"
+  | Minus -> "'-'"
+  | Star -> "'*'"
+  | Slash -> "'/'"
+  | Amp -> "'&'"
+  | Bar -> "'|'"
+  | Eof -> "end of input"

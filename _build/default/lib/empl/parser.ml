@@ -1,0 +1,429 @@
+(* Recursive-descent parser for EMPL.
+
+   Every simple statement consumes its own terminating ';'; DO groups end
+   with END (trailing ';' optional, matching the survey's example, which
+   writes both `END;` and bare `END`).
+
+   A single-argument undotted call form `NAME(x)` is ambiguous between an
+   array element and an operator invocation; the parser records it as an
+   array reference and Compile reinterprets it once declarations are
+   known. *)
+
+module Diag = Msl_util.Diag
+
+type t = { lx : Lexer.t }
+
+let err p fmt = Diag.error ~loc:(Lexer.loc p.lx) Diag.Parsing fmt
+
+let peek p = Lexer.token p.lx
+let loc p = Lexer.loc p.lx
+let advance p = Lexer.advance p.lx
+
+let expect p tok =
+  if peek p = tok then advance p
+  else
+    err p "expected %s, found %s" (Lexer.token_name tok)
+      (Lexer.token_name (peek p))
+
+let eat p tok =
+  if peek p = tok then begin
+    advance p;
+    true
+  end
+  else false
+
+let semi p = expect p Lexer.Semi
+
+(* END with optional ';' *)
+let end_kw p =
+  expect p (Lexer.Kw "end");
+  ignore (eat p Lexer.Semi)
+
+let ident p =
+  match peek p with
+  | Lexer.Ident s ->
+      advance p;
+      s
+  | t -> err p "expected identifier, found %s" (Lexer.token_name t)
+
+let number p =
+  let neg = eat p Lexer.Minus in
+  match peek p with
+  | Lexer.Number n ->
+      advance p;
+      if neg then Int64.neg n else n
+  | t -> err p "expected number, found %s" (Lexer.token_name t)
+
+(* -- atoms and expressions -------------------------------------------------- *)
+
+let rec atom p : Ast.atom =
+  match peek p with
+  | Lexer.Number _ | Lexer.Minus -> Ast.Num (number p)
+  | Lexer.Ident _ ->
+      let name = ident p in
+      if eat p Lexer.Lparen then begin
+        let a = atom p in
+        expect p Lexer.Rparen;
+        Ast.Ref (Ast.Index (name, a))
+      end
+      else Ast.Ref (Ast.Name name)
+  | t -> err p "expected operand, found %s" (Lexer.token_name t)
+
+let arg_list p =
+  expect p Lexer.Lparen;
+  if eat p Lexer.Rparen then []
+  else begin
+    let rec more acc =
+      if eat p Lexer.Comma then more (atom p :: acc) else List.rev acc
+    in
+    let args = more [ atom p ] in
+    expect p Lexer.Rparen;
+    args
+  end
+
+let binop_of_token = function
+  | Lexer.Plus -> Some Ast.Add
+  | Lexer.Minus -> Some Ast.Sub
+  | Lexer.Star -> Some Ast.Mul
+  | Lexer.Slash -> Some Ast.Div
+  | Lexer.Kw "mod" -> Some Ast.Rem
+  | Lexer.Amp -> Some Ast.And
+  | Lexer.Bar -> Some Ast.Or
+  | Lexer.Kw "xor" -> Some Ast.Xor
+  | Lexer.Kw "nand" -> Some Ast.Nand
+  | Lexer.Kw "nor" -> Some Ast.Nor
+  | Lexer.Kw "nxor" -> Some Ast.Nxor
+  | _ -> None
+
+let shift_of_kw = function
+  | "shl" -> Some Ast.Shl
+  | "shr" -> Some Ast.Shr
+  | "sar" -> Some Ast.Sar
+  | "rol" -> Some Ast.Rol
+  | "ror" -> Some Ast.Ror
+  | _ -> None
+
+(* expr := NOT(a) | NEG(a) | SHL(a, n) | ...
+         | [obj '.'] NAME '(' args ')'            (operator call)
+         | atom [ binop atom ] *)
+let rec expr p : Ast.expr =
+  match peek p with
+  | Lexer.Kw "not" ->
+      advance p;
+      expect p Lexer.Lparen;
+      let a = atom p in
+      expect p Lexer.Rparen;
+      Ast.Un (Ast.Bnot, a)
+  | Lexer.Kw "neg" ->
+      advance p;
+      expect p Lexer.Lparen;
+      let a = atom p in
+      expect p Lexer.Rparen;
+      Ast.Un (Ast.Bneg, a)
+  | Lexer.Kw k when shift_of_kw k <> None ->
+      advance p;
+      let op = Option.get (shift_of_kw k) in
+      expect p Lexer.Lparen;
+      let a = atom p in
+      expect p Lexer.Comma;
+      let n = Int64.to_int (number p) in
+      expect p Lexer.Rparen;
+      Ast.Shift (op, a, n)
+  | Lexer.Ident _ -> ident_expr p
+  | _ -> atom_tail p (atom p)
+
+and ident_expr p =
+  let name = ident p in
+  if eat p Lexer.Dot then begin
+    let op = ident p in
+    Ast.Opcall (Some name, op, arg_list p)
+  end
+  else if peek p = Lexer.Lparen then begin
+    let args = arg_list p in
+    match args with
+    | [ a ] -> atom_tail p (Ast.Ref (Ast.Index (name, a)))
+    | args -> Ast.Opcall (None, name, args)
+  end
+  else atom_tail p (Ast.Ref (Ast.Name name))
+
+and atom_tail p a =
+  match binop_of_token (peek p) with
+  | Some op ->
+      advance p;
+      Ast.Bin (op, a, atom p)
+  | None -> Ast.Atom a
+
+let relop p =
+  match peek p with
+  | Lexer.Eq -> advance p; Ast.Req
+  | Lexer.Ne -> advance p; Ast.Rne
+  | Lexer.Lt -> advance p; Ast.Rlt
+  | Lexer.Le -> advance p; Ast.Rle
+  | Lexer.Gt -> advance p; Ast.Rgt
+  | Lexer.Ge -> advance p; Ast.Rge
+  | t -> err p "expected relational operator, found %s" (Lexer.token_name t)
+
+let cond p : Ast.cond =
+  let parens = eat p Lexer.Lparen in
+  let a = atom p in
+  let op = relop p in
+  let b = atom p in
+  if parens then expect p Lexer.Rparen;
+  (op, a, b)
+
+(* -- statements --------------------------------------------------------------- *)
+
+let rec stmt p : Ast.stmt =
+  let l = loc p in
+  match peek p with
+  | Lexer.Kw "do" ->
+      advance p;
+      if eat p (Lexer.Kw "while") then begin
+        let c = cond p in
+        semi p;
+        let body = stmts_until_end p in
+        Ast.While (c, body)
+      end
+      else begin
+        semi p;
+        Ast.Group (stmts_until_end p)
+      end
+  | Lexer.Kw "if" ->
+      advance p;
+      let c = cond p in
+      expect p (Lexer.Kw "then");
+      let s1 = stmt p in
+      if eat p (Lexer.Kw "else") then Ast.If (c, s1, Some (stmt p))
+      else Ast.If (c, s1, None)
+  | Lexer.Kw "goto" ->
+      advance p;
+      let target = ident p in
+      semi p;
+      Ast.Goto (target, l)
+  | Lexer.Kw "call" ->
+      advance p;
+      let name = ident p in
+      semi p;
+      Ast.Call (name, l)
+  | Lexer.Kw "return" ->
+      advance p;
+      semi p;
+      Ast.Return l
+  | Lexer.Kw "error" ->
+      advance p;
+      semi p;
+      Ast.Error_stmt l
+  | Lexer.Ident _ ->
+      let name = ident p in
+      ident_stmt p l name
+  | t -> err p "expected a statement, found %s" (Lexer.token_name t)
+
+(* Statement forms that begin with an (already consumed) identifier. *)
+and ident_stmt p l name =
+  match peek p with
+  | Lexer.Colon ->
+      advance p;
+      Ast.Labelled (name, stmt p)
+  | Lexer.Dot ->
+      advance p;
+      let op = ident p in
+      let args = arg_list p in
+      (* obj.OP(args) as a statement, or obj.FIELD = expr — fields are only
+         accessible inside operators, where dotting is not used, so the
+         statement form is always an operator invocation *)
+      semi p;
+      Ast.Do_op (Some name, op, args, l)
+  | Lexer.Lparen -> (
+      let args = arg_list p in
+      match peek p with
+      | Lexer.Eq ->
+          advance p;
+          let idx =
+            match args with
+            | [ a ] -> a
+            | _ -> err p "array element needs exactly one subscript"
+          in
+          let e = expr p in
+          semi p;
+          Ast.Assign (Ast.Index (name, idx), e, l)
+      | Lexer.Semi ->
+          advance p;
+          Ast.Do_op (None, name, args, l)
+      | t -> err p "expected '=' or ';', found %s" (Lexer.token_name t))
+  | Lexer.Eq ->
+      advance p;
+      let e = expr p in
+      semi p;
+      Ast.Assign (Ast.Name name, e, l)
+  | t -> err p "expected statement, found %s" (Lexer.token_name t)
+
+and stmts_until_end p =
+  let rec more acc =
+    if peek p = Lexer.Kw "end" then begin
+      end_kw p;
+      List.rev acc
+    end
+    else more (stmt p :: acc)
+  in
+  more []
+
+(* -- declarations ---------------------------------------------------------------- *)
+
+(* DECLARE NAME FIXED; | DECLARE NAME(n) FIXED; | DECLARE NAME TYPENAME; *)
+let declare p l : Ast.decl =
+  let name = ident p in
+  if eat p Lexer.Lparen then begin
+    let n = Int64.to_int (number p) in
+    expect p Lexer.Rparen;
+    expect p (Lexer.Kw "fixed");
+    semi p;
+    Ast.Darray (name, n, l)
+  end
+  else
+    match peek p with
+    | Lexer.Kw "fixed" ->
+        advance p;
+        semi p;
+        Ast.Dscalar (name, l)
+    | Lexer.Ident ty ->
+        advance p;
+        semi p;
+        Ast.Dobject (name, ty, l)
+    | t -> err p "expected FIXED or a type name, found %s" (Lexer.token_name t)
+
+(* NAME: OPERATION [ACCEPTS (ids)] [RETURNS (id)] [MICROOP: NAME n n;]
+   stmts END[;] *)
+let operation p op_name : Ast.operation =
+  expect p (Lexer.Kw "operation");
+  let accepts =
+    if eat p (Lexer.Kw "accepts") then begin
+      expect p Lexer.Lparen;
+      let rec more acc =
+        if eat p Lexer.Comma then more (ident p :: acc) else List.rev acc
+      in
+      let ids = more [ ident p ] in
+      expect p Lexer.Rparen;
+      ids
+    end
+    else []
+  in
+  let returns =
+    if eat p (Lexer.Kw "returns") then begin
+      expect p Lexer.Lparen;
+      let id = ident p in
+      expect p Lexer.Rparen;
+      Some id
+    end
+    else None
+  in
+  let microop =
+    if eat p (Lexer.Kw "microop") then begin
+      expect p Lexer.Colon;
+      let name = ident p in
+      (* the two control-word model numbers of DeWitt's notation *)
+      let _ = number p in
+      let _ = number p in
+      semi p;
+      Some (String.lowercase_ascii name)
+    end
+    else None
+  in
+  let op_body = stmts_until_end p in
+  { Ast.op_name; accepts; returns; microop; op_body }
+
+(* TYPE NAME ... ENDTYPE; *)
+let type_decl p : Ast.type_decl =
+  let ty_name = ident p in
+  let fields = ref [] and init = ref [] and ops = ref [] in
+  let rec items () =
+    match peek p with
+    | Lexer.Kw "endtype" ->
+        advance p;
+        ignore (eat p Lexer.Semi)
+    | Lexer.Kw "declare" ->
+        advance p;
+        (match declare p (loc p) with
+        | Ast.Dscalar (n, _) -> fields := (n, None) :: !fields
+        | Ast.Darray (n, len, _) -> fields := (n, Some len) :: !fields
+        | Ast.Dobject _ -> err p "nested objects are not supported");
+        items ()
+    | Lexer.Kw "initially" ->
+        advance p;
+        (match stmt p with
+        | Ast.Group stmts -> init := !init @ stmts
+        | s -> init := !init @ [ s ]);
+        items ()
+    | Lexer.Ident _ ->
+        let name = ident p in
+        expect p Lexer.Colon;
+        ops := operation p name :: !ops;
+        ignore (eat p Lexer.Semi);
+        items ()
+    | t -> err p "unexpected %s in type declaration" (Lexer.token_name t)
+  in
+  items ();
+  {
+    Ast.ty_name;
+    ty_fields = List.rev !fields;
+    ty_init = List.rev !init;
+    ty_ops = List.rev !ops;
+  }
+
+let program p : Ast.program =
+  let types = ref [] and decls = ref [] and procs = ref [] in
+  let global_ops = ref [] and body = ref [] in
+  let proc_body p =
+    let rec more acc =
+      if peek p = Lexer.Kw "end" then begin
+        end_kw p;
+        List.rev acc
+      end
+      else more (stmt p :: acc)
+    in
+    more []
+  in
+  let rec items () =
+    match peek p with
+    | Lexer.Eof -> ()
+    | Lexer.Kw "type" ->
+        advance p;
+        types := type_decl p :: !types;
+        items ()
+    | Lexer.Kw "declare" ->
+        advance p;
+        decls := declare p (loc p) :: !decls;
+        items ()
+    | Lexer.Ident _ ->
+        (* IDENT ':' PROCEDURE / IDENT ':' OPERATION are declarations;
+           anything else starting with an identifier is a statement *)
+        let l = loc p in
+        let name = ident p in
+        if eat p Lexer.Colon then begin
+          match peek p with
+          | Lexer.Kw "procedure" ->
+              advance p;
+              semi p;
+              procs := { Ast.pc_name = name; pc_body = proc_body p } :: !procs
+          | Lexer.Kw "operation" ->
+              global_ops := operation p name :: !global_ops;
+              ignore (eat p Lexer.Semi)
+          | _ -> body := Ast.Labelled (name, stmt p) :: !body
+        end
+        else body := ident_stmt p l name :: !body;
+        items ()
+    | _ ->
+        body := stmt p :: !body;
+        items ()
+  in
+  items ();
+  {
+    Ast.types = List.rev !types;
+    decls = List.rev !decls;
+    global_ops = List.rev !global_ops;
+    procs = List.rev !procs;
+    body = List.rev !body;
+  }
+
+let parse ?(file = "<empl>") src =
+  let p = { lx = Lexer.make ~file src } in
+  program p

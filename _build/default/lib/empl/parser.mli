@@ -1,0 +1,5 @@
+(** Recursive-descent parser for EMPL (PL/I flavour: case-insensitive
+    keywords, slash-star comments, every simple statement ends in ';'). *)
+
+val parse : ?file:string -> string -> Ast.program
+(** @raise Msl_util.Diag.Error on lexical or syntax errors. *)

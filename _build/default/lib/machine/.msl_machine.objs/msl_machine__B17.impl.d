@@ -1,0 +1,1 @@
+lib/machine/b17.ml: Desc List Msl_bitvec Printf Rtl Tmpl

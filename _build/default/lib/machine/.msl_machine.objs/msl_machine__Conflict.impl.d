@@ -1,0 +1,1 @@
+lib/machine/conflict.ml: Desc Fmt Inst List Rtl

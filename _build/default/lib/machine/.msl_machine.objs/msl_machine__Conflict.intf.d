@@ -1,0 +1,1 @@
+lib/machine/conflict.mli: Desc Format Inst Rtl

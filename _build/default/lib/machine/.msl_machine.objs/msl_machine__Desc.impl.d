@@ -1,0 +1,1 @@
+lib/machine/desc.ml: Array Fmt Format Hashtbl List Printf Rtl String

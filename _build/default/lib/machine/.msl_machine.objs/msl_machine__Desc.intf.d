@@ -1,0 +1,1 @@
+lib/machine/desc.mli: Format Hashtbl Rtl

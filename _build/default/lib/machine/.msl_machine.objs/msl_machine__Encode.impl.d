@@ -1,0 +1,1 @@
+lib/machine/encode.ml: Array Bitvec Desc Inst Int64 List Msl_bitvec Msl_util Option Rtl Sim String

@@ -1,0 +1,1 @@
+lib/machine/h1.ml: Desc List Msl_bitvec Printf Rtl Tmpl

@@ -1,0 +1,1 @@
+lib/machine/hp3.ml: Desc List Printf Rtl Tmpl

@@ -1,0 +1,1 @@
+lib/machine/inst.ml: Array Bitvec Desc Fmt Int64 List Msl_bitvec Printf Rtl

@@ -1,0 +1,1 @@
+lib/machine/inst.mli: Desc Format Msl_bitvec Rtl

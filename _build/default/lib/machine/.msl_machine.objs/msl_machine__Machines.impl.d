@@ -1,0 +1,1 @@
+lib/machine/machines.ml: B17 Desc H1 Hp3 List Printf String V11

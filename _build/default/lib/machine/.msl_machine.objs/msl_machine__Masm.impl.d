@@ -1,0 +1,1 @@
+lib/machine/masm.ml: Array Bitvec Buffer Conflict Desc Fmt Hashtbl Inst List Msl_bitvec Msl_util Rtl String

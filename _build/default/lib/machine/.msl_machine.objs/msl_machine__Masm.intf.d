@@ -1,0 +1,1 @@
+lib/machine/masm.mli: Desc Hashtbl Inst

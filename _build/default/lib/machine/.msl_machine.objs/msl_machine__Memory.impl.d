@@ -1,0 +1,1 @@
+lib/machine/memory.ml: Array Bitvec List Msl_bitvec Msl_util Printf

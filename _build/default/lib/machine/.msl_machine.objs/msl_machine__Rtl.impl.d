@@ -1,0 +1,1 @@
+lib/machine/rtl.ml: Bitvec Int64 Msl_bitvec

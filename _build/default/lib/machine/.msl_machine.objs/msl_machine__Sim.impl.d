@@ -1,0 +1,1 @@
+lib/machine/sim.ml: Array Bitvec Desc Fmt Inst List Memory Msl_bitvec Msl_util Rtl

@@ -1,0 +1,1 @@
+lib/machine/sim.mli: Desc Inst Memory Msl_bitvec Rtl

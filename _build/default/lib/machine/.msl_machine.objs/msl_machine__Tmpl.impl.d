@@ -1,0 +1,1 @@
+lib/machine/tmpl.ml: Desc Msl_bitvec Rtl

@@ -1,0 +1,1 @@
+lib/machine/v11.ml: Desc List Msl_bitvec Printf Rtl Tmpl

@@ -1,0 +1,155 @@
+(* B17: a vertical machine.
+
+   Stands in for the Burroughs B1700/1800 series, the survey's example of
+   real hardware support for user microprogramming with a *vertical*
+   architecture (§1).  One microoperation per microinstruction: the control
+   word is narrow (a single op group shared by everything), so programs are
+   compact per-word but take more cycles — the encoding trade-off of
+   [Dasgupta 79] that experiment T7 measures.
+
+   The register set is large and homogeneous and the operation repertoire
+   is rich: vertical machines trade speed for exactly this flexibility. *)
+
+open Desc
+open Tmpl
+
+let fields =
+  [
+    { f_name = "seq"; f_lo = 0; f_width = 3 };
+    { f_name = "cond"; f_lo = 3; f_width = 4 };
+    { f_name = "addr"; f_lo = 7; f_width = 11 };
+    { f_name = "breg"; f_lo = 18; f_width = 5 };
+    { f_name = "op"; f_lo = 23; f_width = 5 };
+    { f_name = "d"; f_lo = 28; f_width = 5 };
+    { f_name = "a"; f_lo = 33; f_width = 5 };
+    { f_name = "b"; f_lo = 38; f_width = 5 };
+    { f_name = "imm"; f_lo = 43; f_width = 16 };
+  ]
+
+(* R26/R27 are the reserved assembler temporaries; SP backs the hardware
+   stack microoperations (push/pop), the survey's §2.1.2 example of a
+   machine primitive more powerful than a language primitive. *)
+let regs =
+  List.init 26 (fun i ->
+      mkreg ~classes:[ "gpr"; "alloc" ] ~macro:(i < 8) i
+        (Printf.sprintf "R%d" i) 16)
+  @ [
+      mkreg ~classes:[ "gpr"; "at2" ] 26 "R26" 16;
+      mkreg ~classes:[ "gpr"; "at" ] 27 "R27" 16;
+      mkreg ~classes:[ "gpr"; "sp" ] 28 "SP" 16;
+      mkreg ~classes:[ "gpr"; "acc"; "alloc" ] 29 "ACC" 16;
+      mkreg ~classes:[ "gpr"; "addr" ] 30 "MAR" 16;
+      mkreg ~classes:[ "gpr"; "mbr" ] 31 "MBR" 16;
+    ]
+
+(* Every template funnels through the single "exec" unit and the shared op
+   group, which is what makes the machine vertical. *)
+let opf code = [ fs "op" code; fso "d" 0; fso "a" 1; fso "b" 2 ]
+let opf2 code = [ fs "op" code; fso "d" 0; fso "a" 1 ]
+
+let alu3v code name op = alu3 ~phase:0 ~unit_:"exec" ~fields:(opf code) name op
+
+let templates =
+  [
+    mov ~phase:0 ~unit_:"exec" ~fields:(opf2 1) "mov";
+    ldc ~width:16 ~phase:0 ~unit_:"exec"
+      ~fields:[ fs "op" 2; fso "d" 0; fso "imm" 1 ]
+      "ldc";
+    alu3v 3 "add" Rtl.A_add;
+    { (alu3v 4 "adc" Rtl.A_adc) with
+      Desc.t_actions = [ Rtl.Arith (Rtl.D_opnd 0, Rtl.A_adc, Rtl.Opnd 1, Rtl.Opnd 2) ];
+    };
+    alu3 ~set_flags:true ~phase:0 ~unit_:"exec" ~fields:(opf 29) "addf"
+      Rtl.A_add;
+    alu3 ~set_flags:true ~phase:0 ~unit_:"exec" ~fields:(opf 30) "subf"
+      Rtl.A_sub;
+    alu3v 5 "sub" Rtl.A_sub;
+    alu3v 6 "and" Rtl.A_and;
+    alu3v 7 "or" Rtl.A_or;
+    alu3v 8 "xor" Rtl.A_xor;
+    alu3 ~extra:4 ~phase:0 ~unit_:"exec" ~fields:(opf 9) "mul" Rtl.A_mul;
+    not_ ~phase:0 ~unit_:"exec" ~fields:(opf2 10) "not";
+    neg ~phase:0 ~unit_:"exec" ~fields:(opf2 11) "neg";
+    shift_imm ~amt_width:4 ~phase:0 ~unit_:"exec"
+      ~fields:[ fs "op" 12; fso "d" 0; fso "a" 1; fso "imm" 2 ]
+      "shl" Rtl.A_shl;
+    shift_imm ~amt_width:4 ~phase:0 ~unit_:"exec"
+      ~fields:[ fs "op" 13; fso "d" 0; fso "a" 1; fso "imm" 2 ]
+      "shr" Rtl.A_shr;
+    shift_imm ~amt_width:4 ~phase:0 ~unit_:"exec"
+      ~fields:[ fs "op" 14; fso "d" 0; fso "a" 1; fso "imm" 2 ]
+      "sra" Rtl.A_sra;
+    shift_imm ~amt_width:4 ~phase:0 ~unit_:"exec"
+      ~fields:[ fs "op" 15; fso "d" 0; fso "a" 1; fso "imm" 2 ]
+      "rol" Rtl.A_rol;
+    shift_imm ~amt_width:4 ~phase:0 ~unit_:"exec"
+      ~fields:[ fs "op" 16; fso "d" 0; fso "a" 1; fso "imm" 2 ]
+      "ror" Rtl.A_ror;
+    shift_imm ~set_flags:true ~amt_width:4 ~phase:0 ~unit_:"exec"
+      ~fields:[ fs "op" 25; fso "d" 0; fso "a" 1; fso "imm" 2 ]
+      "shlf" Rtl.A_shl;
+    shift_imm ~set_flags:true ~amt_width:4 ~phase:0 ~unit_:"exec"
+      ~fields:[ fs "op" 26; fso "d" 0; fso "a" 1; fso "imm" 2 ]
+      "shrf" Rtl.A_shr;
+    inc ~phase:0 ~unit_:"exec" ~fields:(opf2 17) "inc";
+    dec ~phase:0 ~unit_:"exec" ~fields:(opf2 18) "dec";
+    test ~phase:0 ~unit_:"exec" ~fields:[ fs "op" 19; fso "a" 0 ] "test";
+    rd ~mar:"MAR" ~mbr:"MBR" ~phase:0 ~unit_:"exec" ~fields:[ fs "op" 20 ]
+      ~extra:2 "rd";
+    wr ~mar:"MAR" ~mbr:"MBR" ~phase:0 ~unit_:"exec" ~fields:[ fs "op" 21 ]
+      ~extra:2 "wr";
+    rdr ~phase:0 ~unit_:"exec"
+      ~fields:[ fs "op" 22; fso "d" 0; fso "a" 1 ]
+      ~extra:2 "rdr";
+    wrr ~phase:0 ~unit_:"exec"
+      ~fields:[ fs "op" 23; fso "a" 0; fso "b" 1 ]
+      ~extra:2 "wrr";
+    nop "nop";
+    intack ~phase:0 ~fields:[ fs "op" 24 ] "intack";
+    (* hardware stack: push src / pop dst through the SP register *)
+    {
+      t_name = "push";
+      t_sem = S_special "push";
+      t_operands = [| opread ~name:"src" "gpr" |];
+      t_result = R_none;
+      t_phase = 0;
+      t_units = [ "exec" ];
+      t_fields = [ fs "op" 27; fso "a" 0 ];
+      t_actions =
+        [
+          Rtl.Mem_write (Rtl.Reg "SP", Rtl.Opnd 0);
+          Rtl.Assign
+            ( Rtl.D_reg "SP",
+              Rtl.Add (Rtl.Reg "SP", Rtl.Const (Msl_bitvec.Bitvec.of_int ~width:16 1)) );
+        ];
+      t_extra_cycles = 2;
+    };
+    {
+      t_name = "pop";
+      t_sem = S_special "pop";
+      t_operands = [| opwrite ~name:"dst" "gpr" |];
+      t_result = R_operands;
+      t_phase = 0;
+      t_units = [ "exec" ];
+      t_fields = [ fs "op" 28; fso "d" 0 ];
+      t_actions =
+        [
+          Rtl.Mem_read
+            ( Rtl.D_opnd 0,
+              Rtl.Sub (Rtl.Reg "SP", Rtl.Const (Msl_bitvec.Bitvec.of_int ~width:16 1)) );
+          Rtl.Assign
+            ( Rtl.D_reg "SP",
+              Rtl.Sub (Rtl.Reg "SP", Rtl.Const (Msl_bitvec.Bitvec.of_int ~width:16 1)) );
+        ];
+      t_extra_cycles = 2;
+    };
+  ]
+
+let desc =
+  make ~name:"B17" ~word:16 ~addr:11 ~phases:1 ~regs ~units:[ "exec" ]
+    ~fields ~templates
+    ~cond_caps:[ Cap_flag; Cap_reg_zero; Cap_int ]
+    ~mem_extra_cycles:2 ~store_words:2048 ~vertical:true ~scratch_base:1792
+    ~note:
+      "Vertical machine standing in for the Burroughs B1700/1800 series."
+    ()

@@ -1,0 +1,55 @@
+(** Binary encoding of microinstructions into control words.
+
+    Descriptions reserve sequencing fields by convention — ["seq"],
+    ["cond"], ["addr"], ["breg"], plus optional ["mask"] and ["dspec"] —
+    and each template contributes its own field settings.  Encoding fails
+    on a field clash, making the encoder an independent check of the
+    conflict model.  Control words may exceed 64 bits, so a word is a
+    [bool array] with bit 0 the LSB. *)
+
+type word = bool array
+
+val word_bits : Desc.t -> int
+(** Width of the machine's control word. *)
+
+val field : Desc.t -> string -> Desc.field
+(** @raise Msl_util.Diag.Error when the field does not exist. *)
+
+(** Sequencer opcode values placed in the ["seq"] field. *)
+
+val seq_next : int
+val seq_jump : int
+val seq_branch : int
+val seq_dispatch : int
+val seq_call : int
+val seq_return : int
+val seq_halt : int
+
+val cond_code : Desc.cond -> int
+
+val encode_inst : Desc.t -> Inst.t -> word
+(** @raise Msl_util.Diag.Error on a field clash or an over-wide value. *)
+
+val encode_program : Desc.t -> Inst.t list -> word list
+
+val program_bits : Desc.t -> Inst.t list -> int
+(** Control-store bits the program occupies (experiment T7). *)
+
+val decode_fields : Desc.t -> word -> (string * int) list
+
+val word_to_hex : word -> string
+
+val word_to_bitvec : word -> Msl_bitvec.Bitvec.t
+(** @raise Invalid_argument beyond 64 bits. *)
+
+(** {1 Disassembly} *)
+
+val decode_ops : Desc.t -> word -> Inst.op list
+(** Recover the operations of a control word from the machine description
+    (the most-specific matching template per field group).  Templates
+    without constant fields (nop) decode as no operation. *)
+
+val decode_next : Desc.t -> word -> Inst.next
+(** @raise Msl_util.Diag.Error on malformed sequencer/condition codes. *)
+
+val decode_inst : Desc.t -> word -> Inst.t

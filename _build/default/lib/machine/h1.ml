@@ -1,0 +1,202 @@
+(* H1 "Horizon-1": the toolkit's principal horizontal target.
+
+   Stands in for the Tucker–Flynn dynamic microprocessor that SIMPL
+   compiled to (survey §2.2.1).  A 64-bit datapath so the survey's 64-bit
+   floating-point multiply example runs natively; three phases per
+   microcycle (bus transfer / compute / memory), so one microinstruction
+   can chain a transfer into an ALU operation — the structure that S*'s
+   [cocycle] exposes to the programmer.
+
+   Registers: R0..R15 general purpose (R0..R7 are also macroarchitecture
+   registers), ACC, MAR, MBR.  Units: abus (transfers), alu, sh (shifter),
+   ctr (independent increment/decrement/test counter), mem. *)
+
+open Desc
+open Tmpl
+
+let fields =
+  [
+    (* sequencing *)
+    { f_name = "seq"; f_lo = 0; f_width = 3 };
+    { f_name = "cond"; f_lo = 3; f_width = 4 };
+    { f_name = "addr"; f_lo = 7; f_width = 12 };
+    { f_name = "breg"; f_lo = 19; f_width = 5 };
+    { f_name = "dspec"; f_lo = 24; f_width = 12 };
+    (* abus transfer *)
+    { f_name = "ab_d"; f_lo = 36; f_width = 5 };
+    { f_name = "ab_s"; f_lo = 41; f_width = 5 };
+    { f_name = "ab_en"; f_lo = 46; f_width = 2 };
+    (* alu *)
+    { f_name = "alu_op"; f_lo = 48; f_width = 4 };
+    { f_name = "alu_a"; f_lo = 52; f_width = 5 };
+    { f_name = "alu_b"; f_lo = 57; f_width = 5 };
+    { f_name = "alu_d"; f_lo = 62; f_width = 5 };
+    (* shifter *)
+    { f_name = "sh_op"; f_lo = 67; f_width = 3 };
+    { f_name = "sh_s"; f_lo = 70; f_width = 5 };
+    { f_name = "sh_amt"; f_lo = 75; f_width = 6 };
+    { f_name = "sh_d"; f_lo = 81; f_width = 5 };
+    (* counter unit *)
+    { f_name = "ctr_op"; f_lo = 86; f_width = 2 };
+    { f_name = "ctr_s"; f_lo = 88; f_width = 5 };
+    { f_name = "ctr_d"; f_lo = 93; f_width = 5 };
+    (* memory *)
+    { f_name = "mem"; f_lo = 98; f_width = 3 };
+    { f_name = "mem_a"; f_lo = 101; f_width = 5 };
+    { f_name = "mem_d"; f_lo = 106; f_width = 5 };
+    (* immediate *)
+    { f_name = "imm"; f_lo = 111; f_width = 32 };
+    (* writeback bus (phase 2 transfers) *)
+    { f_name = "wb_d"; f_lo = 143; f_width = 5 };
+    { f_name = "wb_s"; f_lo = 148; f_width = 5 };
+    { f_name = "wb_en"; f_lo = 153; f_width = 1 };
+    (* second operand bus (phase 0 transfers) *)
+    { f_name = "bb_d"; f_lo = 154; f_width = 5 };
+    { f_name = "bb_s"; f_lo = 159; f_width = 5 };
+    { f_name = "bb_en"; f_lo = 164; f_width = 1 };
+    { f_name = "misc"; f_lo = 165; f_width = 2 };
+  ]
+
+(* R14/R15 are the assembler temporaries ("at"/"at2"): reserved for
+   synthesised code sequences, never handed out by the register allocator
+   (class "alloc"). *)
+let regs =
+  List.init 14 (fun i ->
+      mkreg ~classes:[ "gpr"; "alloc" ] ~macro:(i < 8) i
+        (Printf.sprintf "R%d" i) 64)
+  @ [
+      mkreg ~classes:[ "gpr"; "at2" ] 14 "R14" 64;
+      mkreg ~classes:[ "gpr"; "at" ] 15 "R15" 64;
+      mkreg ~classes:[ "gpr"; "acc"; "alloc" ] 16 "ACC" 64;
+      mkreg ~classes:[ "gpr"; "addr" ] 17 "MAR" 64;
+      mkreg ~classes:[ "gpr"; "mbr" ] 18 "MBR" 64;
+    ]
+
+(* ALU opcode values in the alu_op field; purely an encoding choice. *)
+let alu_code = function
+  | Rtl.A_add -> 1
+  | Rtl.A_adc -> 2
+  | Rtl.A_sub -> 3
+  | Rtl.A_and -> 4
+  | Rtl.A_or -> 5
+  | Rtl.A_xor -> 6
+  | Rtl.A_mul -> 7
+  | _ -> invalid_arg "H1.alu_code"
+
+let sh_code = function
+  | Rtl.A_shl -> 1
+  | Rtl.A_shr -> 2
+  | Rtl.A_sra -> 3
+  | Rtl.A_rol -> 4
+  | Rtl.A_ror -> 5
+  | _ -> invalid_arg "H1.sh_code"
+
+let alu_fields op = [ fs "alu_op" (alu_code op); fso "alu_d" 0; fso "alu_a" 1; fso "alu_b" 2 ]
+
+let sh_fields op = [ fs "sh_op" (sh_code op); fso "sh_d" 0; fso "sh_s" 1; fso "sh_amt" 2 ]
+
+let templates =
+  [
+    mov ~phase:0 ~unit_:"abus" ~fields:[ fs "ab_en" 1; fso "ab_d" 0; fso "ab_s" 1 ] "mov";
+    (* writeback-bus transfer: lets a microinstruction move a phase-1 ALU
+       result onward in phase 2 (the third step of an S* cocycle) *)
+    mov ~phase:2 ~unit_:"wbus"
+      ~fields:[ fs "wb_en" 1; fso "wb_d" 0; fso "wb_s" 1 ]
+      "movw";
+    (* second operand bus: lets one microinstruction latch both ALU inputs
+       simultaneously (the cobegin of the survey's S* multiply) *)
+    mov ~phase:0 ~unit_:"bbus"
+      ~fields:[ fs "bb_en" 1; fso "bb_d" 0; fso "bb_s" 1 ]
+      "movb";
+    ldc ~width:32 ~phase:0 ~unit_:"abus"
+      ~fields:[ fs "ab_en" 2; fso "ab_d" 0; fso "imm" 1 ]
+      "ldc";
+    (* orh dst, #imm: dst := imm << 32 | dst<31..0>.  With ldc (which loads
+       the low half) this builds any 64-bit constant in two ops. *)
+    {
+      t_name = "orh";
+      t_sem = S_special "orh";
+      t_operands = [| oprw ~name:"dst" "gpr"; opimm ~name:"imm" 32 |];
+      t_result = R_operands;
+      t_phase = 1;
+      t_units = [ "alu" ];
+      t_fields = [ fs "alu_op" 8; fso "alu_d" 0; fso "imm" 1 ];
+      t_actions =
+        [
+          Rtl.Assign
+            ( Rtl.D_opnd 0,
+              Rtl.Or
+                ( Rtl.Zext (64, Rtl.Slice (Rtl.Opnd 0, 31, 0)),
+                  (* keep low half in place and deposit imm in the top *)
+                  Rtl.Concat (Rtl.Slice (Rtl.Zext (64, Rtl.Opnd 1), 31, 0),
+                    Rtl.Const (Msl_bitvec.Bitvec.zero 32)) ) );
+        ];
+      t_extra_cycles = 0;
+    };
+    alu3 ~phase:1 ~unit_:"alu" ~fields:(alu_fields Rtl.A_add) "add" Rtl.A_add;
+    { (alu3 ~phase:1 ~unit_:"alu" ~fields:(alu_fields Rtl.A_adc) "adc"
+         Rtl.A_adc)
+      with
+      (* add-with-carry is inherently a flag operation *)
+      Desc.t_actions = [ Rtl.Arith (Rtl.D_opnd 0, Rtl.A_adc, Rtl.Opnd 1, Rtl.Opnd 2) ];
+    };
+    alu3 ~set_flags:true ~phase:1 ~unit_:"alu"
+      ~fields:[ fs "alu_op" 11; fso "alu_d" 0; fso "alu_a" 1; fso "alu_b" 2 ]
+      "addf" Rtl.A_add;
+    alu3 ~set_flags:true ~phase:1 ~unit_:"alu"
+      ~fields:[ fs "alu_op" 12; fso "alu_d" 0; fso "alu_a" 1; fso "alu_b" 2 ]
+      "subf" Rtl.A_sub;
+    alu3 ~phase:1 ~unit_:"alu" ~fields:(alu_fields Rtl.A_sub) "sub" Rtl.A_sub;
+    alu3 ~phase:1 ~unit_:"alu" ~fields:(alu_fields Rtl.A_and) "and" Rtl.A_and;
+    alu3 ~phase:1 ~unit_:"alu" ~fields:(alu_fields Rtl.A_or) "or" Rtl.A_or;
+    alu3 ~phase:1 ~unit_:"alu" ~fields:(alu_fields Rtl.A_xor) "xor" Rtl.A_xor;
+    alu3 ~extra:3 ~phase:1 ~unit_:"alu" ~fields:(alu_fields Rtl.A_mul) "mul"
+      Rtl.A_mul;
+    not_ ~phase:1 ~unit_:"alu"
+      ~fields:[ fs "alu_op" 9; fso "alu_d" 0; fso "alu_a" 1 ]
+      "not";
+    neg ~phase:1 ~unit_:"alu"
+      ~fields:[ fs "alu_op" 10; fso "alu_d" 0; fso "alu_a" 1 ]
+      "neg";
+    shift_imm ~phase:1 ~unit_:"sh" ~fields:(sh_fields Rtl.A_shl) "shl" Rtl.A_shl;
+    shift_imm ~phase:1 ~unit_:"sh" ~fields:(sh_fields Rtl.A_shr) "shr" Rtl.A_shr;
+    shift_imm ~phase:1 ~unit_:"sh" ~fields:(sh_fields Rtl.A_sra) "sra" Rtl.A_sra;
+    shift_imm ~phase:1 ~unit_:"sh" ~fields:(sh_fields Rtl.A_rol) "rol" Rtl.A_rol;
+    shift_imm ~phase:1 ~unit_:"sh" ~fields:(sh_fields Rtl.A_ror) "ror" Rtl.A_ror;
+    shift_imm ~set_flags:true ~phase:1 ~unit_:"sh"
+      ~fields:[ fs "sh_op" 6; fso "sh_d" 0; fso "sh_s" 1; fso "sh_amt" 2 ]
+      "shlf" Rtl.A_shl;
+    shift_imm ~set_flags:true ~phase:1 ~unit_:"sh"
+      ~fields:[ fs "sh_op" 7; fso "sh_d" 0; fso "sh_s" 1; fso "sh_amt" 2 ]
+      "shrf" Rtl.A_shr;
+    inc ~phase:1 ~unit_:"ctr"
+      ~fields:[ fs "ctr_op" 1; fso "ctr_d" 0; fso "ctr_s" 1 ]
+      "inc";
+    dec ~phase:1 ~unit_:"ctr"
+      ~fields:[ fs "ctr_op" 2; fso "ctr_d" 0; fso "ctr_s" 1 ]
+      "dec";
+    test ~phase:1 ~unit_:"ctr" ~fields:[ fs "ctr_op" 3; fso "ctr_s" 0 ] "test";
+    rd ~mar:"MAR" ~mbr:"MBR" ~phase:2 ~unit_:"mem" ~fields:[ fs "mem" 1 ]
+      ~extra:2 "rd";
+    wr ~mar:"MAR" ~mbr:"MBR" ~phase:2 ~unit_:"mem" ~fields:[ fs "mem" 2 ]
+      ~extra:2 "wr";
+    rdr ~phase:2 ~unit_:"mem"
+      ~fields:[ fs "mem" 3; fso "mem_d" 0; fso "mem_a" 1 ]
+      ~extra:2 "rdr";
+    wrr ~phase:2 ~unit_:"mem"
+      ~fields:[ fs "mem" 4; fso "mem_a" 0; fso "mem_d" 1 ]
+      ~extra:2 "wrr";
+    nop "nop";
+    intack ~phase:0 ~fields:[ fs "misc" 1 ] "intack";
+  ]
+
+let desc =
+  make ~name:"H1" ~word:64 ~addr:12 ~phases:3 ~regs
+    ~units:[ "abus"; "bbus"; "wbus"; "alu"; "sh"; "ctr"; "mem" ]
+    ~fields ~templates
+    ~cond_caps:[ Cap_flag; Cap_reg_zero; Cap_dispatch; Cap_int ]
+    ~mem_extra_cycles:2 ~store_words:4096 ~vertical:false ~scratch_base:3584
+    ~note:
+      "Generic 3-phase horizontal machine standing in for the Tucker-Flynn \
+       dynamic microprocessor (SIMPL's target)."
+    ()

@@ -1,0 +1,155 @@
+(* HP3: a clean, register-rich horizontal machine.
+
+   Stands in for the HP300 of the YALLL experiments (survey §2.2.4), the
+   machine on which YALLL "performed a lot better".  16-bit datapath,
+   32 homogeneous registers (DB and SB carry their HP names because the
+   survey's transliteration example binds YALLL registers to them), a wide
+   control word with independent transfer, ALU, shifter, counter and memory
+   groups, and a sequencer that can test flags, register-zero and the
+   YALLL mask match. *)
+
+open Desc
+open Tmpl
+
+let fields =
+  [
+    { f_name = "seq"; f_lo = 0; f_width = 3 };
+    { f_name = "cond"; f_lo = 3; f_width = 4 };
+    { f_name = "addr"; f_lo = 7; f_width = 11 };
+    { f_name = "breg"; f_lo = 18; f_width = 6 };
+    { f_name = "dspec"; f_lo = 24; f_width = 12 };
+    { f_name = "mask"; f_lo = 36; f_width = 32 };
+    { f_name = "ab_d"; f_lo = 68; f_width = 6 };
+    { f_name = "ab_s"; f_lo = 74; f_width = 6 };
+    { f_name = "ab_en"; f_lo = 80; f_width = 2 };
+    { f_name = "alu_op"; f_lo = 82; f_width = 4 };
+    { f_name = "alu_a"; f_lo = 86; f_width = 6 };
+    { f_name = "alu_b"; f_lo = 92; f_width = 6 };
+    { f_name = "alu_d"; f_lo = 98; f_width = 6 };
+    { f_name = "sh_op"; f_lo = 104; f_width = 3 };
+    { f_name = "sh_s"; f_lo = 107; f_width = 6 };
+    { f_name = "sh_amt"; f_lo = 113; f_width = 4 };
+    { f_name = "sh_d"; f_lo = 117; f_width = 6 };
+    { f_name = "ctr_op"; f_lo = 123; f_width = 2 };
+    { f_name = "ctr_s"; f_lo = 125; f_width = 6 };
+    { f_name = "ctr_d"; f_lo = 131; f_width = 6 };
+    { f_name = "mem"; f_lo = 137; f_width = 3 };
+    { f_name = "mem_a"; f_lo = 140; f_width = 6 };
+    { f_name = "mem_d"; f_lo = 146; f_width = 6 };
+    { f_name = "imm"; f_lo = 152; f_width = 16 };
+    { f_name = "misc"; f_lo = 168; f_width = 2 };
+  ]
+
+(* R27 is the reserved assembler temporary. *)
+let regs =
+  List.init 27 (fun i ->
+      mkreg ~classes:[ "gpr"; "alloc" ] ~macro:(i < 8) i
+        (Printf.sprintf "R%d" i) 16)
+  @ [
+      mkreg ~classes:[ "gpr"; "at" ] 27 "R27" 16;
+      mkreg ~classes:[ "gpr"; "alloc" ] ~macro:true 28 "DB" 16;
+      mkreg ~classes:[ "gpr"; "alloc" ] ~macro:true 29 "SB" 16;
+      mkreg ~classes:[ "gpr"; "addr" ] 30 "MAR" 16;
+      mkreg ~classes:[ "gpr"; "mbr" ] 31 "MBR" 16;
+    ]
+
+let alu_code = function
+  | Rtl.A_add -> 1
+  | Rtl.A_adc -> 2
+  | Rtl.A_sub -> 3
+  | Rtl.A_and -> 4
+  | Rtl.A_or -> 5
+  | Rtl.A_xor -> 6
+  | _ -> invalid_arg "Hp3.alu_code"
+
+let sh_code = function
+  | Rtl.A_shl -> 1
+  | Rtl.A_shr -> 2
+  | Rtl.A_sra -> 3
+  | Rtl.A_rol -> 4
+  | Rtl.A_ror -> 5
+  | _ -> invalid_arg "Hp3.sh_code"
+
+let alu_fields op =
+  [ fs "alu_op" (alu_code op); fso "alu_d" 0; fso "alu_a" 1; fso "alu_b" 2 ]
+
+let sh_fields op =
+  [ fs "sh_op" (sh_code op); fso "sh_d" 0; fso "sh_s" 1; fso "sh_amt" 2 ]
+
+let templates =
+  [
+    mov ~phase:0 ~unit_:"abus"
+      ~fields:[ fs "ab_en" 1; fso "ab_d" 0; fso "ab_s" 1 ]
+      "mov";
+    ldc ~width:16 ~phase:0 ~unit_:"abus"
+      ~fields:[ fs "ab_en" 2; fso "ab_d" 0; fso "imm" 1 ]
+      "ldc";
+    alu3 ~phase:0 ~unit_:"alu" ~fields:(alu_fields Rtl.A_add) "add" Rtl.A_add;
+    { (alu3 ~phase:0 ~unit_:"alu" ~fields:(alu_fields Rtl.A_adc) "adc"
+         Rtl.A_adc)
+      with
+      Desc.t_actions = [ Rtl.Arith (Rtl.D_opnd 0, Rtl.A_adc, Rtl.Opnd 1, Rtl.Opnd 2) ];
+    };
+    alu3 ~set_flags:true ~phase:0 ~unit_:"alu"
+      ~fields:[ fs "alu_op" 9; fso "alu_d" 0; fso "alu_a" 1; fso "alu_b" 2 ]
+      "addf" Rtl.A_add;
+    alu3 ~set_flags:true ~phase:0 ~unit_:"alu"
+      ~fields:[ fs "alu_op" 10; fso "alu_d" 0; fso "alu_a" 1; fso "alu_b" 2 ]
+      "subf" Rtl.A_sub;
+    alu3 ~phase:0 ~unit_:"alu" ~fields:(alu_fields Rtl.A_sub) "sub" Rtl.A_sub;
+    alu3 ~phase:0 ~unit_:"alu" ~fields:(alu_fields Rtl.A_and) "and" Rtl.A_and;
+    alu3 ~phase:0 ~unit_:"alu" ~fields:(alu_fields Rtl.A_or) "or" Rtl.A_or;
+    alu3 ~phase:0 ~unit_:"alu" ~fields:(alu_fields Rtl.A_xor) "xor" Rtl.A_xor;
+    not_ ~phase:0 ~unit_:"alu"
+      ~fields:[ fs "alu_op" 7; fso "alu_d" 0; fso "alu_a" 1 ]
+      "not";
+    neg ~phase:0 ~unit_:"alu"
+      ~fields:[ fs "alu_op" 8; fso "alu_d" 0; fso "alu_a" 1 ]
+      "neg";
+    shift_imm ~amt_width:4 ~phase:0 ~unit_:"sh" ~fields:(sh_fields Rtl.A_shl)
+      "shl" Rtl.A_shl;
+    shift_imm ~amt_width:4 ~phase:0 ~unit_:"sh" ~fields:(sh_fields Rtl.A_shr)
+      "shr" Rtl.A_shr;
+    shift_imm ~amt_width:4 ~phase:0 ~unit_:"sh" ~fields:(sh_fields Rtl.A_sra)
+      "sra" Rtl.A_sra;
+    shift_imm ~amt_width:4 ~phase:0 ~unit_:"sh" ~fields:(sh_fields Rtl.A_rol)
+      "rol" Rtl.A_rol;
+    shift_imm ~amt_width:4 ~phase:0 ~unit_:"sh" ~fields:(sh_fields Rtl.A_ror)
+      "ror" Rtl.A_ror;
+    shift_imm ~set_flags:true ~amt_width:4 ~phase:0 ~unit_:"sh"
+      ~fields:[ fs "sh_op" 6; fso "sh_d" 0; fso "sh_s" 1; fso "sh_amt" 2 ]
+      "shlf" Rtl.A_shl;
+    shift_imm ~set_flags:true ~amt_width:4 ~phase:0 ~unit_:"sh"
+      ~fields:[ fs "sh_op" 7; fso "sh_d" 0; fso "sh_s" 1; fso "sh_amt" 2 ]
+      "shrf" Rtl.A_shr;
+    inc ~phase:0 ~unit_:"ctr"
+      ~fields:[ fs "ctr_op" 1; fso "ctr_d" 0; fso "ctr_s" 1 ]
+      "inc";
+    dec ~phase:0 ~unit_:"ctr"
+      ~fields:[ fs "ctr_op" 2; fso "ctr_d" 0; fso "ctr_s" 1 ]
+      "dec";
+    test ~phase:0 ~unit_:"ctr" ~fields:[ fs "ctr_op" 3; fso "ctr_s" 0 ] "test";
+    rd ~mar:"MAR" ~mbr:"MBR" ~phase:1 ~unit_:"mem" ~fields:[ fs "mem" 1 ]
+      ~extra:1 "rd";
+    wr ~mar:"MAR" ~mbr:"MBR" ~phase:1 ~unit_:"mem" ~fields:[ fs "mem" 2 ]
+      ~extra:1 "wr";
+    rdr ~phase:1 ~unit_:"mem"
+      ~fields:[ fs "mem" 3; fso "mem_d" 0; fso "mem_a" 1 ]
+      ~extra:1 "rdr";
+    wrr ~phase:1 ~unit_:"mem"
+      ~fields:[ fs "mem" 4; fso "mem_a" 0; fso "mem_d" 1 ]
+      ~extra:1 "wrr";
+    nop "nop";
+    intack ~phase:0 ~fields:[ fs "misc" 1 ] "intack";
+  ]
+
+let desc =
+  make ~name:"HP3" ~word:16 ~addr:11 ~phases:2 ~regs
+    ~units:[ "abus"; "alu"; "sh"; "ctr"; "mem" ]
+    ~fields ~templates
+    ~cond_caps:[ Cap_flag; Cap_reg_zero; Cap_reg_mask; Cap_dispatch; Cap_int ]
+    ~mem_extra_cycles:1 ~store_words:2048 ~vertical:false ~scratch_base:1792
+    ~note:
+      "Clean horizontal machine standing in for the HP300 of the YALLL \
+       experiments."
+    ()

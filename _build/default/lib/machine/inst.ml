@@ -1,0 +1,171 @@
+(* Microoperation instances and microinstructions.
+
+   An [op] is a machine microoperation template applied to concrete
+   arguments.  A microinstruction ([t]) is a set of such ops executed in one
+   microcycle (spread over the machine's phases) plus a sequencing action.
+   This is the horizontal microinstruction of the survey's introduction. *)
+
+open Msl_bitvec
+
+type arg = A_reg of int | A_imm of Bitvec.t
+
+type op = { op_t : Desc.template; op_args : arg array }
+
+(* Sequencing part of a microinstruction; targets are control-store
+   addresses (labels are resolved by the assembler). *)
+type next =
+  | Next
+  | Jump of int
+  | Branch of Desc.cond * int  (* taken -> target, else fall through *)
+  | Dispatch of { dreg : int; hi : int; lo : int; base : int }
+      (* goto base + reg<hi..lo>: the multiway branch of SIMPL's case and
+         YALLL's sophisticated branch facility *)
+  | Call of int
+  | Return
+  | Halt
+
+type t = { ops : op list; next : next }
+
+let nop_inst = { ops = []; next = Next }
+
+(* -- construction ------------------------------------------------------- *)
+
+let arg_matches d (spec : Desc.operand_spec) = function
+  | A_reg r -> (
+      match spec.o_kind with
+      | Desc.O_reg cls -> Desc.reg_in_class (Desc.reg d r) cls
+      | Desc.O_imm _ -> false)
+  | A_imm v -> (
+      match spec.o_kind with
+      | Desc.O_imm w -> Bitvec.width v = w
+      | Desc.O_reg _ -> false)
+
+let make d tname args =
+  let tm = Desc.get_template d tname in
+  let args = Array.of_list args in
+  if Array.length args <> Array.length tm.Desc.t_operands then
+    invalid_arg
+      (Printf.sprintf "%s.%s: expected %d operands, got %d" d.Desc.d_name tname
+         (Array.length tm.Desc.t_operands) (Array.length args));
+  Array.iteri
+    (fun i a ->
+      if not (arg_matches d tm.Desc.t_operands.(i) a) then
+        invalid_arg
+          (Printf.sprintf "%s.%s: operand %d (%s) mismatch" d.Desc.d_name tname
+             i tm.Desc.t_operands.(i).o_name))
+    args;
+  { op_t = tm; op_args = args }
+
+(* -- static accessors used by hazard/conflict analysis ------------------ *)
+
+let arg_reg = function A_reg r -> Some r | A_imm _ -> None
+
+(* Registers read by the op: read-role operands plus named registers in the
+   RTL actions. *)
+let op_reads d op =
+  let operand_reads =
+    Array.to_list op.op_args
+    |> List.filteri (fun i _ ->
+           match op.op_t.Desc.t_operands.(i).o_role with
+           | Desc.Read | Desc.Read_write -> true
+           | Desc.Write -> false)
+    |> List.filter_map arg_reg
+  in
+  let action_reads =
+    List.concat_map Rtl.action_reads op.op_t.Desc.t_actions
+    |> List.map (fun name -> (Desc.get_reg d name).Desc.r_id)
+  in
+  List.sort_uniq compare (operand_reads @ action_reads)
+
+let op_writes d op =
+  let operand_writes =
+    Array.to_list op.op_args
+    |> List.filteri (fun i _ ->
+           match op.op_t.Desc.t_operands.(i).o_role with
+           | Desc.Write | Desc.Read_write -> true
+           | Desc.Read -> false)
+    |> List.filter_map arg_reg
+  in
+  let action_writes =
+    List.concat_map
+      (fun a -> fst (Rtl.action_writes a))
+      op.op_t.Desc.t_actions
+    |> List.map (fun name -> (Desc.get_reg d name).Desc.r_id)
+  in
+  List.sort_uniq compare (operand_writes @ action_writes)
+
+let op_sets_flags op =
+  List.concat_map Rtl.action_sets_flags op.op_t.Desc.t_actions
+  |> List.sort_uniq compare
+
+let op_reads_flags op =
+  List.concat_map Rtl.action_reads_flags op.op_t.Desc.t_actions
+  |> List.sort_uniq compare
+
+let op_touches_memory op =
+  List.exists Rtl.action_touches_memory op.op_t.Desc.t_actions
+
+let op_units op = op.op_t.Desc.t_units
+
+let op_phase op = op.op_t.Desc.t_phase
+
+let op_extra_cycles op = op.op_t.Desc.t_extra_cycles
+
+(* Resolved control-word field settings: (field name, value).  Register
+   operands encode as their register id, immediates as their value. *)
+let op_field_values op =
+  List.map
+    (fun (fs : Desc.field_setting) ->
+      let v =
+        match fs.fs_value with
+        | Desc.Fv_const c -> c
+        | Desc.Fv_opnd i -> (
+            match op.op_args.(i) with
+            | A_reg r -> r
+            | A_imm b -> Int64.to_int (Bitvec.to_int64 b))
+      in
+      (fs.fs_field, v))
+    op.op_t.Desc.t_fields
+
+(* -- microinstruction-level accessors ------------------------------------ *)
+
+let inst_extra_cycles inst =
+  List.fold_left (fun acc op -> max acc (op_extra_cycles op)) 0 inst.ops
+
+let next_targets = function
+  | Next | Return | Halt -> []
+  | Jump a | Branch (_, a) | Call a -> [ a ]
+  | Dispatch { base; _ } -> [ base ]
+
+(* -- printing ------------------------------------------------------------ *)
+
+let pp_arg d ppf = function
+  | A_reg r -> Fmt.string ppf (Desc.reg_name d r)
+  | A_imm v ->
+      if Bitvec.width v <= 16 then Fmt.pf ppf "#%Ld" (Bitvec.to_int64 v)
+      else Fmt.pf ppf "#%s" (Bitvec.to_string ~base:16 v)
+
+let pp_op d ppf op =
+  Fmt.pf ppf "%s" op.op_t.Desc.t_name;
+  Array.iteri
+    (fun i a -> Fmt.pf ppf "%s %a" (if i = 0 then "" else ",") (pp_arg d) a)
+    op.op_args
+
+let pp_next d ppf = function
+  | Next -> ()
+  | Jump a -> Fmt.pf ppf " -> goto %d" a
+  | Branch (c, a) -> Fmt.pf ppf " -> if %a goto %d" (Desc.pp_cond d) c a
+  | Dispatch { dreg; hi; lo; base } ->
+      Fmt.pf ppf " -> dispatch %s<%d..%d> + %d" (Desc.reg_name d dreg) hi lo
+        base
+  | Call a -> Fmt.pf ppf " -> call %d" a
+  | Return -> Fmt.pf ppf " -> return"
+  | Halt -> Fmt.pf ppf " -> halt"
+
+let pp d ppf inst =
+  let by_phase =
+    List.stable_sort (fun a b -> compare (op_phase a) (op_phase b)) inst.ops
+  in
+  Fmt.pf ppf "[%a]%a"
+    (Fmt.list ~sep:(Fmt.any " | ") (pp_op d))
+    by_phase (pp_next d) inst.next

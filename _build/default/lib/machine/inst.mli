@@ -1,0 +1,63 @@
+(** Microoperation instances and microinstructions.
+
+    An {!op} is a machine template applied to concrete arguments; a {!t}
+    is one horizontal microinstruction — a set of ops executed in one
+    microcycle across the machine's phases, plus a sequencing action. *)
+
+type arg = A_reg of int | A_imm of Msl_bitvec.Bitvec.t
+
+type op = { op_t : Desc.template; op_args : arg array }
+
+(** The sequencing part of a microinstruction.  Targets are control-store
+    addresses; the assembler and linker resolve labels to them. *)
+type next =
+  | Next
+  | Jump of int
+  | Branch of Desc.cond * int  (** taken target; otherwise fall through *)
+  | Dispatch of { dreg : int; hi : int; lo : int; base : int }
+      (** goto [base + reg<hi..lo>]: the multiway branch of SIMPL's case
+          and YALLL's "sophisticated branch facility" *)
+  | Call of int
+  | Return
+  | Halt
+
+type t = { ops : op list; next : next }
+
+val nop_inst : t
+
+val make : Desc.t -> string -> arg list -> op
+(** [make d template_name args] builds an instance, checking operand count,
+    register classes and immediate widths.
+    @raise Invalid_argument on a mismatch. *)
+
+(** {1 Static accessors} (feed the hazard and conflict analyses) *)
+
+val op_reads : Desc.t -> op -> int list
+(** Register ids read: read-role operands plus named registers in the RTL
+    actions; sorted, without duplicates. *)
+
+val op_writes : Desc.t -> op -> int list
+val op_sets_flags : op -> Rtl.flag list
+val op_reads_flags : op -> Rtl.flag list
+val op_touches_memory : op -> bool
+val op_units : op -> string list
+val op_phase : op -> int
+val op_extra_cycles : op -> int
+
+val op_field_values : op -> (string * int) list
+(** Resolved control-word settings: register operands encode as their id,
+    immediates as their value. *)
+
+val inst_extra_cycles : t -> int
+(** Largest stall among the instruction's ops. *)
+
+val next_targets : next -> int list
+
+(** {1 Printing} *)
+
+val pp_arg : Desc.t -> Format.formatter -> arg -> unit
+val pp_op : Desc.t -> Format.formatter -> op -> unit
+val pp_next : Desc.t -> Format.formatter -> next -> unit
+
+val pp : Desc.t -> Format.formatter -> t -> unit
+(** Renders as [[op | op | ...] -> sequencing], ops ordered by phase. *)

@@ -1,0 +1,21 @@
+(* Registry of the machine models shipped with the toolkit. *)
+
+let h1 = H1.desc
+let hp3 = Hp3.desc
+let v11 = V11.desc
+let b17 = B17.desc
+
+let all = [ h1; hp3; v11; b17 ]
+
+let find name =
+  List.find_opt
+    (fun d -> String.lowercase_ascii d.Desc.d_name = String.lowercase_ascii name)
+    all
+
+let get name =
+  match find name with
+  | Some d -> d
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown machine %S (known: %s)" name
+           (String.concat ", " (List.map (fun d -> d.Desc.d_name) all)))

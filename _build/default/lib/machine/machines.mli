@@ -1,0 +1,22 @@
+(** The machine models shipped with the toolkit (see DESIGN.md for what
+    each stands in for). *)
+
+val h1 : Desc.t
+(** 64-bit, 3-phase horizontal machine (Tucker–Flynn stand-in). *)
+
+val hp3 : Desc.t
+(** 16-bit clean horizontal machine (HP300 stand-in). *)
+
+val v11 : Desc.t
+(** 16-bit "baroque" horizontal machine (VAX-11 stand-in). *)
+
+val b17 : Desc.t
+(** 16-bit vertical machine (Burroughs B1700 stand-in). *)
+
+val all : Desc.t list
+
+val find : string -> Desc.t option
+(** Case-insensitive lookup by name. *)
+
+val get : string -> Desc.t
+(** @raise Invalid_argument for unknown names, listing the known ones. *)

@@ -1,0 +1,31 @@
+(** Microassembler: the textual form of horizontal microcode.
+
+    Hand-written reference microprograms are written in this format and
+    assembled against a machine description; every word is checked with
+    the conflict model, so hand code cannot use parallelism the machine
+    does not have.
+
+    {v
+    loop:
+      [ rdr MBR, DB ] -> if MBR = 0 goto out
+      [ add MAR, MBR, SB ]
+      [ wrr DB, MBR | inc DB, DB ]    ; '|' separates parallel ops
+    out:
+      [ ] -> halt
+    v}
+
+    Sequencing: [goto L], [if <cond> goto L], [call L], [return], [halt],
+    [dispatch R<hi..lo> + L].  Conditions: flag names ([Z], [!C], ...),
+    [R = 0], [R <> 0], [R match 1x0] (mask, MSB first), [int]. *)
+
+val parse :
+  Desc.t -> ?file:string -> string -> Inst.t list * (string, int) Hashtbl.t
+(** Assemble a program; returns the instructions and the label table.
+    @raise Msl_util.Diag.Error on syntax errors, unknown operations or
+    registers, unsupported conditions, undefined labels, or words the
+    conflict model rejects. *)
+
+val parse_program : Desc.t -> ?file:string -> string -> Inst.t list
+
+val print : Desc.t -> Inst.t list -> string
+(** A listing with numeric addresses, one word per line. *)

@@ -1,0 +1,92 @@
+(* Word-addressed, paged main memory.
+
+   Pages can be marked absent so that accesses raise [Page_fault] — the
+   microtrap of survey §2.1.5.  The simulator decides how a fault is
+   serviced; this module only detects it. *)
+
+open Msl_bitvec
+
+exception Page_fault of int  (* faulting word address *)
+
+type t = {
+  word_width : int;
+  page_size : int;  (* words per page *)
+  words : Bitvec.t array;
+  present : bool array;
+  mutable reads : int;
+  mutable writes : int;
+  mutable faults : int;
+}
+
+let create ?(page_size = 256) ~word_width ~words () =
+  if words <= 0 then invalid_arg "Memory.create: size must be positive";
+  let npages = (words + page_size - 1) / page_size in
+  {
+    word_width;
+    page_size;
+    words = Array.make words (Bitvec.zero word_width);
+    present = Array.make npages true;
+    reads = 0;
+    writes = 0;
+    faults = 0;
+  }
+
+let size t = Array.length t.words
+let word_width t = t.word_width
+
+let page_of t addr = addr / t.page_size
+
+let check t addr =
+  if addr < 0 || addr >= Array.length t.words then
+    raise
+      (Msl_util.Diag.Error
+         {
+           phase = Msl_util.Diag.Execution;
+           loc = Msl_util.Loc.dummy;
+           message = Printf.sprintf "memory address %d out of range" addr;
+         });
+  if not t.present.(page_of t addr) then begin
+    t.faults <- t.faults + 1;
+    raise (Page_fault addr)
+  end
+
+let read t addr =
+  check t addr;
+  t.reads <- t.reads + 1;
+  t.words.(addr)
+
+let write t addr v =
+  check t addr;
+  t.writes <- t.writes + 1;
+  t.words.(addr) <- Bitvec.resize ~width:t.word_width v
+
+(* Non-faulting, non-counted access for test setup and inspection. *)
+let peek t addr = t.words.(addr)
+let poke t addr v = t.words.(addr) <- Bitvec.resize ~width:t.word_width v
+
+let mark_absent t ~page =
+  if page < 0 || page >= Array.length t.present then
+    invalid_arg "Memory.mark_absent: no such page";
+  t.present.(page) <- false
+
+let mark_present t ~page =
+  if page < 0 || page >= Array.length t.present then
+    invalid_arg "Memory.mark_present: no such page";
+  t.present.(page) <- true
+
+let load t ~base values =
+  List.iteri (fun i v -> poke t (base + i) v) values
+
+let load_ints t ~base values =
+  List.iteri
+    (fun i v -> poke t (base + i) (Bitvec.of_int ~width:t.word_width v))
+    values
+
+let reads t = t.reads
+let writes t = t.writes
+let faults t = t.faults
+
+let reset_counters t =
+  t.reads <- 0;
+  t.writes <- 0;
+  t.faults <- 0

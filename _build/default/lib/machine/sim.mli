@@ -1,0 +1,79 @@
+(** Cycle-accurate microprogram simulator.
+
+    Timing: one base cycle per microinstruction plus the largest declared
+    stall among its ops.  Within a cycle the machine's phases run in
+    order; within a phase all reads sample the phase-start state and all
+    writes commit together (transport-delay model), which is what lets a
+    single horizontal word swap two registers and gives S*'s [cocycle] its
+    phase-by-phase meaning.
+
+    Interrupts (survey §2.1.5): the harness schedules arrival cycles; a
+    pending interrupt is visible to [C_int_pending] and cleared by the
+    [Int_ack] action, with service latency recorded.  Microtraps: a memory
+    access to an absent page aborts the current word (its phase's writes
+    are discarded), services the fault and — in [Restart] mode — resumes
+    at the restart point, reproducing the survey's [incread] hazard. *)
+
+type trap_mode =
+  | Restart  (** service the fault, restart the microprogram *)
+  | Fault_is_error  (** surface the fault as a diagnostic *)
+
+type status = Halted | Out_of_fuel
+
+type t
+
+val flag_index : Rtl.flag -> int
+(** Stable numbering of the five condition flags (used by the encoder). *)
+
+val create : ?mem_words:int -> ?trap_mode:trap_mode -> ?fault_penalty:int ->
+  Desc.t -> t
+(** Fresh machine state: registers zero, all memory pages present.
+    [mem_words] defaults to 4096, [fault_penalty] (cycles per serviced
+    page fault) to 200. *)
+
+val desc : t -> Desc.t
+val memory : t -> Memory.t
+
+val load_store : t -> Inst.t list -> unit
+(** Install a program and reset the micro PC.
+    @raise Msl_util.Diag.Error when it exceeds the control store. *)
+
+(** {1 Execution} *)
+
+val step : t -> unit
+(** Execute one microinstruction (no-op once halted). *)
+
+val run : ?fuel:int -> t -> status
+(** Step until [Halt] or [fuel] instructions (default 2,000,000). *)
+
+(** {1 State access} *)
+
+val get_reg : t -> string -> Msl_bitvec.Bitvec.t
+val get_reg_id : t -> int -> Msl_bitvec.Bitvec.t
+val set_reg : t -> string -> Msl_bitvec.Bitvec.t -> unit
+val set_reg_id : t -> int -> Msl_bitvec.Bitvec.t -> unit
+val set_reg_int : t -> string -> int -> unit
+val get_flag : t -> Rtl.flag -> bool
+val set_flag : t -> Rtl.flag -> bool -> unit
+val set_trace : t -> bool -> unit
+(** Print each executed word to stderr. *)
+
+(** {1 Metrics} *)
+
+val cycles : t -> int
+val insts_executed : t -> int
+val traps_taken : t -> int
+
+(** {1 Interrupts and traps} *)
+
+val schedule_interrupts : t -> int list -> unit
+(** Cycle numbers at which the interrupt line is raised (one pending at a
+    time; later arrivals wait for the acknowledgement). *)
+
+val interrupts_serviced : t -> int
+
+val interrupt_latency_stats : t -> float * int
+(** (average, maximum) cycles between arrival and acknowledgement. *)
+
+val set_restart_pc : t -> int -> unit
+(** Where [Restart]-mode trap servicing resumes (default 0). *)

@@ -1,0 +1,146 @@
+(* V11: a "baroque" horizontal machine.
+
+   Stands in for the DEC VAX-11 microarchitecture of the YALLL experiments
+   (survey §2.2.4), whose "baroque structure ... discouraged the
+   implementers from attempting any code optimization".  The baroqueness is
+   modelled structurally:
+
+   - only 16 micro registers, of which 12 are allocatable (the survey's
+     §2.1.3 lower bound: "the number of registers exclusively accessible to
+     the microprogram ... may vary from 16");
+   - two-operand ALU whose result is always forced into ACC;
+   - a shifter that shifts by exactly one bit per microoperation;
+   - a single internal bus shared by transfers, constants and memory
+     address/data setup, killing most parallelism;
+   - the sequencer tests only condition flags, so register tests must be
+     synthesised with a flag-setting "tst";
+   - memory only via MAR/MBR, with a long stall. *)
+
+open Desc
+open Tmpl
+
+let fields =
+  [
+    { f_name = "seq"; f_lo = 0; f_width = 3 };
+    { f_name = "cond"; f_lo = 3; f_width = 4 };
+    { f_name = "addr"; f_lo = 7; f_width = 10 };
+    { f_name = "breg"; f_lo = 17; f_width = 4 };
+    (* one port group shared by every bus user — the cramped encoding *)
+    { f_name = "port"; f_lo = 21; f_width = 2 };
+    { f_name = "port_d"; f_lo = 23; f_width = 4 };
+    { f_name = "port_s"; f_lo = 27; f_width = 4 };
+    { f_name = "alu_op"; f_lo = 31; f_width = 4 };
+    { f_name = "alu_a"; f_lo = 35; f_width = 4 };
+    { f_name = "alu_b"; f_lo = 39; f_width = 4 };
+    { f_name = "imm"; f_lo = 43; f_width = 16 };
+    { f_name = "misc"; f_lo = 59; f_width = 2 };
+  ]
+
+(* R12 is the reserved assembler temporary; ACC is the forced ALU result
+   register and is not allocatable. *)
+let regs =
+  [
+    mkreg ~classes:[ "gpr"; "acc" ] 0 "ACC" 16;
+    mkreg ~classes:[ "gpr"; "addr" ] 1 "MAR" 16;
+    mkreg ~classes:[ "gpr"; "mbr" ] 2 "MBR" 16;
+  ]
+  @ List.init 12 (fun i ->
+        mkreg ~classes:[ "gpr"; "alloc" ] ~macro:(i < 6) (3 + i)
+          (Printf.sprintf "R%d" i) 16)
+  @ [ mkreg ~classes:[ "gpr"; "at" ] 15 "R12" 16 ]
+
+let alu_code = function
+  | Rtl.A_add -> 1
+  | Rtl.A_adc -> 2
+  | Rtl.A_sub -> 3
+  | Rtl.A_and -> 4
+  | Rtl.A_or -> 5
+  | Rtl.A_xor -> 6
+  | _ -> invalid_arg "V11.alu_code"
+
+let alu_fields op = [ fs "alu_op" (alu_code op); fso "alu_a" 0; fso "alu_b" 1 ]
+
+let acc_alu name op =
+  alu2_fixed ~dest:"ACC" ~phase:0 ~unit_:"alu" ~fields:(alu_fields op) name op
+
+(* Shift ACC by one bit; the only shifts V11 has. *)
+let shift1 name op code =
+  {
+    t_name = name;
+    t_sem = S_special name;
+    t_operands = [||];
+    t_result = R_reg "ACC";
+    t_phase = 0;
+    t_units = [ "alu" ];
+    t_fields = [ fs "alu_op" code ];
+    t_actions =
+      [
+        Rtl.Arith (Rtl.D_reg "ACC", op, Rtl.Reg "ACC",
+          Rtl.Const (Msl_bitvec.Bitvec.of_int ~width:16 1));
+      ];
+    t_extra_cycles = 0;
+  }
+
+let templates =
+  [
+    mov ~phase:0 ~unit_:"bus"
+      ~fields:[ fs "port" 1; fso "port_d" 0; fso "port_s" 1 ]
+      "mov";
+    ldc ~width:16 ~phase:0 ~unit_:"bus"
+      ~fields:[ fs "port" 2; fso "port_d" 0; fso "imm" 1 ]
+      "ldc";
+    acc_alu "add" Rtl.A_add;
+    acc_alu "adc" Rtl.A_adc;
+    acc_alu "sub" Rtl.A_sub;
+    acc_alu "and" Rtl.A_and;
+    acc_alu "or" Rtl.A_or;
+    acc_alu "xor" Rtl.A_xor;
+    (* not: ACC := ~a *)
+    {
+      t_name = "not";
+      t_sem = S_not;
+      t_operands = [| opread ~name:"a" "gpr" |];
+      t_result = R_reg "ACC";
+      t_phase = 0;
+      t_units = [ "alu" ];
+      t_fields = [ fs "alu_op" 7; fso "alu_a" 0 ];
+      t_actions = [ Rtl.Assign (Rtl.D_reg "ACC", Rtl.Not (Rtl.Opnd 0)) ];
+      t_extra_cycles = 0;
+    };
+    shift1 "shl1" Rtl.A_shl 8;
+    shift1 "shr1" Rtl.A_shr 9;
+    shift1 "sra1" Rtl.A_sra 10;
+    shift1 "rol1" Rtl.A_rol 11;
+    shift1 "ror1" Rtl.A_ror 12;
+    (* tst a: set flags from a without writing anything *)
+    {
+      t_name = "tst";
+      t_sem = S_test;
+      t_operands = [| opread ~name:"a" "gpr" |];
+      t_result = R_none;
+      t_phase = 0;
+      t_units = [ "alu" ];
+      t_fields = [ fs "alu_op" 13; fso "alu_a" 0 ];
+      t_actions =
+        [ Rtl.Arith_flags (Rtl.A_or, Rtl.Opnd 0,
+            Rtl.Const (Msl_bitvec.Bitvec.zero 16)) ];
+      t_extra_cycles = 0;
+    };
+    rd ~mar:"MAR" ~mbr:"MBR" ~phase:0 ~unit_:"bus" ~fields:[ fs "port" 3 ]
+      ~extra:4 "rd";
+    wr ~mar:"MAR" ~mbr:"MBR" ~phase:0 ~unit_:"bus"
+      ~fields:[ fs "port" 3; fs "port_d" 1 ]
+      ~extra:4 "wr";
+    nop "nop";
+    intack ~phase:0 ~fields:[ fs "misc" 1 ] "intack";
+  ]
+
+let desc =
+  make ~name:"V11" ~word:16 ~addr:10 ~phases:1 ~regs ~units:[ "bus"; "alu" ]
+    ~fields ~templates
+    ~cond_caps:[ Cap_flag; Cap_int ]
+    ~mem_extra_cycles:4 ~store_words:1024 ~vertical:false ~scratch_base:896
+    ~note:
+      "Baroque horizontal machine standing in for the DEC VAX-11 micro \
+       architecture of the YALLL experiments."
+    ()

@@ -1,0 +1,1 @@
+lib/mir/build.ml: List Mir Printf

@@ -1,0 +1,1 @@
+lib/mir/build.mli: Mir

@@ -1,0 +1,1 @@
+lib/mir/compaction.ml: Array Conflict Dataflow Desc Fun Inst List Msl_machine Msl_util

@@ -1,0 +1,1 @@
+lib/mir/compaction.mli: Desc Inst Msl_machine

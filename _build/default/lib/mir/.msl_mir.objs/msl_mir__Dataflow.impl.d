@@ -1,0 +1,1 @@
+lib/mir/dataflow.ml: Array Inst List Mir Msl_machine Rtl

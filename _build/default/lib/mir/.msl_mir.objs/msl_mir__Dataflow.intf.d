@@ -1,0 +1,1 @@
+lib/mir/dataflow.mli: Desc Inst Mir Msl_machine Rtl

@@ -1,0 +1,1 @@
+lib/mir/lower.ml: Bitvec Desc List Mir Msl_bitvec Msl_machine Msl_util Printf

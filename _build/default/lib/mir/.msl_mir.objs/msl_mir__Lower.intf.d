@@ -1,0 +1,1 @@
+lib/mir/lower.mli: Mir Msl_machine

@@ -1,0 +1,1 @@
+lib/mir/mir.ml: Bitvec Fmt Hashtbl List Msl_bitvec Msl_machine Msl_util String

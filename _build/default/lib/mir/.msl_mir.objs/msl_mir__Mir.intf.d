@@ -1,0 +1,1 @@
+lib/mir/mir.mli: Format Msl_bitvec Msl_machine

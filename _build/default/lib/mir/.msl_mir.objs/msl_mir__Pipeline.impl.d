@@ -1,0 +1,1 @@
+lib/mir/pipeline.ml: Compaction Desc Encode Hashtbl Inst List Lower Mir Msl_machine Msl_util Pollpoints Regalloc Select Sim Trapsafe

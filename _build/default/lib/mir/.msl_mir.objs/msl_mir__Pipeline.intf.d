@@ -1,0 +1,1 @@
+lib/mir/pipeline.mli: Compaction Desc Inst Mir Msl_machine Regalloc Select Sim

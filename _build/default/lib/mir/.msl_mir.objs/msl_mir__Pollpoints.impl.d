@@ -1,0 +1,1 @@
+lib/mir/pollpoints.ml: List Mir Printf

@@ -1,0 +1,1 @@
+lib/mir/regalloc.ml: Array Desc Hashtbl Int List Mir Msl_machine Msl_util Set

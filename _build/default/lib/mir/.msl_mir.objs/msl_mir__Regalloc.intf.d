@@ -1,0 +1,1 @@
+lib/mir/regalloc.mli: Desc Mir Msl_machine

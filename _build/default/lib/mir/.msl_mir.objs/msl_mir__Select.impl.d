@@ -1,0 +1,1 @@
+lib/mir/select.ml: Array Bitvec Desc Format Inst Int64 List Mir Msl_bitvec Msl_machine Msl_util Rtl

@@ -1,0 +1,1 @@
+lib/mir/select.mli: Desc Inst Mir Msl_bitvec Msl_machine Rtl

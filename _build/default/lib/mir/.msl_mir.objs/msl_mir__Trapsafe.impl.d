@@ -1,0 +1,1 @@
+lib/mir/trapsafe.ml: Array Desc List Mir Msl_machine

@@ -1,0 +1,1 @@
+lib/mir/trapsafe.mli: Mir Msl_machine

@@ -1,0 +1,270 @@
+(* Microinstruction composition ("compaction"): packing a straight-line
+   sequence of microoperations into as few horizontal microinstructions as
+   data dependence (Dataflow) and resource/encoding conflicts (Conflict)
+   allow.  This is the problem the survey says has been "overemphasized"
+   (§3) — here it earns its keep as experiment T4.
+
+   Algorithms, following the survey's references:
+   - [Sequential]     no packing: what a vertical machine does anyway;
+   - [Fcfs]           first-come-first-served linear placement, in the
+                      spirit of Dasgupta & Tartar [3];
+   - [Critical_path]  list scheduling by longest-path priority, in the
+                      spirit of Tsuchiya & Gonzalez [22];
+   - [Optimal]        branch-and-bound exact minimum, in the spirit of
+                      Tokoro et al. [21] (exponential; falls back to the
+                      critical-path answer beyond a node budget).
+
+   [chain] enables transport chaining on polyphase machines: a dependent
+   op may share a microinstruction with its producer when the producer's
+   phase strictly precedes (H1's three-phase cycle). *)
+
+open Msl_machine
+module Diag = Msl_util.Diag
+
+type algo = Sequential | Fcfs | Critical_path | Optimal
+
+let algo_name = function
+  | Sequential -> "sequential"
+  | Fcfs -> "fcfs"
+  | Critical_path -> "critical-path"
+  | Optimal -> "branch-and-bound"
+
+type result = {
+  groups : Inst.op list list;  (* one element per microinstruction *)
+  r_algo : algo;
+  nodes : int;  (* search nodes (Optimal only) *)
+  exact : bool;  (* Optimal completed within its node budget *)
+}
+
+(* Sanity check used by tests and enabled on every result: the grouping
+   must respect all dependence deltas and all pairwise conflicts. *)
+let check ~chain d ops groups =
+  let arr = Array.of_list ops in
+  let n = Array.length arr in
+  let place = Array.make n (-1) in
+  (* match each placed op back to an unused source index; physical equality
+     first so that duplicated identical instances resolve distinctly *)
+  let locate op =
+    let rec find pred i =
+      if i >= n then None
+      else if place.(i) = -1 && pred arr.(i) op then Some i
+      else find pred (i + 1)
+    in
+    match find ( == ) 0 with Some i -> Some i | None -> find ( = ) 0
+  in
+  List.iteri
+    (fun k group ->
+      List.iter
+        (fun op ->
+          match locate op with
+          | Some i -> place.(i) <- k
+          | None -> Diag.error Diag.Compaction "schedule invented an op")
+        group)
+    groups;
+  let infos, edges = Dataflow.build d arr in
+  Array.for_all (fun p -> p >= 0) place
+  && List.for_all
+       (fun (e : Dataflow.edge) ->
+         place.(e.e_dst) - place.(e.e_src)
+         >= Dataflow.min_delta ~chain infos e)
+       edges
+  && List.for_all
+       (fun group ->
+         match Conflict.check_inst d { Inst.ops = group; next = Inst.Next } with
+         | Ok () -> true
+         | Error _ -> false)
+       groups
+
+let sequential ops = List.map (fun op -> [ op ]) ops
+
+(* -- first-come-first-served --------------------------------------------- *)
+
+let fcfs ~chain d ops =
+  let arr = Array.of_list ops in
+  let n = Array.length arr in
+  let infos, edges = Dataflow.build d arr in
+  let preds = Dataflow.preds_by_dst n edges in
+  let place = Array.make n (-1) in
+  let mis : Inst.op list array ref = ref (Array.make 0 []) in
+  let count = ref 0 in
+  let mi_get k = !mis.(k) in
+  let mi_add k op =
+    !mis.(k) <- !mis.(k) @ [ op ]
+  in
+  let new_mi () =
+    let a = Array.make (!count + 1) [] in
+    Array.blit !mis 0 a 0 !count;
+    mis := a;
+    incr count;
+    !count - 1
+  in
+  for j = 0 to n - 1 do
+    let earliest =
+      List.fold_left
+        (fun acc e ->
+          max acc (place.(e.Dataflow.e_src) + Dataflow.min_delta ~chain infos e))
+        0 preds.(j)
+    in
+    let fits k =
+      (* all preds placed in MI k must tolerate sharing *)
+      List.for_all
+        (fun e ->
+          place.(e.Dataflow.e_src) <> k || Dataflow.same_mi_ok ~chain infos e)
+        preds.(j)
+      && Conflict.fits d (mi_get k) arr.(j) = Ok ()
+    in
+    let rec scan k =
+      if k >= !count then new_mi ()
+      else if fits k then k
+      else scan (k + 1)
+    in
+    let k = scan earliest in
+    mi_add k arr.(j);
+    place.(j) <- k
+  done;
+  Array.to_list (Array.sub !mis 0 !count)
+
+(* -- critical-path list scheduling --------------------------------------- *)
+
+let critical_path ~chain d ops =
+  let arr = Array.of_list ops in
+  let n = Array.length arr in
+  let infos, edges = Dataflow.build d arr in
+  let preds = Dataflow.preds_by_dst n edges in
+  let prio = Dataflow.path_lengths ~chain infos edges in
+  let place = Array.make n (-1) in
+  let scheduled = ref 0 in
+  let groups = ref [] in
+  let k = ref 0 in
+  while !scheduled < n do
+    let current = ref [] in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      (* ops ready for MI !k, by descending priority then source order *)
+      let candidates =
+        List.init n Fun.id
+        |> List.filter (fun j ->
+               place.(j) = -1
+               && List.for_all
+                    (fun e ->
+                      let p = place.(e.Dataflow.e_src) in
+                      p <> -1
+                      && p + Dataflow.min_delta ~chain infos e <= !k
+                      && (p <> !k || Dataflow.same_mi_ok ~chain infos e))
+                    preds.(j))
+        |> List.sort (fun a b ->
+               match compare prio.(b) prio.(a) with
+               | 0 -> compare a b
+               | c -> c)
+      in
+      match
+        List.find_opt (fun j -> Conflict.fits d !current arr.(j) = Ok ()) candidates
+      with
+      | Some j ->
+          current := !current @ [ arr.(j) ];
+          place.(j) <- !k;
+          incr scheduled;
+          progress := true
+      | None -> ()
+    done;
+    if !current = [] && !scheduled < n then
+      (* cannot happen on a DAG, but fail loudly rather than spin *)
+      Diag.error Diag.Compaction "list scheduler wedged at cycle %d" !k;
+    groups := !current :: !groups;
+    incr k
+  done;
+  List.rev !groups
+
+(* -- branch and bound ----------------------------------------------------- *)
+
+let node_budget = 300_000
+
+let optimal ~chain d ops =
+  let arr = Array.of_list ops in
+  let n = Array.length arr in
+  if n = 0 then ([], 0, true)
+  else begin
+    let infos, edges = Dataflow.build d arr in
+    let preds = Dataflow.preds_by_dst n edges in
+    let chains = Dataflow.path_lengths ~chain infos edges in
+    let init = critical_path ~chain d ops in
+    let best = ref init in
+    let best_len = ref (List.length init) in
+    let place = Array.make n (-1) in
+    let nodes = ref 0 in
+    let exhausted = ref false in
+    (* DFS: [k] is the current microinstruction index, [current] its ops
+       (indices, increasing), [done_] how many ops are scheduled. *)
+    let rec go k current done_ last_idx mis_rev =
+      incr nodes;
+      if !nodes > node_budget then exhausted := true
+      else if done_ = n then begin
+        let final =
+          if current = [] then List.rev mis_rev
+          else List.rev (List.rev_map (fun j -> arr.(j)) current :: mis_rev)
+        in
+        let len = List.length final in
+        if len < !best_len then begin
+          best := final;
+          best_len := len
+        end
+      end
+      else begin
+        (* lower bound: finished MIs + longest chain among unscheduled *)
+        let lb = ref 0 in
+        for j = 0 to n - 1 do
+          if place.(j) = -1 then lb := max !lb chains.(j)
+        done;
+        let n_closed = List.length mis_rev in
+        let cur_count = if current = [] then 0 else 1 in
+        if n_closed + max !lb cur_count >= !best_len then ()
+        else begin
+          let ready j =
+            place.(j) = -1
+            && List.for_all
+                 (fun e ->
+                   let p = place.(e.Dataflow.e_src) in
+                   p <> -1
+                   && p + Dataflow.min_delta ~chain infos e <= k
+                   && (p <> k || Dataflow.same_mi_ok ~chain infos e))
+                 preds.(j)
+          in
+          let current_ops = List.rev_map (fun j -> arr.(j)) current in
+          (* extend the current MI with any ready op of larger index *)
+          for j = last_idx + 1 to n - 1 do
+            if (not !exhausted) && ready j
+               && Conflict.fits d current_ops arr.(j) = Ok ()
+            then begin
+              place.(j) <- k;
+              go k (j :: current) (done_ + 1) j mis_rev;
+              place.(j) <- -1
+            end
+          done;
+          (* or close it and start the next one *)
+          if (not !exhausted) && current <> [] then
+            go (k + 1) [] done_ (-1)
+              (List.rev_map (fun j -> arr.(j)) current :: mis_rev)
+        end
+      end
+    in
+    go 0 [] 0 (-1) [];
+    (!best, !nodes, not !exhausted)
+  end
+
+(* -- entry point ---------------------------------------------------------- *)
+
+let compact ?(chain = true) ~algo (d : Desc.t) (ops : Inst.op list) =
+  let algo = if d.Desc.d_vertical then Sequential else algo in
+  let groups, nodes, exact =
+    match algo with
+    | Sequential -> (sequential ops, 0, true)
+    | Fcfs -> (fcfs ~chain d ops, 0, true)
+    | Critical_path -> (critical_path ~chain d ops, 0, true)
+    | Optimal -> optimal ~chain d ops
+  in
+  let groups = List.filter (fun g -> g <> []) groups in
+  if not (check ~chain d ops groups) then
+    Diag.error Diag.Compaction "%s produced an invalid schedule"
+      (algo_name algo);
+  { groups; r_algo = algo; nodes; exact }

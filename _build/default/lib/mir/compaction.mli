@@ -1,0 +1,41 @@
+(** Microinstruction composition ("compaction"): packing a straight-line
+    sequence of microoperations into as few horizontal words as data
+    dependence and resource/encoding conflicts allow — the problem the
+    survey's §3 says has been "overemphasized", measured by experiment T4.
+
+    Algorithms, after the survey's references:
+    - [Sequential]: no packing (what a vertical machine does anyway);
+    - [Fcfs]: first-come-first-served linear placement (Dasgupta & Tartar
+      [3]);
+    - [Critical_path]: list scheduling by longest-path priority (Tsuchiya
+      & Gonzalez [22]);
+    - [Optimal]: branch-and-bound exact minimum (Tokoro et al. [21]),
+      falling back to the critical-path answer past a node budget. *)
+
+open Msl_machine
+
+type algo = Sequential | Fcfs | Critical_path | Optimal
+
+val algo_name : algo -> string
+
+type result = {
+  groups : Inst.op list list;  (** one element per microinstruction *)
+  r_algo : algo;  (** the algorithm actually used (vertical forces
+                      [Sequential]) *)
+  nodes : int;  (** search nodes explored ([Optimal] only) *)
+  exact : bool;  (** [Optimal] finished within its node budget *)
+}
+
+val node_budget : int
+
+val check : chain:bool -> Desc.t -> Inst.op list -> Inst.op list list -> bool
+(** Is the grouping a valid schedule of the ops: every dependence delta
+    respected and every word conflict-free?  Run internally on every
+    result; exposed for the property tests. *)
+
+val compact : ?chain:bool -> algo:algo -> Desc.t -> Inst.op list -> result
+(** [chain] (default true) allows transport chaining on polyphase
+    machines: a dependent op may share a word with its producer when the
+    producer's phase strictly precedes.
+    @raise Msl_util.Diag.Error if the produced schedule fails [check]
+    (an internal invariant). *)

@@ -1,0 +1,302 @@
+(* Machine-dependent MIR-to-MIR lowering.
+
+   Rewrites constructs a target machine cannot execute directly into loops
+   of constructs it can:
+
+   - multiplication, when the machine has no multiply microoperation
+     (HP3, V11): shift-and-add, the survey's own example algorithm
+     (SIMPL §2.2.1 and S* §2.2.3 both multiply this way);
+   - unsigned division/remainder, always (no surveyed machine divides):
+     restoring long division;
+   - switch/multiway branch, when the machine has no dispatch capability
+     (V11, B17): a compare-and-branch chain.
+
+   Expansions introduce fresh virtual registers when the program already
+   uses them, or lean on the machine's reserved scratch registers for
+   register-bound programs. *)
+
+open Msl_bitvec
+open Msl_machine
+module Rtl = Msl_machine.Rtl
+
+type st = {
+  d : Desc.t;
+  mutable next_vreg : int;
+  mutable next_label : int;
+  mutable names : (int * string) list;
+  use_vregs : bool;  (* program already uses virtual registers *)
+}
+
+let fresh_label st base =
+  st.next_label <- st.next_label + 1;
+  Printf.sprintf "%s$%d" base st.next_label
+
+(* A temporary: fresh vreg when allowed; otherwise one of the reserved
+   scratch registers by index (0 = at, 1 = at2/acc, ...). *)
+let temp st idx =
+  if st.use_vregs then begin
+    let v = st.next_vreg in
+    st.next_vreg <- v + 1;
+    st.names <- (v, Printf.sprintf "t%d" v) :: st.names;
+    Mir.Virt v
+  end
+  else begin
+    let cls_reg c =
+      match Desc.regs_of_class st.d c with
+      | r :: _ -> Some r.Desc.r_id
+      | [] -> None
+    in
+    (* preference order matters: ACC last, because ALU expansions on
+       fixed-ACC machines clobber it between statements *)
+    let rec dedup seen = function
+      | [] -> []
+      | r :: rest ->
+          if List.mem r seen then dedup seen rest
+          else r :: dedup (r :: seen) rest
+    in
+    let candidates = dedup [] (List.filter_map cls_reg [ "at"; "at2"; "acc" ]) in
+    match List.nth_opt candidates idx with
+    | Some r -> Mir.Phys r
+    | None ->
+        Msl_util.Diag.error Msl_util.Diag.Codegen
+          "%s: expansion needs %d scratch registers" st.d.Desc.d_name (idx + 1)
+  end
+
+let word st = st.d.Desc.d_word
+
+let has_mul st =
+  Desc.templates_with_sem st.d (Desc.S_binop Rtl.A_mul) <> []
+
+(* -- expansions ------------------------------------------------------------ *)
+
+(* dst := a * b by shift-and-add.  Fresh blocks; returns (pre-loop stmts in
+   the current block, new blocks, label to continue from). *)
+let expand_mul st dst a b rest_label =
+  let acc = temp st 0 and m = temp st 1 and q = temp st 2 and t = temp st 3 in
+  let loop = fresh_label st "mul_loop"
+  and body = fresh_label st "mul_body"
+  and addit = fresh_label st "mul_add"
+  and shift = fresh_label st "mul_shift"
+  and done_ = fresh_label st "mul_done" in
+  let pre =
+    [
+      Mir.assign acc (Mir.R_const (Bitvec.zero (word st)));
+      Mir.assign m (Mir.R_copy a);
+      Mir.assign q (Mir.R_copy b);
+    ]
+  in
+  let blocks =
+    [
+      { Mir.b_label = loop; b_stmts = []; b_term = Mir.If (Mir.Nonzero q, body, done_) };
+      {
+        Mir.b_label = body;
+        b_stmts =
+          [ Mir.assign t (Mir.R_shift_imm (Rtl.A_shl, q, word st - 1)) ];
+        b_term = Mir.If (Mir.Nonzero t, addit, shift);
+      };
+      (* low bit of q set: accumulate m *)
+      {
+        Mir.b_label = addit;
+        b_stmts = [ Mir.assign acc (Mir.R_binop (Rtl.A_add, acc, m)) ];
+        b_term = Mir.Goto shift;
+      };
+      {
+        Mir.b_label = shift;
+        b_stmts =
+          [
+            Mir.assign m (Mir.R_shift_imm (Rtl.A_shl, m, 1));
+            Mir.assign q (Mir.R_shift_imm (Rtl.A_shr, q, 1));
+          ];
+        b_term = Mir.Goto loop;
+      };
+      {
+        Mir.b_label = done_;
+        b_stmts = [ Mir.assign dst (Mir.R_copy acc) ];
+        b_term = Mir.Goto rest_label;
+      };
+    ]
+  in
+  (pre, blocks, loop)
+
+(* dst := a / b (want_rem: a mod b) by restoring long division over
+   [word] bits.  The quotient is built in q, the running remainder in r;
+   nn holds the dividend being consumed MSB-first. *)
+let expand_div st ~want_rem dst a b rest_label =
+  let w = word st in
+  let q = temp st 0 and r = temp st 1 and nn = temp st 2 and i = temp st 3 in
+  (* t shares a scratch with q on register-bound machines only if we have
+     enough temps; index 4 would exceed them, so reuse nn's slot carefully:
+     instead allocate index 4 and let [temp] fail loudly when the machine
+     cannot host the expansion (division needs a vreg program or 5 temps,
+     which every shipped machine provides via at/at2/acc only when vregs
+     are available — in practice division appears only in EMPL programs,
+     which are vreg-based). *)
+  let t = temp st 4 in
+  let loop = fresh_label st "div_loop"
+  and body = fresh_label st "div_body"
+  and fit = fresh_label st "div_fit"
+  and next = fresh_label st "div_next"
+  and done_ = fresh_label st "div_done" in
+  let pre =
+    [
+      Mir.assign q (Mir.R_const (Bitvec.zero w));
+      Mir.assign r (Mir.R_const (Bitvec.zero w));
+      Mir.assign nn (Mir.R_copy a);
+      Mir.assign i (Mir.R_const (Bitvec.of_int ~width:w w));
+    ]
+  in
+  let blocks =
+    [
+      { Mir.b_label = loop; b_stmts = []; b_term = Mir.If (Mir.Nonzero i, body, done_) };
+      {
+        Mir.b_label = body;
+        b_stmts =
+          [
+            (* r = (r << 1) | msb(nn); nn <<= 1; q <<= 1 *)
+            Mir.assign r (Mir.R_shift_imm (Rtl.A_shl, r, 1));
+            Mir.assign t (Mir.R_shift_imm (Rtl.A_shr, nn, w - 1));
+            Mir.assign r (Mir.R_binop (Rtl.A_or, r, t));
+            Mir.assign nn (Mir.R_shift_imm (Rtl.A_shl, nn, 1));
+            Mir.assign q (Mir.R_shift_imm (Rtl.A_shl, q, 1));
+            (* t := r - b, flags decide whether it fits *)
+            Mir.Assign
+              { dst = t; rv = Mir.R_binop (Rtl.A_sub, r, b); set_flags = true };
+          ];
+        b_term = Mir.If (Mir.Flag_clear Rtl.C, fit, next);
+      };
+      {
+        Mir.b_label = fit;
+        b_stmts =
+          [
+            Mir.assign r (Mir.R_copy t);
+            Mir.assign q (Mir.R_inc q);
+          ];
+        b_term = Mir.Goto next;
+      };
+      {
+        Mir.b_label = next;
+        b_stmts = [ Mir.assign i (Mir.R_dec i) ];
+        b_term = Mir.Goto loop;
+      };
+      {
+        Mir.b_label = done_;
+        b_stmts = [ Mir.assign dst (Mir.R_copy (if want_rem then r else q)) ];
+        b_term = Mir.Goto rest_label;
+      };
+    ]
+  in
+  (pre, blocks, loop)
+
+(* -- block splitting -------------------------------------------------------- *)
+
+(* Scan a block; when a statement needs expansion, split the block there. *)
+let rec expand_block st (b : Mir.block) : Mir.block list =
+  let rec scan acc = function
+    | [] -> [ { b with Mir.b_stmts = List.rev acc } ]
+    | (Mir.Assign { dst; rv; _ } as s) :: rest -> (
+        let expand f =
+          let rest_label = fresh_label st (b.Mir.b_label ^ "$rest") in
+          let pre, blocks, entry = f rest_label in
+          let head =
+            {
+              Mir.b_label = b.Mir.b_label;
+              b_stmts = List.rev_append acc pre;
+              b_term = Mir.Goto entry;
+            }
+          in
+          let rest_block =
+            { Mir.b_label = rest_label; b_stmts = rest; b_term = b.Mir.b_term }
+          in
+          (head :: blocks) @ expand_block st rest_block
+        in
+        match rv with
+        | Mir.R_binop (Rtl.A_mul, a, bb) when not (has_mul st) ->
+            expand (expand_mul st dst a bb)
+        | Mir.R_div (a, bb) -> expand (expand_div st ~want_rem:false dst a bb)
+        | Mir.R_rem (a, bb) -> expand (expand_div st ~want_rem:true dst a bb)
+        | _ -> scan (s :: acc) rest)
+    | s :: rest -> scan (s :: acc) rest
+  in
+  scan [] b.Mir.b_stmts
+
+(* -- switch expansion ------------------------------------------------------- *)
+
+(* On machines without dispatch, rewrite a switch into extraction of the
+   selector field followed by a compare-and-branch chain. *)
+let expand_switch st (b : Mir.block) : Mir.block list =
+  match b.Mir.b_term with
+  | Mir.Switch { sel; hi; lo; targets }
+    when not (Desc.has_cap st.d Desc.Cap_dispatch) ->
+      let w = word st in
+      let t1 = temp st 0 and t2 = temp st 1 in
+      let nmask = (1 lsl (hi - lo + 1)) - 1 in
+      let head_stmts =
+        [
+          Mir.assign t1 (Mir.R_shift_imm (Rtl.A_shr, sel, lo));
+          Mir.assign t2 (Mir.R_const (Bitvec.of_int ~width:w nmask));
+          Mir.assign t1 (Mir.R_binop (Rtl.A_and, t1, t2));
+        ]
+      in
+      let n = List.length targets in
+      let chain_labels =
+        List.init n (fun i ->
+            if i = 0 then fresh_label st "sw" else fresh_label st "sw")
+      in
+      let chain_blocks =
+        List.mapi
+          (fun i tgt ->
+            let label = List.nth chain_labels i in
+            if i = n - 1 then
+              (* last case: everything else lands here *)
+              { Mir.b_label = label; b_stmts = []; b_term = Mir.Goto tgt }
+            else
+              let next_label = List.nth chain_labels (i + 1) in
+              {
+                Mir.b_label = label;
+                b_stmts =
+                  [
+                    Mir.assign t2 (Mir.R_const (Bitvec.of_int ~width:w i));
+                    Mir.assign t2 (Mir.R_binop (Rtl.A_xor, t1, t2));
+                  ];
+                b_term = Mir.If (Mir.Zero t2, tgt, next_label);
+              })
+          targets
+      in
+      let head =
+        {
+          b with
+          Mir.b_stmts = b.Mir.b_stmts @ head_stmts;
+          b_term = Mir.Goto (List.hd chain_labels);
+        }
+      in
+      head :: chain_blocks
+  | _ -> [ b ]
+
+(* -- entry point ------------------------------------------------------------- *)
+
+let expand (d : Desc.t) (p : Mir.program) : Mir.program =
+  let st =
+    {
+      d;
+      next_vreg = p.Mir.next_vreg;
+      next_label = 0;
+      names = [];
+      use_vregs = Mir.program_vregs p <> [];
+    }
+  in
+  let expand_blocks blocks =
+    List.concat_map (expand_block st) blocks
+    |> List.concat_map (expand_switch st)
+  in
+  let main = expand_blocks p.Mir.main in
+  let procs =
+    List.map
+      (fun pr -> { pr with Mir.p_blocks = expand_blocks pr.Mir.p_blocks })
+      p.Mir.procs
+  in
+  {
+    Mir.main;
+    procs;
+    next_vreg = st.next_vreg;
+    vreg_names = st.names @ p.Mir.vreg_names;
+  }

@@ -1,0 +1,15 @@
+(** Machine-dependent MIR-to-MIR lowering: rewrites constructs the target
+    cannot execute directly into loops of constructs it can.
+
+    - multiplication, when the machine has no multiply microoperation:
+      shift-and-add (the survey's own example algorithm);
+    - unsigned division/remainder, always: restoring long division;
+    - switch, when the machine has no dispatch: a compare-and-branch
+      chain.
+
+    Expansions use fresh virtual registers when the program already has
+    them, and the machine's reserved scratch registers otherwise. *)
+
+val expand : Msl_machine.Desc.t -> Mir.program -> Mir.program
+(** @raise Msl_util.Diag.Error when a register-bound program needs more
+    scratch registers than the machine reserves. *)

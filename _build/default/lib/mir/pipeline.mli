@@ -1,0 +1,66 @@
+(** The compiler back end shared by all four frontends:
+
+    validate → {!Lower.expand} → ({!Pollpoints.insert}) → ({!Regalloc.run})
+    → {!Select} per block → {!Compaction} per block → layout and link.
+
+    S* uses the lower-level {!link} directly, because its programmer
+    composes the microinstructions. *)
+
+open Msl_machine
+
+type options = {
+  algo : Compaction.algo;
+  chain : bool;  (** transport chaining on polyphase machines *)
+  strategy : Regalloc.strategy;
+  pool_limit : int option;  (** cap on allocatable registers (T5) *)
+  poll : bool;  (** insert interrupt poll points on back edges (§2.1.5) *)
+  trap_safe : bool;
+      (** restart-safe recompilation: redirect pre-fault register writes to
+          temporaries committed after the block's last faulting statement
+          (the repair for the survey's §2.1.5 incread hazard) *)
+}
+
+val default_options : options
+(** Critical-path compaction, chaining on, priority allocation, full pool,
+    no poll points. *)
+
+type metrics = {
+  m_instructions : int;  (** control-store words *)
+  m_ops : int;  (** microoperations emitted *)
+  m_bits : int;  (** control-store bits *)
+  m_blocks : int;
+  m_alloc : Regalloc.stats option;  (** when the allocator ran *)
+  m_search_nodes : int;  (** B&B nodes, when [Optimal] ran *)
+}
+
+(** A block already lowered to explicit microinstructions with labelled
+    targets (the S* entry path). *)
+type linked_block = {
+  k_label : string;
+  k_mis : (Inst.op list * Select.lnext) list;
+}
+
+val link :
+  ?aliases:(string * string) list ->
+  Desc.t ->
+  linked_block list ->
+  Inst.t list * (string * int) list
+(** Lay blocks out in order, expand dispatch tables, resolve labels
+    (procedure names alias their entry blocks), and convert fallthrough
+    jumps to [Next].  Returns the program and the label table.
+    @raise Msl_util.Diag.Error on undefined labels. *)
+
+val compile :
+  ?options:options ->
+  Desc.t ->
+  Mir.program ->
+  Inst.t list * (string * int) list * metrics
+
+val load :
+  ?options:options ->
+  ?mem_words:int ->
+  ?trap_mode:Sim.trap_mode ->
+  Desc.t ->
+  Mir.program ->
+  Sim.t * (string * int) list * metrics
+(** Compile and install into a fresh simulator. *)

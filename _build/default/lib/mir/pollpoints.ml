@@ -1,0 +1,57 @@
+(* Interrupt poll-point insertion (survey §2.1.5).
+
+   "If the programmer is allowed to disregard [interrupts] completely, the
+   compiler must be able to determine suitable program points at which to
+   test for interrupts."  The suitable points are loop back edges: every
+   control transfer to an earlier (or the same) block gets routed through a
+   poll block that services a pending interrupt before continuing.  The
+   survey notes that no surveyed implementation did this; experiment F2
+   measures the latency the insertion buys. *)
+
+let insert (p : Mir.program) : Mir.program =
+  let counter = ref 0 in
+  let instrument blocks =
+    let order = List.mapi (fun i b -> (b.Mir.b_label, i)) blocks in
+    let index l =
+      match List.assoc_opt l order with Some i -> Some i | None -> None
+    in
+    let extra = ref [] in
+    let reroute src_idx l =
+      match index l with
+      | Some tgt_idx when tgt_idx <= src_idx ->
+          incr counter;
+          let poll = Printf.sprintf "poll$%d" !counter in
+          let ack = Printf.sprintf "ack$%d" !counter in
+          extra :=
+            { Mir.b_label = ack; b_stmts = [ Mir.Intack ]; b_term = Mir.Goto l }
+            :: {
+                 Mir.b_label = poll;
+                 b_stmts = [];
+                 b_term = Mir.If (Mir.Int_pending, ack, l);
+               }
+            :: !extra;
+          poll
+      | Some _ | None -> l
+    in
+    let blocks =
+      List.mapi
+        (fun i b ->
+          let term =
+            match b.Mir.b_term with
+            | Mir.Goto l -> Mir.Goto (reroute i l)
+            | Mir.If (c, l1, l2) -> Mir.If (c, reroute i l1, reroute i l2)
+            | (Mir.Switch _ | Mir.Call _ | Mir.Ret | Mir.Halt) as t -> t
+          in
+          { b with Mir.b_term = term })
+        blocks
+    in
+    blocks @ List.rev !extra
+  in
+  {
+    p with
+    Mir.main = instrument p.Mir.main;
+    procs =
+      List.map
+        (fun pr -> { pr with Mir.p_blocks = instrument pr.Mir.p_blocks })
+        p.Mir.procs;
+  }

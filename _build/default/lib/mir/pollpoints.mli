@@ -1,0 +1,9 @@
+(** Interrupt poll-point insertion (survey §2.1.5).
+
+    Routes every loop back edge through a poll block that services a
+    pending interrupt before continuing — the "suitable program points at
+    which to test for interrupts" the survey says a compiler must find if
+    the programmer is to ignore interrupts; none of the surveyed systems
+    did it (experiment F2 measures what it buys). *)
+
+val insert : Mir.program -> Mir.program

@@ -1,0 +1,400 @@
+(* Register allocation for symbolic-variable languages (EMPL; survey §2.1.3).
+
+   The survey notes the microregister set is small (16..256) and that
+   spilling to "a reserved area of main memory" must minimise "the number
+   of fetches and stores".  Two allocators are provided so that experiment
+   T5 can compare them:
+
+   - [First_fit]  linear-scan order, first free register;
+   - [Priority]   variables with the highest static use count get registers
+                  first (the "insight in the use (for example, access
+                  frequency) of variables" the survey asks for).
+
+   Interference is live-interval overlap over the linearised program (a
+   classical linear-scan approximation).  Spilled variables live in the
+   machine's scratchpad area ([d_scratch_base]); every use reloads into the
+   scratch registers and every definition stores back, so the spill cost
+   the survey worries about is directly measurable. *)
+
+open Msl_machine
+module Diag = Msl_util.Diag
+
+type strategy = First_fit | Priority
+
+let strategy_name = function First_fit -> "first-fit" | Priority -> "priority"
+
+type stats = {
+  s_strategy : strategy;
+  vregs : int;
+  assigned : int;
+  spilled : int;
+  spill_loads : int;  (* reload statements inserted *)
+  spill_stores : int;  (* store-back statements inserted *)
+  registers_available : int;
+}
+
+(* -- liveness ------------------------------------------------------------- *)
+
+module IS = Set.Make (Int)
+
+let vregs_of l =
+  List.fold_left
+    (fun acc r -> match r with Mir.Virt v -> IS.add v acc | Mir.Phys _ -> acc)
+    IS.empty l
+
+let stmt_use s = vregs_of (Mir.stmt_reads s)
+let stmt_def s = vregs_of (Mir.stmt_writes s)
+
+(* Block-level live-in/live-out by backward fixpoint over the CFG. *)
+let block_liveness (blocks : Mir.block list) =
+  let n = List.length blocks in
+  let arr = Array.of_list blocks in
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i b -> Hashtbl.replace index b.Mir.b_label i) arr;
+  let use = Array.make n IS.empty and def = Array.make n IS.empty in
+  Array.iteri
+    (fun i b ->
+      let u, d =
+        List.fold_left
+          (fun (u, d) s ->
+            let u = IS.union u (IS.diff (stmt_use s) d) in
+            let d = IS.union d (stmt_def s) in
+            (u, d))
+          (IS.empty, IS.empty) b.Mir.b_stmts
+      in
+      let u = IS.union u (IS.diff (vregs_of (Mir.term_reads b.Mir.b_term)) d) in
+      use.(i) <- u;
+      def.(i) <- d)
+    arr;
+  let live_in = Array.make n IS.empty and live_out = Array.make n IS.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let out =
+        List.fold_left
+          (fun acc l ->
+            match Hashtbl.find_opt index l with
+            | Some j -> IS.union acc live_in.(j)
+            | None -> acc (* procedure entry: handled per-proc *))
+          IS.empty
+          (Mir.term_targets arr.(i).Mir.b_term)
+      in
+      let inp = IS.union use.(i) (IS.diff out def.(i)) in
+      if not (IS.equal out live_out.(i) && IS.equal inp live_in.(i)) then begin
+        live_out.(i) <- out;
+        live_in.(i) <- inp;
+        changed := true
+      end
+    done
+  done;
+  (live_in, live_out)
+
+(* -- live intervals over the linearised program --------------------------- *)
+
+type interval = { v : int; start_ : int; end_ : int; uses : int }
+
+let intervals (blocks : Mir.block list) =
+  let live_in, live_out = block_liveness blocks in
+  let tbl : (int, interval) Hashtbl.t = Hashtbl.create 32 in
+  let touch v pos count_use =
+    let cur =
+      match Hashtbl.find_opt tbl v with
+      | Some it -> it
+      | None -> { v; start_ = pos; end_ = pos; uses = 0 }
+    in
+    Hashtbl.replace tbl v
+      {
+        cur with
+        start_ = min cur.start_ pos;
+        end_ = max cur.end_ pos;
+        uses = (cur.uses + if count_use then 1 else 0);
+      }
+  in
+  let pos = ref 0 in
+  let call_positions = ref [] in
+  List.iteri
+    (fun bi b ->
+      let bstart = !pos in
+      IS.iter (fun v -> touch v bstart false) live_in.(bi);
+      List.iter
+        (fun s ->
+          IS.iter (fun v -> touch v !pos true) (stmt_use s);
+          IS.iter (fun v -> touch v !pos true) (stmt_def s);
+          incr pos)
+        b.Mir.b_stmts;
+      IS.iter (fun v -> touch v !pos true) (vregs_of (Mir.term_reads b.Mir.b_term));
+      (* anything live out of the block survives to its end *)
+      IS.iter (fun v -> touch v !pos false) live_out.(bi);
+      (match b.Mir.b_term with
+      | Mir.Call _ -> call_positions := !pos :: !call_positions
+      | _ -> ());
+      incr pos)
+    blocks;
+  let max_pos = !pos in
+  (* A variable live across a call is live while the callee's blocks run,
+     but those blocks sit elsewhere in the linear layout.  Conservatively
+     extend such intervals to the end of the program so they interfere
+     with every procedure-local variable. *)
+  let ivs =
+    Hashtbl.fold (fun _ it acc -> it :: acc) tbl []
+    |> List.map (fun it ->
+           if
+             List.exists
+               (fun cp -> it.start_ < cp && cp < it.end_)
+               !call_positions
+           then { it with end_ = max_pos }
+           else it)
+  in
+  List.sort (fun a b -> compare a.start_ b.start_) ivs
+
+let overlap a b = a.start_ <= b.end_ && b.start_ <= a.end_
+
+(* -- allocation ------------------------------------------------------------ *)
+
+type assignment = Reg of int | Spill of int  (* memory slot index *)
+
+let allocate_intervals ~strategy ~pool ivs =
+  let order =
+    match strategy with
+    | First_fit -> ivs  (* already by start position *)
+    | Priority ->
+        List.sort
+          (fun a b ->
+            match compare b.uses a.uses with
+            | 0 -> compare a.start_ b.start_
+            | c -> c)
+          ivs
+  in
+  let taken : (int * interval) list ref = ref [] in
+  let slots = ref 0 in
+  let assign it =
+    let free r =
+      not
+        (List.exists (fun (r', it') -> r = r' && overlap it it') !taken)
+    in
+    match List.find_opt free pool with
+    | Some r ->
+        taken := (r, it) :: !taken;
+        (it.v, Reg r)
+    | None ->
+        let s = !slots in
+        incr slots;
+        (it.v, Spill s)
+  in
+  List.map assign order
+
+(* -- spill rewriting -------------------------------------------------------- *)
+
+(* Scratch registers used for reloads: primary "at", secondary "mbr" (safe
+   because any internal MBR use by a load happens before the operands are
+   consumed). *)
+let scratch_regs d =
+  let get cls =
+    match Desc.regs_of_class d cls with
+    | r :: _ -> Some r.Desc.r_id
+    | [] -> None
+  in
+  match (get "at", get "mbr") with
+  | Some a, Some b -> (a, b)
+  | Some a, None -> (a, a)
+  | None, _ ->
+      Diag.error Diag.Allocation "machine %s has no scratch register"
+        d.Desc.d_name
+
+type rewrite_state = { mutable loads : int; mutable stores : int }
+
+let slot_addr d s = d.Desc.d_scratch_base + s
+
+let rewrite_block d env st (b : Mir.block) =
+  let at, mbr = scratch_regs d in
+  let map_reads stmt_reads_regs =
+    (* plan which scratch register each spilled read uses *)
+    let spilled =
+      List.filter_map
+        (fun r ->
+          match r with
+          | Mir.Virt v -> (
+              match List.assoc_opt v env with
+              | Some (Spill s) -> Some (v, s)
+              | Some (Reg _) | None -> None)
+          | Mir.Phys _ -> None)
+        stmt_reads_regs
+      |> List.sort_uniq compare
+    in
+    match spilled with
+    | [] -> ([], [])
+    | [ (v, s) ] ->
+        st.loads <- st.loads + 1;
+        ( [ Mir.assign (Mir.Phys at) (Mir.R_mem_abs (slot_addr d s)) ],
+          [ (v, at) ] )
+    | [ (v1, s1); (v2, s2) ] ->
+        st.loads <- st.loads + 2;
+        ( [
+            Mir.assign (Mir.Phys at) (Mir.R_mem_abs (slot_addr d s1));
+            Mir.assign (Mir.Phys mbr) (Mir.R_mem_abs (slot_addr d s2));
+          ],
+          [ (v1, at); (v2, mbr) ] )
+    | _ ->
+        Diag.error Diag.Allocation
+          "statement reads more than two spilled variables"
+  in
+  let subst sub r =
+    match r with
+    | Mir.Virt v -> (
+        match List.assoc_opt v sub with
+        | Some phys -> Mir.Phys phys
+        | None -> (
+            match List.assoc_opt v env with
+            | Some (Reg p) -> Mir.Phys p
+            | Some (Spill _) ->
+                Diag.error Diag.Allocation "unplanned spilled read of v%d" v
+            | None -> Diag.error Diag.Allocation "unallocated variable v%d" v))
+    | Mir.Phys _ -> r
+  in
+  let subst_rv sub rv =
+    match rv with
+    | Mir.R_const _ | Mir.R_mem_abs _ -> rv
+    | Mir.R_copy r -> Mir.R_copy (subst sub r)
+    | Mir.R_not r -> Mir.R_not (subst sub r)
+    | Mir.R_neg r -> Mir.R_neg (subst sub r)
+    | Mir.R_inc r -> Mir.R_inc (subst sub r)
+    | Mir.R_dec r -> Mir.R_dec (subst sub r)
+    | Mir.R_binop (op, a, b) -> Mir.R_binop (op, subst sub a, subst sub b)
+    | Mir.R_div (a, b) -> Mir.R_div (subst sub a, subst sub b)
+    | Mir.R_rem (a, b) -> Mir.R_rem (subst sub a, subst sub b)
+    | Mir.R_shift_imm (op, r, n) -> Mir.R_shift_imm (op, subst sub r, n)
+    | Mir.R_mem r -> Mir.R_mem (subst sub r)
+  in
+  let rewrite_stmt s =
+    let pre, sub = map_reads (Mir.stmt_reads s) in
+    let core, post =
+      match s with
+      | Mir.Assign { dst; rv; set_flags } -> (
+          let rv = subst_rv sub rv in
+          match dst with
+          | Mir.Virt v -> (
+              match List.assoc_opt v env with
+              | Some (Reg p) ->
+                  ([ Mir.Assign { dst = Mir.Phys p; rv; set_flags } ], [])
+              | Some (Spill slot) ->
+                  st.stores <- st.stores + 1;
+                  ( [ Mir.Assign { dst = Mir.Phys at; rv; set_flags } ],
+                    [
+                      Mir.Store_abs
+                        { addr = slot_addr d slot; src = Mir.Phys at };
+                    ] )
+              | None ->
+                  Diag.error Diag.Allocation "unallocated variable v%d" v)
+          | Mir.Phys _ -> ([ Mir.Assign { dst; rv; set_flags } ], []))
+      | Mir.Store { addr; src } ->
+          ([ Mir.Store { addr = subst sub addr; src = subst sub src } ], [])
+      | Mir.Store_abs { addr; src } ->
+          ([ Mir.Store_abs { addr; src = subst sub src } ], [])
+      | Mir.Test r -> ([ Mir.Test (subst sub r) ], [])
+      | Mir.Intack -> ([ Mir.Intack ], [])
+      | Mir.Special { op; args } ->
+          (* spilled operands of a raw microoperation would need read and
+             write-back handling; require register residency instead *)
+          let args' = List.map (subst sub) args in
+          let stores =
+            List.concat_map
+              (fun a ->
+                match a with
+                | Mir.Virt v -> (
+                    match List.assoc_opt v env with
+                    | Some (Spill _) ->
+                        Diag.error Diag.Allocation
+                          "operand of raw microoperation %s was spilled" op
+                    | _ -> [])
+                | Mir.Phys _ -> [])
+              args
+          in
+          ignore stores;
+          ([ Mir.Special { op; args = args' } ], [])
+    in
+    pre @ core @ post
+  in
+  let stmts = List.concat_map rewrite_stmt b.Mir.b_stmts in
+  (* terminator reads *)
+  let pre_t, sub_t = map_reads (Mir.term_reads b.Mir.b_term) in
+  let term =
+    match b.Mir.b_term with
+    | Mir.If (c, a, bl) ->
+        let c =
+          match c with
+          | Mir.Zero r -> Mir.Zero (subst sub_t r)
+          | Mir.Nonzero r -> Mir.Nonzero (subst sub_t r)
+          | Mir.Mask_match (r, m) -> Mir.Mask_match (subst sub_t r, m)
+          | Mir.Flag_set _ | Mir.Flag_clear _ | Mir.Int_pending -> c
+        in
+        Mir.If (c, a, bl)
+    | Mir.Switch sw -> Mir.Switch { sw with sel = subst sub_t sw.sel }
+    | (Mir.Goto _ | Mir.Call _ | Mir.Ret | Mir.Halt) as t -> t
+  in
+  { b with Mir.b_stmts = stmts @ pre_t; b_term = term }
+
+(* -- entry point ------------------------------------------------------------- *)
+
+let run ?(strategy = Priority) ?pool_limit (d : Desc.t) (p : Mir.program) =
+  (* physical registers the program names explicitly are precoloured:
+     never hand them out to virtual variables *)
+  let named_phys =
+    let add acc = function Mir.Phys r -> IS.add r acc | Mir.Virt _ -> acc in
+    List.fold_left
+      (fun acc b ->
+        let acc =
+          List.fold_left
+            (fun acc s ->
+              List.fold_left add
+                (List.fold_left add acc (Mir.stmt_reads s))
+                (Mir.stmt_writes s))
+            acc b.Mir.b_stmts
+        in
+        List.fold_left add acc (Mir.term_reads b.Mir.b_term))
+      IS.empty (Mir.all_blocks p)
+  in
+  let pool =
+    List.map (fun r -> r.Desc.r_id) (Desc.regs_of_class d "alloc")
+    |> List.filter (fun r -> not (IS.mem r named_phys))
+  in
+  let pool =
+    match pool_limit with
+    | Some n -> List.filteri (fun i _ -> i < n) pool
+    | None -> pool
+  in
+  if pool = [] then
+    Diag.error Diag.Allocation "machine %s has no allocatable registers"
+      d.Desc.d_name;
+  (* allocate main and each procedure independently: EMPL variables are
+     global, so compute intervals over the whole layout *)
+  let layout = Mir.all_blocks p in
+  let ivs = intervals layout in
+  let env = allocate_intervals ~strategy ~pool ivs in
+  let st = { loads = 0; stores = 0 } in
+  let rw b = rewrite_block d env st b in
+  let p' =
+    {
+      p with
+      Mir.main = List.map rw p.Mir.main;
+      procs =
+        List.map
+          (fun pr -> { pr with Mir.p_blocks = List.map rw pr.Mir.p_blocks } )
+          p.Mir.procs;
+    }
+  in
+  let spilled =
+    List.length (List.filter (function _, Spill _ -> true | _ -> false) env)
+  in
+  let stats =
+    {
+      s_strategy = strategy;
+      vregs = List.length ivs;
+      assigned = List.length ivs - spilled;
+      spilled;
+      spill_loads = st.loads;
+      spill_stores = st.stores;
+      registers_available = List.length pool;
+    }
+  in
+  (p', stats)

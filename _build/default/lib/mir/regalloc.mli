@@ -1,0 +1,39 @@
+(** Register allocation for symbolic-variable languages (survey §2.1.3).
+
+    Live-interval allocation over the linearised program with two
+    strategies, plus spill code through the machine's scratch registers
+    into its reserved scratchpad memory — making the "number of fetches
+    and stores" the survey wants minimised directly measurable (T5). *)
+
+open Msl_machine
+
+type strategy =
+  | First_fit  (** linear-scan order, first free register *)
+  | Priority
+      (** highest static use count first: the "insight in the use (for
+          example, access frequency) of variables" of §2.1.3 *)
+
+val strategy_name : strategy -> string
+
+type stats = {
+  s_strategy : strategy;
+  vregs : int;  (** symbolic variables considered *)
+  assigned : int;
+  spilled : int;
+  spill_loads : int;  (** reload statements inserted *)
+  spill_stores : int;  (** store-back statements inserted *)
+  registers_available : int;
+}
+
+val run :
+  ?strategy:strategy ->
+  ?pool_limit:int ->
+  Desc.t ->
+  Mir.program ->
+  Mir.program * stats
+(** Replace every virtual register by a physical one or by spill code.
+    [pool_limit] caps the allocatable pool (the T5 sweep).  Physical
+    registers the program names explicitly are treated as precoloured and
+    never handed out.
+    @raise Msl_util.Diag.Error when the machine has no allocatable
+    registers, or when a raw microoperation's operand would spill. *)

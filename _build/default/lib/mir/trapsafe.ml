@@ -1,0 +1,141 @@
+(* Restart-safe recompilation (survey §2.1.5).
+
+   Under the microtrap model, a page fault aborts the microprogram and
+   restarts it after service, with macroarchitecture registers saved and
+   restored.  The survey's `incread` shows the hazard: a macro register
+   incremented before the faulting fetch is incremented a second time on
+   restart.  The survey asks the compiler to "locate all program points
+   where [traps] can occur and determine whether a trap at such a point
+   will lead to undesirable side-effects" — this pass is that analysis and
+   repair, which none of the surveyed implementations provided.
+
+   Transformation, per basic block: every write to a macro register that
+   precedes the block's last possibly-faulting statement is redirected to
+   a fresh temporary; reads downstream in the block follow the
+   redirection; the temporaries are committed to their registers only
+   after the last faulting statement.  Re-execution of the prefix is then
+   idempotent.  (The guarantee covers programs whose restart point is the
+   faulting block's entry — in particular the single-block microprograms
+   of the survey's example.) *)
+
+open Msl_machine
+
+let may_fault = function
+  | Mir.Store _ | Mir.Store_abs _ | Mir.Special _
+  | Mir.Assign { rv = Mir.R_mem _; _ }
+  | Mir.Assign { rv = Mir.R_mem_abs _; _ } ->
+      true
+  | Mir.Assign _ | Mir.Test _ | Mir.Intack -> false
+
+type st = {
+  d : Desc.t;
+  mutable next_vreg : int;
+  mutable names : (int * string) list;
+}
+
+let fresh st base =
+  let v = st.next_vreg in
+  st.next_vreg <- v + 1;
+  st.names <- (v, base) :: st.names;
+  Mir.Virt v
+
+(* Which destinations need redirection.  The survey frames the hazard
+   around macroarchitecture registers (saved and restored around the
+   trap); in this simulator every register survives a restart, so every
+   persistent destination written before the last fault must be
+   redirected.  The memory-interface and scratch registers are exempt:
+   they are written only as fresh transports whose sources the
+   redirection already protects. *)
+let needs_redirect st = function
+  | Mir.Virt _ -> true
+  | Mir.Phys r ->
+      let cls = (Desc.reg st.d r).Desc.r_classes in
+      not
+        (List.exists
+           (fun c -> List.mem c [ "addr"; "mbr"; "at"; "at2" ])
+           cls)
+
+let subst_reg map r = match List.assoc_opt r map with Some t -> t | None -> r
+
+let subst_rv map rv =
+  let s = subst_reg map in
+  match rv with
+  | Mir.R_const _ | Mir.R_mem_abs _ -> rv
+  | Mir.R_copy r -> Mir.R_copy (s r)
+  | Mir.R_not r -> Mir.R_not (s r)
+  | Mir.R_neg r -> Mir.R_neg (s r)
+  | Mir.R_inc r -> Mir.R_inc (s r)
+  | Mir.R_dec r -> Mir.R_dec (s r)
+  | Mir.R_binop (op, a, b) -> Mir.R_binop (op, s a, s b)
+  | Mir.R_div (a, b) -> Mir.R_div (s a, s b)
+  | Mir.R_rem (a, b) -> Mir.R_rem (s a, s b)
+  | Mir.R_shift_imm (op, r, n) -> Mir.R_shift_imm (op, s r, n)
+  | Mir.R_mem r -> Mir.R_mem (s r)
+
+let rewrite_block st (b : Mir.block) =
+  let stmts = Array.of_list b.Mir.b_stmts in
+  let n = Array.length stmts in
+  let last_fault = ref (-1) in
+  Array.iteri (fun i s -> if may_fault s then last_fault := i) stmts;
+  if !last_fault < 0 then b
+  else begin
+    (* map from macro register to its temporary, built as writes appear *)
+    let map = ref [] in
+    let out = ref [] in
+    for i = 0 to n - 1 do
+      let s = stmts.(i) in
+      let sub = subst_reg !map in
+      let s' =
+        match s with
+        | Mir.Assign { dst; rv; set_flags } ->
+            let rv = subst_rv !map rv in
+            let dst =
+              if i < !last_fault && needs_redirect st dst then begin
+                let t =
+                  match List.assoc_opt dst !map with
+                  | Some t -> t
+                  | None ->
+                      let t = fresh st "ts" in
+                      map := (dst, t) :: !map;
+                      t
+                in
+                t
+              end
+              else
+                (* writes at or after the last fault, and non-macro
+                   destinations, stay in place (but still read through the
+                   substitution) *)
+                sub dst
+            in
+            Mir.Assign { dst; rv; set_flags }
+        | Mir.Store { addr; src } -> Mir.Store { addr = sub addr; src = sub src }
+        | Mir.Store_abs { addr; src } -> Mir.Store_abs { addr; src = sub src }
+        | Mir.Test r -> Mir.Test (sub r)
+        | Mir.Intack -> Mir.Intack
+        | Mir.Special { op; args } ->
+            Mir.Special { op; args = List.map sub args }
+      in
+      out := s' :: !out
+    done;
+    (* commits, after the last faulting statement *)
+    let commits =
+      List.rev_map
+        (fun (r, t) -> Mir.assign r (Mir.R_copy t))
+        !map
+    in
+    (* the terminator reads the committed registers, so nothing to fix *)
+    { b with Mir.b_stmts = List.rev !out @ commits }
+  end
+
+let rewrite (d : Desc.t) (p : Mir.program) : Mir.program =
+  let st = { d; next_vreg = p.Mir.next_vreg; names = [] } in
+  let map_blocks = List.map (rewrite_block st) in
+  {
+    Mir.main = map_blocks p.Mir.main;
+    procs =
+      List.map
+        (fun pr -> { pr with Mir.p_blocks = map_blocks pr.Mir.p_blocks })
+        p.Mir.procs;
+    vreg_names = st.names @ p.Mir.vreg_names;
+    next_vreg = st.next_vreg;
+  }

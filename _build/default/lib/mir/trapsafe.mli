@@ -1,0 +1,11 @@
+(** Restart-safe recompilation (survey §2.1.5).
+
+    Rewrites each basic block so that every persistent register written
+    before the block's last possibly-faulting statement goes to a fresh
+    temporary, committed only after that statement — making re-execution
+    after a page-fault restart idempotent (the repair for the survey's
+    [incread] double increment).  Sound for microprograms whose restart
+    point is the faulting block's entry, in particular the single-block
+    programs of the survey's example. *)
+
+val rewrite : Msl_machine.Desc.t -> Mir.program -> Mir.program

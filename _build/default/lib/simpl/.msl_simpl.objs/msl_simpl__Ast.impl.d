@@ -1,0 +1,1 @@
+lib/simpl/ast.ml: Msl_util

@@ -1,0 +1,1 @@
+lib/simpl/compile.ml: Ast Bitvec Build Dataflow Desc Int64 List Mir Msl_bitvec Msl_machine Msl_mir Msl_util Parser Rtl String

@@ -1,0 +1,1 @@
+lib/simpl/compile.mli: Ast Msl_machine Msl_mir

@@ -1,0 +1,1 @@
+lib/simpl/parser.ml: Ast Int64 Lexer List Msl_util String

@@ -1,0 +1,1 @@
+lib/simpl/parser.mli: Ast

@@ -1,0 +1,65 @@
+(* SIMPL — Single Identity Micro Programming Language (Ramamoorthy &
+   Tsuchiya 1974; survey §2.2.1).
+
+   A sequential, ALGOL-60-flavoured language whose variables are machine
+   registers.  Statements are single-operator register transfers written
+   source-first:
+
+       R1 & M3 -> ACC;
+       ACC ^-1 -> ACC;         (shift one right; ^^ rotates)
+       while R2 <> 0 do ...
+       if UF = 1 then ...
+
+   Control structure: begin/end blocks, if-then-else, while-do, for-do,
+   case (multiway branch), parameterless procedures.  The single identity
+   principle is an *ordering semantics*, not extra syntax: the compiler
+   derives the partial order from definitions and uses (Msl_mir.Dataflow
+   computes exactly that order).
+
+   Concrete operator spellings (the 1974 paper typesets mathematical
+   symbols):  &  |  #(xor)  +  -  ~(complement)  ^n (linear shift, n<0
+   right)  ^^n (rotate).  Memory access: `read A -> D` and `write S -> A`.
+   `alias N = R` is the equivalence statement. *)
+
+module Loc = Msl_util.Loc
+
+type operand =
+  | Reg of string  (* register or alias *)
+  | Num of int64
+
+type binop = Add | Sub | And | Or | Xor
+
+type expr =
+  | Operand of operand
+  | Binop of binop * operand * operand
+  | Not of operand
+  | Neg of operand
+  | Shift of operand * int  (* positive left, negative right *)
+  | Rotate of operand * int
+
+type relop = Req | Rne | Rlt | Rle | Rgt | Rge
+
+(* Conditions compare a register with an operand, or test a flag. *)
+type cond =
+  | Rel of relop * operand * operand
+  | Flag of string * bool  (* UF = 1, CARRY = 0, ... *)
+
+type stmt =
+  | Assign of { expr : expr; dest : string; loc : Loc.t }
+  | Read of { addr : string; dest : string; loc : Loc.t }  (* dest := mem[addr] *)
+  | Write of { src : string; addr : string; loc : Loc.t }  (* mem[addr] := src *)
+  | If of cond * stmt * stmt option
+  | While of cond * stmt
+  | For of { var : string; from_ : operand; to_ : operand; body : stmt; loc : Loc.t }
+  | Case of { sel : string; alts : stmt list; loc : Loc.t }
+  | Call of string * Loc.t
+  | Block of stmt list
+
+type proc = { pr_name : string; pr_body : stmt }
+
+type program = {
+  name : string;
+  aliases : (string * string * Loc.t) list;  (* alias, register *)
+  procs : proc list;
+  body : stmt;
+}

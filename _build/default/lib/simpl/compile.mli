@@ -1,0 +1,17 @@
+(** SIMPL → MIR (survey §2.2.1).
+
+    Variables are machine registers; [alias] is the equivalence statement;
+    all shifts compile flag-setting so the shifted-out UF bit is testable;
+    relational conditions other than comparison with zero synthesise a
+    flag-setting subtraction into the reserved scratch register. *)
+
+val compile : Msl_machine.Desc.t -> Ast.program -> Msl_mir.Mir.program
+(** @raise Msl_util.Diag.Error on names that are not machine registers,
+    non-power-of-two case statements, and similar semantic errors. *)
+
+val parse_compile :
+  ?file:string -> Msl_machine.Desc.t -> string -> Msl_mir.Mir.program
+
+val parallelism_profile : Msl_mir.Mir.program -> (string * int * int) list
+(** Per nonempty basic block: (label, statement count, dependence depth)
+    under the single-identity order — experiment F1's raw data. *)

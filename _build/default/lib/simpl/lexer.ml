@@ -1,0 +1,146 @@
+(* Tokeniser for SIMPL. *)
+
+module Diag = Msl_util.Diag
+module Loc = Msl_util.Loc
+module Scanner = Msl_util.Scanner
+
+type token =
+  | Ident of string
+  | Number of int64
+  | Kw of string  (* keywords, lowercased *)
+  | Arrow  (* -> *)
+  | Semi
+  | Lparen
+  | Rparen
+  | Plus
+  | Minus
+  | Amp
+  | Bar
+  | Hash  (* exclusive or *)
+  | Tilde  (* complement *)
+  | Caret  (* shift *)
+  | Caret2  (* rotate *)
+  | Assign  (* := (for-loop initialisation) *)
+  | Eq
+  | Ne  (* <> *)
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eof
+
+let keywords =
+  [ "program"; "begin"; "end"; "if"; "then"; "else"; "while"; "do"; "for";
+    "to"; "case"; "of"; "procedure"; "call"; "alias"; "read"; "write" ]
+
+type t = {
+  sc : Scanner.t;
+  mutable tok : token;
+  mutable tok_loc : Loc.t;
+}
+
+let err lx fmt = Diag.error ~loc:(Scanner.here lx.sc) Diag.Lexing fmt
+
+(* `comment ... ;` is skipped entirely, as in the paper's examples. *)
+let rec skip_trivia sc =
+  Scanner.skip_spaces sc;
+  match Scanner.peek sc with
+  | Some c when Scanner.is_ident_start c ->
+      let save = (sc.Scanner.offset, sc.Scanner.line, sc.Scanner.col) in
+      let word = Scanner.ident sc in
+      if String.lowercase_ascii word = "comment" then begin
+        let _ : string = Scanner.take_while sc (fun ch -> ch <> ';') in
+        let _ = Scanner.eat sc ';' in
+        skip_trivia sc
+      end
+      else begin
+        let o, l, c2 = save in
+        sc.Scanner.offset <- o;
+        sc.Scanner.line <- l;
+        sc.Scanner.col <- c2
+      end
+  | Some _ | None -> ()
+
+let scan_token lx =
+  let sc = lx.sc in
+  skip_trivia sc;
+  let start = Scanner.pos sc in
+  let fin tok =
+    lx.tok <- tok;
+    lx.tok_loc <- Scanner.loc_from sc start
+  in
+  match Scanner.peek sc with
+  | None -> fin Eof
+  | Some c when Scanner.is_ident_start c ->
+      let word = Scanner.ident sc in
+      let lower = String.lowercase_ascii word in
+      if List.mem lower keywords then fin (Kw lower) else fin (Ident word)
+  | Some c when Scanner.is_digit c ->
+      let s = Scanner.take_while sc Scanner.is_alnum in
+      let v =
+        try Int64.of_string s with Failure _ -> err lx "malformed number %S" s
+      in
+      fin (Number v)
+  | Some '-' ->
+      Scanner.advance sc;
+      if Scanner.eat sc '>' then fin Arrow else fin Minus
+  | Some ';' -> Scanner.advance sc; fin Semi
+  | Some '(' -> Scanner.advance sc; fin Lparen
+  | Some ')' -> Scanner.advance sc; fin Rparen
+  | Some '+' -> Scanner.advance sc; fin Plus
+  | Some '&' -> Scanner.advance sc; fin Amp
+  | Some '|' -> Scanner.advance sc; fin Bar
+  | Some '#' -> Scanner.advance sc; fin Hash
+  | Some '~' -> Scanner.advance sc; fin Tilde
+  | Some '^' ->
+      Scanner.advance sc;
+      if Scanner.eat sc '^' then fin Caret2 else fin Caret
+  | Some ':' ->
+      Scanner.advance sc;
+      if Scanner.eat sc '=' then fin Assign else err lx "expected ':='"
+  | Some '=' -> Scanner.advance sc; fin Eq
+  | Some '<' ->
+      Scanner.advance sc;
+      if Scanner.eat sc '>' then fin Ne
+      else if Scanner.eat sc '=' then fin Le
+      else fin Lt
+  | Some '>' ->
+      Scanner.advance sc;
+      if Scanner.eat sc '=' then fin Ge else fin Gt
+  | Some c -> err lx "unexpected character '%c'" c
+
+let make ?(file = "<simpl>") src =
+  let lx =
+    { sc = Scanner.make ~file src; tok = Eof; tok_loc = Loc.dummy }
+  in
+  scan_token lx;
+  lx
+
+let token lx = lx.tok
+let loc lx = lx.tok_loc
+let advance lx = scan_token lx
+
+let token_name = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Number n -> Printf.sprintf "number %Ld" n
+  | Kw k -> Printf.sprintf "keyword %S" k
+  | Arrow -> "'->'"
+  | Semi -> "';'"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Plus -> "'+'"
+  | Minus -> "'-'"
+  | Amp -> "'&'"
+  | Bar -> "'|'"
+  | Hash -> "'#'"
+  | Tilde -> "'~'"
+  | Caret -> "'^'"
+  | Caret2 -> "'^^'"
+  | Assign -> "':='"
+  | Eq -> "'='"
+  | Ne -> "'<>'"
+  | Lt -> "'<'"
+  | Le -> "'<='"
+  | Gt -> "'>'"
+  | Ge -> "'>='"
+  | Eof -> "end of input"

@@ -1,0 +1,234 @@
+(* Recursive-descent parser for SIMPL.  Expressions contain at most one
+   operator, as the survey specifies. *)
+
+module Diag = Msl_util.Diag
+
+type t = { lx : Lexer.t }
+
+let err p fmt = Diag.error ~loc:(Lexer.loc p.lx) Diag.Parsing fmt
+
+let peek p = Lexer.token p.lx
+let advance p = Lexer.advance p.lx
+
+let expect p tok =
+  if peek p = tok then advance p
+  else err p "expected %s, found %s" (Lexer.token_name tok)
+      (Lexer.token_name (peek p))
+
+let eat p tok =
+  if peek p = tok then begin
+    advance p;
+    true
+  end
+  else false
+
+let ident p =
+  match peek p with
+  | Lexer.Ident s ->
+      advance p;
+      s
+  | t -> err p "expected identifier, found %s" (Lexer.token_name t)
+
+let number p =
+  let neg = eat p Lexer.Minus in
+  match peek p with
+  | Lexer.Number n ->
+      advance p;
+      if neg then Int64.neg n else n
+  | t -> err p "expected number, found %s" (Lexer.token_name t)
+
+let operand p : Ast.operand =
+  match peek p with
+  | Lexer.Ident s ->
+      advance p;
+      Ast.Reg s
+  | Lexer.Number _ | Lexer.Minus -> Ast.Num (number p)
+  | t -> err p "expected register or number, found %s" (Lexer.token_name t)
+
+let binop_of_token = function
+  | Lexer.Plus -> Some Ast.Add
+  | Lexer.Minus -> Some Ast.Sub
+  | Lexer.Amp -> Some Ast.And
+  | Lexer.Bar -> Some Ast.Or
+  | Lexer.Hash -> Some Ast.Xor
+  | _ -> None
+
+(* expr := "~" operand | "-" operand
+         | operand [ binop operand | "^" n | "^^" n ] *)
+let expr p : Ast.expr =
+  match peek p with
+  | Lexer.Tilde ->
+      advance p;
+      Ast.Not (operand p)
+  | Lexer.Minus ->
+      advance p;
+      Ast.Neg (operand p)
+  | _ -> (
+      let a = operand p in
+      match peek p with
+      | Lexer.Caret ->
+          advance p;
+          Ast.Shift (a, Int64.to_int (number p))
+      | Lexer.Caret2 ->
+          advance p;
+          Ast.Rotate (a, Int64.to_int (number p))
+      | t -> (
+          match binop_of_token t with
+          | Some op ->
+              advance p;
+              Ast.Binop (op, a, operand p)
+          | None -> Ast.Operand a))
+
+let relop_of_token = function
+  | Lexer.Eq -> Some Ast.Req
+  | Lexer.Ne -> Some Ast.Rne
+  | Lexer.Lt -> Some Ast.Rlt
+  | Lexer.Le -> Some Ast.Rle
+  | Lexer.Gt -> Some Ast.Rgt
+  | Lexer.Ge -> Some Ast.Rge
+  | _ -> None
+
+let flag_names = [ "UF"; "CF"; "ZF"; "NF"; "VF"; "CARRY"; "ZERO"; "OVERFLOW" ]
+
+let cond p : Ast.cond =
+  let a = operand p in
+  let op =
+    match relop_of_token (peek p) with
+    | Some op ->
+        advance p;
+        op
+    | None -> err p "expected a relational operator"
+  in
+  let b = operand p in
+  match (a, op, b) with
+  | Ast.Reg f, Ast.Req, Ast.Num v
+    when List.mem (String.uppercase_ascii f) flag_names && (v = 0L || v = 1L) ->
+      Ast.Flag (String.uppercase_ascii f, v = 1L)
+  | Ast.Reg f, Ast.Rne, Ast.Num v
+    when List.mem (String.uppercase_ascii f) flag_names && (v = 0L || v = 1L) ->
+      Ast.Flag (String.uppercase_ascii f, v = 0L)
+  | _ -> Ast.Rel (op, a, b)
+
+let rec stmt p : Ast.stmt =
+  let loc = Lexer.loc p.lx in
+  match peek p with
+  | Lexer.Kw "begin" ->
+      advance p;
+      let stmts = stmt_list p in
+      expect p (Lexer.Kw "end");
+      Ast.Block stmts
+  | Lexer.Kw "if" ->
+      advance p;
+      let c = cond p in
+      expect p (Lexer.Kw "then");
+      let s1 = stmt p in
+      if eat p (Lexer.Kw "else") then Ast.If (c, s1, Some (stmt p))
+      else Ast.If (c, s1, None)
+  | Lexer.Kw "while" ->
+      advance p;
+      let c = cond p in
+      expect p (Lexer.Kw "do");
+      Ast.While (c, stmt p)
+  | Lexer.Kw "for" ->
+      advance p;
+      let var = ident p in
+      expect p Lexer.Assign;
+      let from_ = operand p in
+      expect p (Lexer.Kw "to");
+      let to_ = operand p in
+      expect p (Lexer.Kw "do");
+      Ast.For { var; from_; to_; body = stmt p; loc }
+  | Lexer.Kw "case" ->
+      advance p;
+      let sel = ident p in
+      expect p (Lexer.Kw "of");
+      expect p (Lexer.Kw "begin");
+      let alts = stmt_list p in
+      expect p (Lexer.Kw "end");
+      Ast.Case { sel; alts; loc }
+  | Lexer.Kw "call" ->
+      advance p;
+      Ast.Call (ident p, loc)
+  | Lexer.Kw "read" ->
+      advance p;
+      let addr = ident p in
+      expect p Lexer.Arrow;
+      let dest = ident p in
+      Ast.Read { addr; dest; loc }
+  | Lexer.Kw "write" ->
+      advance p;
+      let src = ident p in
+      expect p Lexer.Arrow;
+      let addr = ident p in
+      Ast.Write { src; addr; loc }
+  | _ ->
+      let e = expr p in
+      expect p Lexer.Arrow;
+      let dest = ident p in
+      Ast.Assign { expr = e; dest; loc }
+
+(* statements separated by ';', with empty statements tolerated *)
+and stmt_list p : Ast.stmt list =
+  let rec more acc =
+    if eat p Lexer.Semi then
+      match peek p with
+      | Lexer.Kw "end" | Lexer.Eof -> List.rev acc
+      | _ -> more (stmt p :: acc)
+    else List.rev acc
+  in
+  match peek p with
+  | Lexer.Kw "end" | Lexer.Eof -> []
+  | _ -> more [ stmt p ]
+
+let program p : Ast.program =
+  let name =
+    if eat p (Lexer.Kw "program") then begin
+      let n = ident p in
+      (* optional parameter list, as in the survey's `incread(n)` *)
+      if eat p Lexer.Lparen then begin
+        let _ = ident p in
+        expect p Lexer.Rparen
+      end;
+      let _ = eat p Lexer.Semi in
+      n
+    end
+    else "main"
+  in
+  let aliases = ref [] and procs = ref [] in
+  let rec decls () =
+    match peek p with
+    | Lexer.Kw "alias" ->
+        let loc = Lexer.loc p.lx in
+        advance p;
+        let a = ident p in
+        expect p Lexer.Eq;
+        let r = ident p in
+        expect p Lexer.Semi;
+        aliases := (a, r, loc) :: !aliases;
+        decls ()
+    | Lexer.Kw "procedure" ->
+        advance p;
+        let pr_name = ident p in
+        expect p Lexer.Semi;
+        let pr_body = stmt p in
+        let _ = eat p Lexer.Semi in
+        procs := { Ast.pr_name; pr_body } :: !procs;
+        decls ()
+    | _ -> ()
+  in
+  decls ();
+  let body = stmt p in
+  let _ = eat p Lexer.Semi in
+  (match peek p with
+  | Lexer.Eof -> ()
+  | t -> err p "trailing %s after program body" (Lexer.token_name t));
+  {
+    Ast.name;
+    aliases = List.rev !aliases;
+    procs = List.rev !procs;
+    body;
+  }
+
+let parse ?(file = "<simpl>") src =
+  let p = { lx = Lexer.make ~file src } in
+  program p

@@ -1,0 +1,5 @@
+(** Recursive-descent parser for SIMPL.  Expressions contain at most one
+    operator, as the survey specifies. *)
+
+val parse : ?file:string -> string -> Ast.program
+(** @raise Msl_util.Diag.Error on lexical or syntax errors. *)

@@ -1,0 +1,1 @@
+lib/sstar/ast.ml: Msl_util

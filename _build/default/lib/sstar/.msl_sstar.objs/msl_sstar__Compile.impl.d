@@ -1,0 +1,1 @@
+lib/sstar/compile.ml: Ast Bitvec Conflict Desc Hashtbl Inst Int64 List Msl_bitvec Msl_machine Msl_mir Msl_util Parser Pipeline Printf Rtl Select Sim String

@@ -1,0 +1,1 @@
+lib/sstar/parser.ml: Ast Int64 Lexer List Msl_util String

@@ -1,0 +1,1 @@
+lib/sstar/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/sstar/verify.ml: Ast Bitvec Compile Desc Fmt Format Int64 List Msl_bitvec Msl_machine Msl_util Printf Random

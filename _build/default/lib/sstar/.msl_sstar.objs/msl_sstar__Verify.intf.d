@@ -1,0 +1,1 @@
+lib/sstar/verify.mli: Ast Compile Format Msl_bitvec Msl_machine

@@ -1,0 +1,126 @@
+(* S* — the microprogramming language schema of Dasgupta (1978;
+   survey §2.2.3), instantiated against a machine description to S(M).
+
+   Design goals from the survey: unambiguous sequential *and parallel*
+   control structures (cobegin / cocycle / dur / region), arbitrary naming
+   of microprogrammable data objects (seq / array / tuple / stack, plus
+   syn renaming), and microprograms whose correctness "can be determined
+   and understood" — carried here by pre/post/invariant annotations over a
+   Hoare-style assertion language, checked by Verify.
+
+   Every data object is bound to machine storage at declaration, as S*
+   requires: a register, a bit-field of a register, a row of registers,
+   or main-memory locations. *)
+
+module Loc = Msl_util.Loc
+
+type dtype =
+  | Tseq of int * int  (* seq [hi..lo] bit *)
+  | Tarray of int * int * dtype  (* array [lo..hi] of elem *)
+  | Ttuple of (string * int * int) list  (* field: seq [hi..lo] bit *)
+  | Tstack of int * dtype  (* stack [depth] of elem *)
+
+type binding =
+  | Breg of string  (* a whole machine register *)
+  | Bregfield of string * int * int  (* bits hi..lo of a register *)
+  | Bregs of string list  (* an array over machine registers *)
+  | Bmem of int  (* main memory, base address *)
+
+type var_decl = {
+  v_name : string;
+  v_type : dtype;
+  v_binding : binding;
+  v_ptr : string option;  (* stack pointer variable (stacks only) *)
+  v_loc : Loc.t;
+}
+
+type const_decl = {
+  c_name : string;
+  c_width : int;
+  c_value : int64;
+  c_reg : string;  (* the ROM/register cell holding it *)
+  c_loc : Loc.t;
+}
+
+type syn_decl = {
+  s_name : string;
+  s_base : string;
+  s_index : int option;  (* syn mpr = localstore[0] *)
+  s_loc : Loc.t;
+}
+
+type idx = Iconst of int | Ivar of string
+
+type ref_ =
+  | Rname of string
+  | Rindex of string * idx
+  | Rfield of string * string  (* tuple field: IR.opcode *)
+
+type operand = Oref of ref_ | Onum of int64
+
+type sbinop = Sadd | Sadc | Ssub | Smul | Sand | Sor | Sxor
+
+type expr =
+  | Eop of operand
+  | Ebin of sbinop * operand * operand
+  | Enot of operand
+  | Eshift of operand * int  (* positive left / negative right *)
+  | Erotate of operand * int
+
+type test =
+  | Tzero of ref_
+  | Tnonzero of ref_
+  | Tflag of string * bool
+
+(* -- assertion language (multi-operator expressions allowed) ------------- *)
+
+type frel = FReq | FRne | FRlt | FRle | FRgt | FRge
+
+type fexpr =
+  | Fref of ref_
+  | Fnum of int64
+  | Fbin of sbinop * fexpr * fexpr
+  | Fmul of fexpr * fexpr
+  | Fshl of fexpr * int
+  | Fshr of fexpr * int
+  | Fnotb of fexpr
+
+type formula =
+  | Ftrue
+  | Ffalse
+  | Frel of frel * fexpr * fexpr
+  | Fand of formula * formula
+  | For of formula * formula
+  | Fnot of formula
+  | Fimp of formula * formula
+
+(* -- statements ------------------------------------------------------------ *)
+
+type stmt =
+  | Sassign of ref_ * expr * Loc.t
+  | Scobegin of stmt list * Loc.t  (* same microcycle *)
+  | Scocycle of stmt list * Loc.t  (* same microinstruction, phased *)
+  | Sdur of stmt * stmt list * Loc.t  (* S0 overlapping a sequence *)
+  | Sseq of stmt list  (* begin ... end *)
+  | Sregion of stmt list * Loc.t  (* hand-optimised, no reordering *)
+  | Sif of (test * stmt list) list * stmt list option * Loc.t
+  | Swhile of test * formula option * stmt list * Loc.t
+  | Srepeat of stmt list * test * formula option * Loc.t
+  | Scall of string * Loc.t
+  | Sreturn of Loc.t
+  | Spush of string * operand * Loc.t
+  | Spop of string * ref_ * Loc.t
+  | Sassert of formula * Loc.t
+
+type proc = { pp_name : string; pp_uses : string list; pp_body : stmt list }
+
+type program = {
+  sp_name : string;
+  vars : var_decl list;
+  consts : const_decl list;
+  syns : syn_decl list;
+  pre : formula option;
+  post : formula option;
+  procs : proc list;
+  body : stmt list;
+}

@@ -1,0 +1,566 @@
+(* Recursive-descent parser for S*. *)
+
+module Diag = Msl_util.Diag
+
+type t = { lx : Lexer.t }
+
+let err p fmt = Diag.error ~loc:(Lexer.loc p.lx) Diag.Parsing fmt
+
+let peek p = Lexer.token p.lx
+let loc p = Lexer.loc p.lx
+let advance p = Lexer.advance p.lx
+
+let expect p tok =
+  if peek p = tok then advance p
+  else
+    err p "expected %s, found %s" (Lexer.token_name tok)
+      (Lexer.token_name (peek p))
+
+let eat p tok =
+  if peek p = tok then begin
+    advance p;
+    true
+  end
+  else false
+
+let ident p =
+  match peek p with
+  | Lexer.Ident s ->
+      advance p;
+      s
+  | t -> err p "expected identifier, found %s" (Lexer.token_name t)
+
+let number p =
+  let neg = eat p Lexer.Minus in
+  match peek p with
+  | Lexer.Number n ->
+      advance p;
+      if neg then Int64.neg n else n
+  | t -> err p "expected number, found %s" (Lexer.token_name t)
+
+let int_ p = Int64.to_int (number p)
+
+(* -- types and declarations ------------------------------------------------- *)
+
+(* seq [hi..lo] bit *)
+let seq_type p =
+  expect p (Lexer.Kw "seq");
+  expect p Lexer.Lbrack;
+  let hi = int_ p in
+  expect p Lexer.DotDot;
+  let lo = int_ p in
+  expect p Lexer.Rbrack;
+  (* "of bit" or plain "bit" *)
+  ignore (eat p (Lexer.Kw "of"));
+  expect p (Lexer.Kw "bit");
+  (hi, lo)
+
+let rec dtype p : Ast.dtype =
+  match peek p with
+  | Lexer.Kw "seq" ->
+      let hi, lo = seq_type p in
+      Ast.Tseq (hi, lo)
+  | Lexer.Kw "array" ->
+      advance p;
+      expect p Lexer.Lbrack;
+      let lo = int_ p in
+      expect p Lexer.DotDot;
+      let hi = int_ p in
+      expect p Lexer.Rbrack;
+      expect p (Lexer.Kw "of");
+      Ast.Tarray (lo, hi, dtype p)
+  | Lexer.Kw "tuple" ->
+      advance p;
+      let rec fields acc =
+        match peek p with
+        | Lexer.Kw "end" ->
+            advance p;
+            List.rev acc
+        | _ ->
+            let name = ident p in
+            expect p Lexer.Colon;
+            let hi, lo = seq_type p in
+            ignore (eat p Lexer.Semi);
+            fields ((name, hi, lo) :: acc)
+      in
+      Ast.Ttuple (fields [])
+  | Lexer.Kw "stack" ->
+      advance p;
+      expect p Lexer.Lbrack;
+      let depth = int_ p in
+      expect p Lexer.Rbrack;
+      expect p (Lexer.Kw "of");
+      Ast.Tstack (depth, dtype p)
+  | t -> err p "expected a type, found %s" (Lexer.token_name t)
+
+(* at R4 | at R4[3..0] | at regs R1, R2, R3 | at mem 400 *)
+let binding p : Ast.binding =
+  expect p (Lexer.Kw "at");
+  match peek p with
+  | Lexer.Kw "regs" ->
+      advance p;
+      let rec more acc =
+        if eat p Lexer.Comma then more (ident p :: acc) else List.rev acc
+      in
+      Ast.Bregs (more [ ident p ])
+  | Lexer.Kw "mem" ->
+      advance p;
+      Ast.Bmem (int_ p)
+  | Lexer.Ident _ ->
+      let r = ident p in
+      if eat p Lexer.Lbrack then begin
+        let hi = int_ p in
+        expect p Lexer.DotDot;
+        let lo = int_ p in
+        expect p Lexer.Rbrack;
+        Ast.Bregfield (r, hi, lo)
+      end
+      else Ast.Breg r
+  | t -> err p "expected a binding, found %s" (Lexer.token_name t)
+
+(* -- references, operands, expressions --------------------------------------- *)
+
+let ref_ p : Ast.ref_ =
+  let name = ident p in
+  if eat p Lexer.Lbrack then begin
+    let idx =
+      match peek p with
+      | Lexer.Number _ -> Ast.Iconst (int_ p)
+      | Lexer.Ident _ -> Ast.Ivar (ident p)
+      | t -> err p "expected index, found %s" (Lexer.token_name t)
+    in
+    expect p Lexer.Rbrack;
+    Ast.Rindex (name, idx)
+  end
+  else if eat p Lexer.Dot then Ast.Rfield (name, ident p)
+  else Ast.Rname name
+
+let operand p : Ast.operand =
+  match peek p with
+  | Lexer.Number _ | Lexer.Minus -> Ast.Onum (number p)
+  | Lexer.Ident _ -> Ast.Oref (ref_ p)
+  | t -> err p "expected operand, found %s" (Lexer.token_name t)
+
+let binop_of_token = function
+  | Lexer.Plus -> Some Ast.Sadd
+  | Lexer.Minus -> Some Ast.Ssub
+  | Lexer.Amp -> Some Ast.Sand
+  | Lexer.Bar -> Some Ast.Sor
+  | Lexer.Star -> Some Ast.Smul
+  | _ -> None
+
+let expr p : Ast.expr =
+  if eat p Lexer.Tilde then Ast.Enot (operand p)
+  else begin
+    let a = operand p in
+    match peek p with
+    | Lexer.Caret ->
+        advance p;
+        Ast.Eshift (a, Int64.to_int (number p))
+    | Lexer.Caret2 ->
+        advance p;
+        Ast.Erotate (a, Int64.to_int (number p))
+    | Lexer.Ident "xor" ->
+        advance p;
+        Ast.Ebin (Ast.Sxor, a, operand p)
+    | t -> (
+        match binop_of_token t with
+        | Some op ->
+            advance p;
+            Ast.Ebin (op, a, operand p)
+        | None -> Ast.Eop a)
+  end
+
+let flag_names = [ "UF"; "CF"; "ZF"; "NF"; "VF"; "CARRY"; "ZERO"; "OVERFLOW" ]
+
+let test p : Ast.test =
+  if eat p Lexer.Bang then begin
+    let f = ident p in
+    if not (List.mem (String.uppercase_ascii f) flag_names) then
+      err p "unknown flag %S" f;
+    Ast.Tflag (String.uppercase_ascii f, false)
+  end
+  else begin
+    let r = ref_ p in
+    match (r, peek p) with
+    | _, Lexer.Eq ->
+        advance p;
+        if number p <> 0L then err p "tests compare with 0 only";
+        Ast.Tzero r
+    | _, Lexer.Ne ->
+        advance p;
+        if number p <> 0L then err p "tests compare with 0 only";
+        Ast.Tnonzero r
+    | Ast.Rname f, _ when List.mem (String.uppercase_ascii f) flag_names ->
+        Ast.Tflag (String.uppercase_ascii f, true)
+    | _, t -> err p "expected '= 0', '<> 0' or a flag, found %s" (Lexer.token_name t)
+  end
+
+(* -- formulas ------------------------------------------------------------------ *)
+
+(* fexpr with conventional precedence: * over + - over & | xor; shifts as
+   postfix '^ n'. *)
+let rec fexpr p : Ast.fexpr =
+  let a = fsum p in
+  let rec tail a =
+    match peek p with
+    | Lexer.Amp ->
+        advance p;
+        tail (Ast.Fbin (Ast.Sand, a, fsum p))
+    | Lexer.Bar ->
+        advance p;
+        tail (Ast.Fbin (Ast.Sor, a, fsum p))
+    | Lexer.Ident "xor" ->
+        advance p;
+        tail (Ast.Fbin (Ast.Sxor, a, fsum p))
+    | _ -> a
+  in
+  tail a
+
+and fsum p =
+  let a = fterm p in
+  let rec tail a =
+    match peek p with
+    | Lexer.Plus ->
+        advance p;
+        tail (Ast.Fbin (Ast.Sadd, a, fterm p))
+    | Lexer.Minus ->
+        advance p;
+        tail (Ast.Fbin (Ast.Ssub, a, fterm p))
+    | _ -> a
+  in
+  tail a
+
+and fterm p =
+  let a = fatom p in
+  let rec tail a =
+    match peek p with
+    | Lexer.Star ->
+        advance p;
+        tail (Ast.Fmul (a, fatom p))
+    | Lexer.Caret ->
+        advance p;
+        let n = Int64.to_int (number p) in
+        tail (if n >= 0 then Ast.Fshl (a, n) else Ast.Fshr (a, -n))
+    | _ -> a
+  in
+  tail a
+
+and fatom p =
+  match peek p with
+  | Lexer.Number _ | Lexer.Minus -> Ast.Fnum (number p)
+  | Lexer.Tilde ->
+      advance p;
+      Ast.Fnotb (fatom p)
+  | Lexer.Lparen ->
+      advance p;
+      let e = fexpr p in
+      expect p Lexer.Rparen;
+      e
+  | Lexer.Ident _ -> Ast.Fref (ref_ p)
+  | t -> err p "expected formula operand, found %s" (Lexer.token_name t)
+
+let frel p =
+  match peek p with
+  | Lexer.Eq -> advance p; Ast.FReq
+  | Lexer.Ne -> advance p; Ast.FRne
+  | Lexer.Lt -> advance p; Ast.FRlt
+  | Lexer.Le -> advance p; Ast.FRle
+  | Lexer.Gt -> advance p; Ast.FRgt
+  | Lexer.Ge -> advance p; Ast.FRge
+  | t -> err p "expected relation, found %s" (Lexer.token_name t)
+
+let rec formula p : Ast.formula =
+  let a = fdisj p in
+  if eat p Lexer.Imp then Ast.Fimp (a, formula p) else a
+
+and fdisj p =
+  let a = fconj p in
+  let rec tail a =
+    if eat p (Lexer.Kw "or") then tail (Ast.For (a, fconj p)) else a
+  in
+  tail a
+
+and fconj p =
+  let a = fprim p in
+  let rec tail a =
+    if eat p (Lexer.Kw "and") then tail (Ast.Fand (a, fprim p)) else a
+  in
+  tail a
+
+and fprim p =
+  match peek p with
+  | Lexer.Kw "true" -> advance p; Ast.Ftrue
+  | Lexer.Kw "false" -> advance p; Ast.Ffalse
+  | Lexer.Kw "not" ->
+      advance p;
+      Ast.Fnot (fprim p)
+  | Lexer.Lparen ->
+      (* could be a parenthesised formula or a parenthesised fexpr in a
+         relation; parse as formula if it closes into a connective,
+         otherwise fall back.  We keep it simple: a '(' here always opens
+         a sub-formula. *)
+      advance p;
+      let f = formula p in
+      expect p Lexer.Rparen;
+      f
+  | _ ->
+      let a = fexpr p in
+      let r = frel p in
+      let b = fexpr p in
+      Ast.Frel (r, a, b)
+
+let braced_formula p =
+  expect p Lexer.Lbrace;
+  let f = formula p in
+  expect p Lexer.Rbrace;
+  f
+
+(* -- statements ------------------------------------------------------------------ *)
+
+let rec stmt p : Ast.stmt =
+  let l = loc p in
+  match peek p with
+  | Lexer.Kw "begin" ->
+      advance p;
+      Ast.Sseq (stmts_until p [ Lexer.Kw "end" ])
+  | Lexer.Kw "cobegin" ->
+      advance p;
+      Ast.Scobegin (stmts_until p [ Lexer.Kw "coend" ], l)
+  | Lexer.Kw "cocycle" ->
+      advance p;
+      Ast.Scocycle (stmts_until p [ Lexer.Kw "coend"; Lexer.Kw "end" ], l)
+  | Lexer.Kw "region" ->
+      advance p;
+      Ast.Sregion (stmts_until p [ Lexer.Kw "end" ], l)
+  | Lexer.Kw "dur" ->
+      advance p;
+      let s0 = stmt p in
+      expect p (Lexer.Kw "do");
+      Ast.Sdur (s0, stmts_until p [ Lexer.Kw "end" ], l)
+  | Lexer.Kw "if" ->
+      advance p;
+      let rec arms acc =
+        let t = test p in
+        expect p (Lexer.Kw "then");
+        let body = stmts_until_any p in
+        let acc = (t, body) :: acc in
+        match peek p with
+        | Lexer.Kw "elif" ->
+            advance p;
+            arms acc
+        | Lexer.Kw "else" ->
+            advance p;
+            let e = stmts_until p [ Lexer.Kw "fi" ] in
+            Ast.Sif (List.rev acc, Some e, l)
+        | Lexer.Kw "fi" ->
+            advance p;
+            Ast.Sif (List.rev acc, None, l)
+        | t2 -> err p "expected elif/else/fi, found %s" (Lexer.token_name t2)
+      in
+      arms []
+  | Lexer.Kw "while" ->
+      advance p;
+      let t = test p in
+      let inv =
+        if eat p (Lexer.Kw "inv") then Some (braced_formula p) else None
+      in
+      expect p (Lexer.Kw "do");
+      Ast.Swhile (t, inv, stmts_until p [ Lexer.Kw "od" ], l)
+  | Lexer.Kw "repeat" ->
+      advance p;
+      let body = stmts_until p [ Lexer.Kw "until" ] in
+      let t = test p in
+      let inv =
+        if eat p (Lexer.Kw "inv") then Some (braced_formula p) else None
+      in
+      Ast.Srepeat (body, t, inv, l)
+  | Lexer.Kw "call" ->
+      advance p;
+      Ast.Scall (ident p, l)
+  | Lexer.Kw "return" ->
+      advance p;
+      Ast.Sreturn l
+  | Lexer.Kw "push" ->
+      advance p;
+      expect p Lexer.Lparen;
+      let s = ident p in
+      expect p Lexer.Comma;
+      let v = operand p in
+      expect p Lexer.Rparen;
+      Ast.Spush (s, v, l)
+  | Lexer.Kw "pop" ->
+      advance p;
+      expect p Lexer.Lparen;
+      let s = ident p in
+      expect p Lexer.Comma;
+      let r = ref_ p in
+      expect p Lexer.Rparen;
+      Ast.Spop (s, r, l)
+  | Lexer.Kw "assert" ->
+      advance p;
+      Ast.Sassert (braced_formula p, l)
+  | Lexer.Ident _ ->
+      let r = ref_ p in
+      expect p Lexer.Assign;
+      Ast.Sassign (r, expr p, l)
+  | t -> err p "expected a statement, found %s" (Lexer.token_name t)
+
+(* statements separated by ';', ending at one of [terminators] (consumed) *)
+and stmts_until p terminators =
+  let rec more acc =
+    if List.mem (peek p) terminators then begin
+      advance p;
+      List.rev acc
+    end
+    else begin
+      let s = stmt p in
+      ignore (eat p Lexer.Semi);
+      more (s :: acc)
+    end
+  in
+  more []
+
+(* statements ending at elif/else/fi without consuming the terminator *)
+and stmts_until_any p =
+  let stop () =
+    match peek p with
+    | Lexer.Kw ("elif" | "else" | "fi") -> true
+    | _ -> false
+  in
+  let rec more acc =
+    if stop () then List.rev acc
+    else begin
+      let s = stmt p in
+      ignore (eat p Lexer.Semi);
+      more (s :: acc)
+    end
+  in
+  more []
+
+(* -- program ---------------------------------------------------------------------- *)
+
+(* const minus1 = dec (64) -1 at R8; *)
+let const_decl p : Ast.const_decl =
+  let c_loc = loc p in
+  let c_name = ident p in
+  expect p Lexer.Eq;
+  let base =
+    match peek p with
+    | Lexer.Kw "dec" -> advance p; `Dec
+    | Lexer.Kw "hex" -> advance p; `Hex
+    | Lexer.Kw "bin" -> advance p; `Bin
+    | t -> err p "expected dec/hex/bin, found %s" (Lexer.token_name t)
+  in
+  ignore base;  (* the lexer already parses radix-prefixed literals *)
+  expect p Lexer.Lparen;
+  let c_width = int_ p in
+  expect p Lexer.Rparen;
+  let c_value = number p in
+  expect p (Lexer.Kw "at");
+  let c_reg = ident p in
+  ignore (eat p Lexer.Semi);
+  { Ast.c_name; c_width; c_value; c_reg; c_loc }
+
+let var_decl p : Ast.var_decl =
+  let v_loc = loc p in
+  let v_name = ident p in
+  expect p Lexer.Colon;
+  let v_type = dtype p in
+  let v_ptr =
+    if eat p (Lexer.Kw "with") then Some (ident p) else None
+  in
+  let v_binding = binding p in
+  ignore (eat p Lexer.Semi);
+  { Ast.v_name; v_type; v_binding; v_ptr; v_loc }
+
+let syn_decls p : Ast.syn_decl list =
+  let one () =
+    let s_loc = loc p in
+    let s_name = ident p in
+    expect p Lexer.Eq;
+    let s_base = ident p in
+    let s_index =
+      if eat p Lexer.Lbrack then begin
+        let i = int_ p in
+        expect p Lexer.Rbrack;
+        Some i
+      end
+      else None
+    in
+    { Ast.s_name; s_base; s_index; s_loc }
+  in
+  let rec more acc =
+    if eat p Lexer.Comma then more (one () :: acc) else List.rev acc
+  in
+  let decls = more [ one () ] in
+  ignore (eat p Lexer.Semi);
+  decls
+
+let parse ?(file = "<sstar>") src : Ast.program =
+  let p = { lx = Lexer.make ~file src } in
+  expect p (Lexer.Kw "program");
+  let sp_name = ident p in
+  ignore (eat p Lexer.Semi);
+  let vars = ref [] and consts = ref [] and syns = ref [] in
+  let pre = ref None and post = ref None and procs = ref [] in
+  let rec decls () =
+    match peek p with
+    | Lexer.Kw "var" ->
+        advance p;
+        vars := var_decl p :: !vars;
+        decls ()
+    | Lexer.Kw "const" ->
+        advance p;
+        consts := const_decl p :: !consts;
+        decls ()
+    | Lexer.Kw "syn" ->
+        advance p;
+        syns := !syns @ syn_decls p;
+        decls ()
+    | Lexer.Kw "pre" ->
+        advance p;
+        pre := Some (braced_formula p);
+        ignore (eat p Lexer.Semi);
+        decls ()
+    | Lexer.Kw "post" ->
+        advance p;
+        post := Some (braced_formula p);
+        ignore (eat p Lexer.Semi);
+        decls ()
+    | Lexer.Kw "proc" ->
+        advance p;
+        let pp_name = ident p in
+        let pp_uses =
+          if eat p Lexer.Lparen then begin
+            ignore (eat p (Lexer.Kw "uses"));
+            let rec more acc =
+              if eat p Lexer.Comma then more (ident p :: acc) else List.rev acc
+            in
+            let us = more [ ident p ] in
+            expect p Lexer.Rparen;
+            us
+          end
+          else []
+        in
+        ignore (eat p Lexer.Semi);
+        expect p (Lexer.Kw "begin");
+        let pp_body = stmts_until p [ Lexer.Kw "end" ] in
+        ignore (eat p Lexer.Semi);
+        procs := { Ast.pp_name; pp_uses; pp_body } :: !procs;
+        decls ()
+    | _ -> ()
+  in
+  decls ();
+  expect p (Lexer.Kw "begin");
+  let body = stmts_until p [ Lexer.Kw "end" ] in
+  {
+    Ast.sp_name;
+    vars = List.rev !vars;
+    consts = List.rev !consts;
+    syns = !syns;
+    pre = !pre;
+    post = !post;
+    procs = List.rev !procs;
+    body;
+  }

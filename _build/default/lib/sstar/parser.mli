@@ -1,0 +1,5 @@
+(** Recursive-descent parser for S* ('#...#' comments as in the survey's
+    listing, '--' to end of line; assertion formulas in braces). *)
+
+val parse : ?file:string -> string -> Ast.program
+(** @raise Msl_util.Diag.Error on lexical or syntax errors. *)

@@ -1,0 +1,1 @@
+lib/util/diag.mli: Format Loc

@@ -1,0 +1,1 @@
+lib/util/tbl.ml: Buffer Fmt List Printf String

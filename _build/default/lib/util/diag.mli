@@ -1,0 +1,35 @@
+(** Structured diagnostics.
+
+    Every phase of the toolkit reports failure by raising {!Error} with a
+    phase tag, a location and a message, so drivers render uniform
+    messages and tests can assert on the phase that failed. *)
+
+type phase =
+  | Lexing
+  | Parsing
+  | Semantic
+  | Instantiation  (** S* instantiation against a machine *)
+  | Verification  (** Hoare-logic verification *)
+  | Allocation  (** register allocation / binding *)
+  | Codegen
+  | Compaction
+  | Assembly
+  | Execution  (** simulator-level faults surfaced as diagnostics *)
+
+val phase_name : phase -> string
+
+type t = { phase : phase; loc : Loc.t; message : string }
+
+exception Error of t
+
+val error : ?loc:Loc.t -> phase -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [error phase fmt ...] raises {!Error} with the formatted message. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val protect : (unit -> 'a) -> ('a, t) result
+(** Run a computation, capturing a raised diagnostic as [Error]. *)
+
+val get_ok : ('a, t) result -> 'a
+(** @raise Invalid_argument with the rendered diagnostic on [Error]. *)

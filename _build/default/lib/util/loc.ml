@@ -1,0 +1,52 @@
+(* Source locations for the four language frontends.
+
+   A [t] is a half-open span in a named source buffer.  Lines and columns
+   are 1-based, as editors display them. *)
+
+type pos = {
+  line : int;
+  col : int;
+  offset : int;  (* byte offset from start of buffer *)
+}
+
+type t = {
+  file : string;
+  start_pos : pos;
+  end_pos : pos;
+}
+
+let start_pos_of t = t.start_pos
+
+let dummy_pos = { line = 0; col = 0; offset = 0 }
+
+let dummy = { file = "<none>"; start_pos = dummy_pos; end_pos = dummy_pos }
+
+let make ~file ~start_pos ~end_pos = { file; start_pos; end_pos }
+
+let is_dummy t = t.file = "<none>"
+
+(* Smallest span covering both [a] and [b]; used when an AST node is built
+   from two sub-nodes. *)
+let merge a b =
+  if is_dummy a then b
+  else if is_dummy b then a
+  else
+    let start_pos =
+      if a.start_pos.offset <= b.start_pos.offset then a.start_pos
+      else b.start_pos
+    in
+    let end_pos =
+      if a.end_pos.offset >= b.end_pos.offset then a.end_pos else b.end_pos
+    in
+    { file = a.file; start_pos; end_pos }
+
+let pp ppf t =
+  if is_dummy t then Fmt.string ppf "<unknown location>"
+  else if t.start_pos.line = t.end_pos.line then
+    Fmt.pf ppf "%s:%d.%d-%d" t.file t.start_pos.line t.start_pos.col
+      t.end_pos.col
+  else
+    Fmt.pf ppf "%s:%d.%d-%d.%d" t.file t.start_pos.line t.start_pos.col
+      t.end_pos.line t.end_pos.col
+
+let to_string t = Fmt.str "%a" pp t

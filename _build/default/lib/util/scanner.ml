@@ -1,0 +1,87 @@
+(* Character-level scanner shared by the four language lexers.
+
+   Keeps track of line/column so every token carries an accurate [Loc.t].
+   The per-language lexers layer token recognition on top of this. *)
+
+type t = {
+  file : string;
+  src : string;
+  mutable offset : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let make ~file src = { file; src; offset = 0; line = 1; col = 1 }
+
+let eof t = t.offset >= String.length t.src
+
+let peek t = if eof t then None else Some t.src.[t.offset]
+
+let peek2 t =
+  if t.offset + 1 >= String.length t.src then None
+  else Some t.src.[t.offset + 1]
+
+let pos t : Loc.pos = { line = t.line; col = t.col; offset = t.offset }
+
+let loc_from t (start_pos : Loc.pos) =
+  Loc.make ~file:t.file ~start_pos ~end_pos:(pos t)
+
+(* A zero-width location at the current position, for errors about the
+   character under the cursor. *)
+let here t = loc_from t (pos t)
+
+let advance t =
+  match peek t with
+  | None -> ()
+  | Some '\n' ->
+      t.offset <- t.offset + 1;
+      t.line <- t.line + 1;
+      t.col <- 1
+  | Some _ ->
+      t.offset <- t.offset + 1;
+      t.col <- t.col + 1
+
+let next t =
+  let c = peek t in
+  advance t;
+  c
+
+(* Consume [c] if it is the next character. *)
+let eat t c =
+  match peek t with
+  | Some c' when c' = c ->
+      advance t;
+      true
+  | Some _ | None -> false
+
+let take_while t pred =
+  let start = t.offset in
+  let rec loop () =
+    match peek t with
+    | Some c when pred c ->
+        advance t;
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  String.sub t.src start (t.offset - start)
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_alnum c = is_digit c || is_alpha c
+let is_ident_start c = is_alpha c || c = '_'
+let is_ident_char c = is_alnum c || c = '_'
+let is_space c = c = ' ' || c = '\t' || c = '\r' || c = '\n'
+
+let skip_spaces t =
+  let _ : string = take_while t is_space in
+  ()
+
+(* Skip spaces but stop at newlines: used by the line-oriented YALLL lexer. *)
+let skip_hspaces t =
+  let _ : string = take_while t (fun c -> c = ' ' || c = '\t' || c = '\r') in
+  ()
+
+let ident t = take_while t is_ident_char
+
+let decimal_digits t = take_while t is_digit

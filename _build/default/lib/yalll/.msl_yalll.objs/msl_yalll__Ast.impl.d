@@ -1,0 +1,1 @@
+lib/yalll/ast.ml: Msl_machine Msl_util

@@ -1,0 +1,1 @@
+lib/yalll/compile.ml: Array Ast Bitvec Desc Hashtbl List Mir Msl_bitvec Msl_machine Msl_mir Msl_util Parser Printf Rtl String

@@ -1,0 +1,1 @@
+lib/yalll/compile.mli: Ast Msl_machine Msl_mir

@@ -1,0 +1,1 @@
+lib/yalll/parser.ml: Ast Int64 List Msl_machine Msl_util Rtl

@@ -1,0 +1,1 @@
+lib/yalll/parser.mli: Ast

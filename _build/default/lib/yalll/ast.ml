@@ -1,0 +1,51 @@
+(* YALLL — Yet Another Low Level Language (Patterson, Lew & Tuck 1979;
+   survey §2.2.4).
+
+   "The structure of YALLL is that of a conventional assembly language":
+   a declaration part binding YALLL register names to physical machine
+   registers, then labelled three-address instructions over primitives
+   that "correspond to commonly available microinstructions".
+
+   Following the survey's observation that it is "not clear from the
+   description whether binding is required for all variables", we make the
+   binding optional: an undeclared (or unbound) register becomes a symbolic
+   variable handled by the register allocator — the sense in which YALLL
+   "in a certain sense" lets the programmer work with symbolic variables
+   (survey §3). *)
+
+module Loc = Msl_util.Loc
+
+type operand =
+  | Reg of string  (* a YALLL register name *)
+  | Lit of int64  (* numeric literal (binary/octal/decimal/hex) *)
+
+type condition =
+  | Eq_zero of string
+  | Ne_zero of string
+  | Mask of string * string  (* register, mask text of 1/0/x, MSB first *)
+
+type instr =
+  | Move of string * operand  (* move d,s  /  set d,n *)
+  | Binop of Msl_machine.Rtl.abinop * string * operand * operand
+  | Binop_f of Msl_machine.Rtl.abinop * string * operand * operand
+      (* flag-setting variant: addf / subf, for carry chains *)
+  | Inc of string * string
+  | Dec of string * string
+  | Neg of string * string
+  | Not of string * string
+  | Shift of Msl_machine.Rtl.abinop * string * string * int
+  | Load of string * string  (* load d,a : d := mem[a] *)
+  | Stor of string * string  (* stor s,a : mem[a] := s *)
+  | Jump of string  (* unconditional *)
+  | Jump_if of string * condition
+  | Call of string
+  | Ret
+  | Exit of string option  (* exit-with-value *)
+
+type item =
+  | Label of string * Loc.t
+  | Instr of instr * Loc.t
+
+type decl = { d_name : string; d_binding : string option; d_loc : Loc.t }
+
+type program = { decls : decl list; items : item list }

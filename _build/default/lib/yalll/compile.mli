@@ -1,0 +1,14 @@
+(** YALLL → MIR (survey §2.2.4).
+
+    Bound registers become physical registers of the target; the names
+    [mar]/[mbr] always denote the machine's memory registers; unbound
+    names become symbolic variables for the allocator (the sense in which
+    YALLL "in a certain sense" has symbolic variables, §3).  [exit x]
+    deposits the value in the machine's R0. *)
+
+val compile : Msl_machine.Desc.t -> Ast.program -> Msl_mir.Mir.program
+(** @raise Msl_util.Diag.Error on unknown machine registers or, in fully
+    bound programs, on undeclared names. *)
+
+val parse_compile :
+  ?file:string -> Msl_machine.Desc.t -> string -> Msl_mir.Mir.program

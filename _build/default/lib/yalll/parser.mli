@@ -1,0 +1,5 @@
+(** Line-oriented parser for YALLL (one instruction per line, ';'
+    comments, labels may share a line with an instruction). *)
+
+val parse : ?file:string -> string -> Ast.program
+(** @raise Msl_util.Diag.Error on lexical or syntax errors. *)

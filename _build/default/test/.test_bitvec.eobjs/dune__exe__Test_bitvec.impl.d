@@ -1,0 +1,1 @@
+test/test_bitvec.ml: Alcotest Bitvec Fmt Int64 List Msl_bitvec Printf QCheck QCheck_alcotest

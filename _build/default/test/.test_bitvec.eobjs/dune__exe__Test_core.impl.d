@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Bitvec Desc Int64 List Machines Memory Msl_bitvec Msl_core Msl_machine Msl_mir Msl_util Printf Sim String

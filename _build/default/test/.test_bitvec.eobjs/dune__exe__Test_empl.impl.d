@@ -1,0 +1,1 @@
+test/test_empl.ml: Alcotest Bitvec Desc List Machines Memory Msl_bitvec Msl_empl Msl_machine Msl_mir Msl_util Pipeline Printf Regalloc Sim String

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Bytes List Machines Masm Msl_core Msl_machine Msl_util Printf QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Bitvec Conflict Desc Encode Hashtbl Inst List Machines Masm Memory Msl_bitvec Msl_machine Msl_util Sim String Tmpl

@@ -1,0 +1,1 @@
+test/test_mir.ml: Alcotest Bitvec Compaction Dataflow Desc Encode Inst List Machines Masm Memory Mir Msl_bitvec Msl_machine Msl_mir Msl_util Pipeline Printf Regalloc Rtl Sim

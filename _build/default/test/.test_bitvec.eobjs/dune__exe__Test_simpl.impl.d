@@ -1,0 +1,1 @@
+test/test_simpl.ml: Alcotest Bitvec Compaction Desc Int64 List Machines Memory Msl_bitvec Msl_machine Msl_mir Msl_simpl Msl_util Pipeline Printf Sim

@@ -1,0 +1,1 @@
+test/test_sstar.ml: Alcotest Bitvec List Machines Memory Msl_bitvec Msl_machine Msl_sstar Msl_util Printf Sim

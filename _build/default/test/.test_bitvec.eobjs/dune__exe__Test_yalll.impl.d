@@ -1,0 +1,1 @@
+test/test_yalll.ml: Alcotest Bitvec Desc List Machines Memory Msl_bitvec Msl_machine Msl_mir Msl_util Msl_yalll Pipeline Printf Regalloc Sim

@@ -1,0 +1,332 @@
+(* Tests for the core library: the survey matrix, hand-coded baselines,
+   the MAC-16 emulator, and — most importantly — the *shape claims* every
+   experiment must reproduce (EXPERIMENTS.md records the numbers; these
+   tests pin the directions). *)
+
+open Msl_bitvec
+open Msl_machine
+module Core = Msl_core
+module Compaction = Msl_mir.Compaction
+module Regalloc = Msl_mir.Regalloc
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* -- T1: the matrix reproduces the survey's tallies ------------------------- *)
+
+let test_t1_tallies () =
+  check_int "ten languages" 10 (List.length Core.Language_info.languages);
+  check_int "eight sequential" 8 Core.Language_info.sequential_count;
+  check_int "two explicit" 2 Core.Language_info.explicit_count;
+  check_int "three symbolic" 3 Core.Language_info.symbolic_count;
+  check_int "no parameter passing" 0 Core.Language_info.parameter_passing_count;
+  check_int "interrupts neglected" 0 Core.Language_info.interrupts_count;
+  check_int "two verification-oriented" 2 Core.Language_info.verification_count;
+  check_bool "tables render" true
+    (String.length (Msl_util.Tbl.render (Core.Language_info.to_table ())) > 0)
+
+(* -- hand-coded baselines are correct ------------------------------------------ *)
+
+let test_handcoded_translit () =
+  let d = Machines.hp3 in
+  let c = Core.Toolkit.assemble d Core.Handcoded.translit_hp3 in
+  let sim =
+    Core.Toolkit.run c ~setup:(fun sim ->
+        let mem = Sim.memory sim in
+        for i = 0 to 127 do
+          Memory.poke mem (500 + i) (Bitvec.of_int ~width:16 (i + 1))
+        done;
+        Memory.load_ints mem ~base:300 [ 97; 98; 99; 0 ];
+        Sim.set_reg_int sim "DB" 300;
+        Sim.set_reg_int sim "SB" 500)
+  in
+  List.iteri
+    (fun i e ->
+      check_int "hand translit" e
+        (Bitvec.to_int (Memory.peek (Sim.memory sim) (300 + i))))
+    [ 98; 99; 100; 0 ]
+
+let test_handcoded_mpy () =
+  let d = Machines.h1 in
+  let c = Core.Toolkit.assemble d Core.Handcoded.mpy_h1 in
+  let sim =
+    Core.Toolkit.run c ~setup:(fun sim ->
+        Sim.set_reg_int sim "R1" 13;
+        Sim.set_reg_int sim "R2" 11)
+  in
+  check_int "hand mpy" 143 (Bitvec.to_int (Sim.get_reg sim "R3"))
+
+(* compiled and hand-written fpmul agree on many inputs (differential) *)
+let test_fpmul_parity () =
+  let d = Machines.h1 in
+  let compiled = Core.Toolkit.compile Core.Toolkit.Simpl d Core.Handcoded.simpl_fpmul in
+  let hand = Core.Toolkit.assemble d Core.Handcoded.fpmul_h1 in
+  let exp_mask = Int64.shift_left 0x1FFFL 50 in
+  let man_mask = Int64.sub (Int64.shift_left 1L 50) 1L in
+  let run c a b =
+    let sim =
+      Core.Toolkit.run c ~setup:(fun sim ->
+          Sim.set_reg sim "R1" (Bitvec.of_int64 ~width:64 a);
+          Sim.set_reg sim "R2" (Bitvec.of_int64 ~width:64 b);
+          Sim.set_reg sim "R8" (Bitvec.of_int64 ~width:64 exp_mask);
+          Sim.set_reg sim "R9" (Bitvec.of_int64 ~width:64 man_mask))
+    in
+    Bitvec.to_int64 (Sim.get_reg sim "R3")
+  in
+  let mk e m = Int64.logor (Int64.shift_left (Int64.of_int e) 50) m in
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check int64)
+        "fpmul parity" (run hand a b) (run compiled a b))
+    [ (mk 3 5L, mk 4 9L); (mk 100 12345L, mk 7 98765L); (mk 0 0L, mk 1 7L);
+      (mk 1 man_mask, mk 1 1L) ]
+
+(* -- the emulator substrate ------------------------------------------------------ *)
+
+let test_emulator_basics () =
+  (* 6*7 by repeated addition at the macro level *)
+  let prog =
+    Core.Emulator.link
+      [
+        Core.Emulator.I (Core.Emulator.Loadi 0);
+        Core.Emulator.I (Core.Emulator.Store 20);
+        Core.Emulator.L "loop";
+        Core.Emulator.I (Core.Emulator.Load 20);
+        Core.Emulator.I (Core.Emulator.Add 21);
+        Core.Emulator.I (Core.Emulator.Store 20);
+        Core.Emulator.I (Core.Emulator.Decm 22);
+        Core.Emulator.I (Core.Emulator.Load 22);
+        Core.Emulator.Iref ((fun a -> Core.Emulator.Jnz a), "loop");
+        Core.Emulator.I (Core.Emulator.Load 20);
+        Core.Emulator.I Core.Emulator.Halt;
+      ]
+  in
+  let sim =
+    Core.Emulator.run prog ~setup:(fun sim ->
+        Memory.load_ints (Sim.memory sim) ~base:21 [ 6; 7 ])
+  in
+  check_int "macro 6*7" 42 (Core.Emulator.acc sim)
+
+let test_emulator_indirect () =
+  let prog =
+    Core.Emulator.link
+      [
+        Core.Emulator.I (Core.Emulator.Loadx 30);  (* ACC := mem[mem[30]] *)
+        Core.Emulator.I (Core.Emulator.Stox 31);  (* mem[mem[31]] := ACC *)
+        Core.Emulator.I (Core.Emulator.Incm 30);
+        Core.Emulator.I Core.Emulator.Halt;
+      ]
+  in
+  let sim =
+    Core.Emulator.run prog ~setup:(fun sim ->
+        let mem = Sim.memory sim in
+        Memory.load_ints mem ~base:30 [ 50; 60 ];
+        Memory.load_ints mem ~base:50 [ 77 ])
+  in
+  check_int "indirect copy" 77
+    (Bitvec.to_int (Memory.peek (Sim.memory sim) 60));
+  check_int "incm" 51 (Bitvec.to_int (Memory.peek (Sim.memory sim) 30))
+
+(* -- experiment shape claims --------------------------------------------------------- *)
+
+let test_t2_shape () =
+  (* hand-written code is never larger than compiled code *)
+  List.iter
+    (fun r ->
+      check_bool
+        (Printf.sprintf "%s on %s: hand (%d) <= compiled (%d)"
+           r.Core.Experiments.t2_name r.Core.Experiments.t2_machine
+           r.Core.Experiments.t2_hand r.Core.Experiments.t2_compiled)
+        true
+        (r.Core.Experiments.t2_hand <= r.Core.Experiments.t2_compiled))
+    (Core.Experiments.t2_rows ())
+
+let test_t3_shape () =
+  (* HP3 beats V11 on both cycles and words *)
+  match Core.Experiments.t3_rows () with
+  | [ hp; vax ] ->
+      check_bool "HP3 fewer cycles" true
+        (hp.Core.Experiments.t3_cycles < vax.Core.Experiments.t3_cycles);
+      check_bool "HP3 no more words" true
+        (hp.Core.Experiments.t3_words <= vax.Core.Experiments.t3_words)
+  | _ -> Alcotest.fail "expected two T3 rows"
+
+let test_t4_shape () =
+  List.iter
+    (fun r ->
+      let w a = List.assoc a r.Core.Experiments.t4_words in
+      let seq = w Compaction.Sequential in
+      let fcfs = w Compaction.Fcfs in
+      let cp = w Compaction.Critical_path in
+      let opt = w Compaction.Optimal in
+      check_bool "fcfs <= seq" true (fcfs <= seq);
+      check_bool "opt <= cp" true (opt <= cp);
+      check_bool "opt <= fcfs" true (opt <= fcfs);
+      check_bool "some packing" true (cp < seq))
+    (Core.Experiments.t4_rows ())
+
+let test_t5_shape () =
+  let rows = Core.Experiments.t5_rows () in
+  (* spills decrease monotonically with register count, per strategy *)
+  List.iter
+    (fun strategy ->
+      let mine =
+        List.filter (fun r -> r.Core.Experiments.t5_strategy = strategy) rows
+      in
+      let rec monotone = function
+        | a :: (b :: _ as rest) ->
+            check_bool "spills decrease" true
+              (b.Core.Experiments.t5_spilled <= a.Core.Experiments.t5_spilled);
+            monotone rest
+        | _ -> ()
+      in
+      monotone mine)
+    [ Regalloc.First_fit; Regalloc.Priority ];
+  (* at every size, priority never has more traffic than first-fit *)
+  List.iter
+    (fun n ->
+      let get s =
+        List.find
+          (fun r ->
+            r.Core.Experiments.t5_nregs = n && r.Core.Experiments.t5_strategy = s)
+          rows
+      in
+      check_bool
+        (Printf.sprintf "priority <= first-fit at %d regs" n)
+        true
+        ((get Regalloc.Priority).Core.Experiments.t5_traffic
+        <= (get Regalloc.First_fit).Core.Experiments.t5_traffic))
+    [ 4; 8; 16; 32 ];
+  (* with 256 registers (the CDC 480 end of the survey's range): no spills *)
+  List.iter
+    (fun r ->
+      if r.Core.Experiments.t5_nregs = 256 then
+        check_int "no spills at 256" 0 r.Core.Experiments.t5_spilled)
+    rows
+
+let test_t6_shape () =
+  match Core.Experiments.t6_rows () with
+  | [ macro; empl; compiled; hand ] ->
+      check_bool "macro is slowest" true
+        (macro.Core.Experiments.t6_cycles > empl.Core.Experiments.t6_cycles);
+      check_bool "EMPL slower than YALLL" true
+        (empl.Core.Experiments.t6_cycles > compiled.Core.Experiments.t6_cycles);
+      check_bool "hand fastest" true
+        (hand.Core.Experiments.t6_cycles <= compiled.Core.Experiments.t6_cycles);
+      check_bool "EMPL speedup is at least the survey's 'factor of five'" true
+        (empl.Core.Experiments.t6_speedup >= 5.0)
+  | _ -> Alcotest.fail "expected four T6 rows"
+
+let test_t7_shape () =
+  (* vertical: fewer program bits, more cycles *)
+  let rows = Core.Experiments.t7_rows () in
+  let pairs =
+    List.filter (fun r -> r.Core.Experiments.t7_machine = "HP3") rows
+    |> List.map (fun hp ->
+           ( hp,
+             List.find
+               (fun r ->
+                 r.Core.Experiments.t7_machine = "B17"
+                 && r.Core.Experiments.t7_program = hp.Core.Experiments.t7_program)
+               rows ))
+  in
+  check_bool "has pairs" true (pairs <> []);
+  List.iter
+    (fun (hp, b) ->
+      check_bool "vertical slower" true
+        (b.Core.Experiments.t7_cycles > hp.Core.Experiments.t7_cycles);
+      check_bool "vertical smaller" true
+        (b.Core.Experiments.t7_program_bits < hp.Core.Experiments.t7_program_bits))
+    pairs
+
+let test_f1_shape () =
+  List.iter
+    (fun r ->
+      check_bool "available >= achieved" true
+        (r.Core.Experiments.f1_parallelism >= r.Core.Experiments.f1_ops_per_word_hp3 -. 0.01);
+      check_bool "achieved >= 1" true (r.Core.Experiments.f1_ops_per_word_hp3 >= 0.99))
+    (Core.Experiments.f1_rows ());
+  (* larger blocks realise real packing *)
+  let big = List.nth (Core.Experiments.f1_rows ()) 4 in
+  check_bool "packing on 64-stmt blocks" true
+    (big.Core.Experiments.f1_ops_per_word_hp3 > 1.2)
+
+let test_f2_shape () =
+  (match Core.Experiments.f2_interrupts () with
+  | [ without; with_ ] ->
+      check_int "no polls, nothing serviced" 0
+        without.Core.Experiments.f2_serviced;
+      check_int "polls service all five" 5 with_.Core.Experiments.f2_serviced;
+      check_bool "poll overhead exists" true
+        (with_.Core.Experiments.f2_total_cycles
+        > without.Core.Experiments.f2_total_cycles)
+  | _ -> Alcotest.fail "expected two F2 rows");
+  match Core.Experiments.f2_traps () with
+  | [ buggy; safe; compiled; trapsafe ] ->
+      check_int "double increment" 301 buggy.Core.Experiments.f2_final;
+      check_int "safe version" 300 safe.Core.Experiments.f2_final;
+      check_int "compiled literal also buggy" 301
+        compiled.Core.Experiments.f2_final;
+      check_int "trap_safe pass repairs it" 300
+        trapsafe.Core.Experiments.f2_final
+  | _ -> Alcotest.fail "expected four trap rows"
+
+let test_a1_shape () =
+  match Core.Experiments.a1_rows () with
+  | [ chain; microop; alloc ] ->
+      check_bool "chaining never hurts" true
+        (chain.Core.Experiments.a1_base <= chain.Core.Experiments.a1_variant);
+      check_bool "MICROOP shrinks code" true
+        (microop.Core.Experiments.a1_base < microop.Core.Experiments.a1_variant);
+      check_bool "priority allocator not worse" true
+        (alloc.Core.Experiments.a1_base <= alloc.Core.Experiments.a1_variant)
+  | _ -> Alcotest.fail "expected three ablation rows"
+
+let test_sweeper_machines_valid () =
+  List.iter
+    (fun n ->
+      let d = Core.Sweeper.machine ~nregs:n in
+      check_int (Printf.sprintf "SWP%d alloc regs" n) n
+        (List.length (Desc.regs_of_class d "alloc")))
+    [ 2; 16; 256 ]
+
+let test_all_tables_render () =
+  (* every experiment table renders without raising *)
+  List.iter
+    (fun t -> check_bool "renders" true (String.length (Msl_util.Tbl.render t) > 0))
+    (Core.Experiments.all_tables ())
+
+let () =
+  Alcotest.run "core"
+    [
+      ("matrix", [ Alcotest.test_case "survey tallies" `Quick test_t1_tallies ]);
+      ( "handcoded",
+        [
+          Alcotest.test_case "translit" `Quick test_handcoded_translit;
+          Alcotest.test_case "mpy" `Quick test_handcoded_mpy;
+          Alcotest.test_case "fpmul parity" `Quick test_fpmul_parity;
+        ] );
+      ( "emulator",
+        [
+          Alcotest.test_case "basics" `Quick test_emulator_basics;
+          Alcotest.test_case "indirect" `Quick test_emulator_indirect;
+        ] );
+      ( "shapes",
+        [
+          Alcotest.test_case "T2 hand <= compiled" `Quick test_t2_shape;
+          Alcotest.test_case "T3 HP3 beats V11" `Quick test_t3_shape;
+          Alcotest.test_case "T4 algorithm ordering" `Quick test_t4_shape;
+          Alcotest.test_case "T5 spill monotonicity" `Quick test_t5_shape;
+          Alcotest.test_case "T6 speedup ladder" `Quick test_t6_shape;
+          Alcotest.test_case "T7 vertical trade-off" `Quick test_t7_shape;
+          Alcotest.test_case "F1 parallelism gap" `Quick test_f1_shape;
+          Alcotest.test_case "F2 interrupts and traps" `Quick test_f2_shape;
+          Alcotest.test_case "A1 ablations" `Quick test_a1_shape;
+        ] );
+      ( "infrastructure",
+        [
+          Alcotest.test_case "sweeper machines" `Quick
+            test_sweeper_machines_valid;
+          Alcotest.test_case "all tables render" `Quick test_all_tables_render;
+        ] );
+    ]

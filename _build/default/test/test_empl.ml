@@ -1,0 +1,252 @@
+(* Tests for the EMPL frontend (survey §2.2.2), including the paper's
+   STACK extension-type example, with and without the MICROOP hint. *)
+
+open Msl_bitvec
+open Msl_machine
+open Msl_mir
+module Empl = Msl_empl
+module Diag = Msl_util.Diag
+
+let check_bool = Alcotest.(check bool)
+
+let compile_run ?use_microops ?options ?(setup = fun _ -> ()) d src =
+  let p = Empl.Compile.parse_compile ?use_microops d src in
+  let sim, _, metrics = Pipeline.load ?options d p in
+  setup sim;
+  (match Sim.run sim with
+  | Sim.Halted -> ()
+  | Sim.Out_of_fuel -> Alcotest.fail "program did not halt");
+  (sim, metrics)
+
+(* The survey's stack example, verbatim in structure. *)
+let stack_type =
+  "TYPE STACK\n\
+  \  DECLARE STK(16) FIXED; /* an array of 16 integers */\n\
+  \  DECLARE STKPTR FIXED;\n\
+  \  DECLARE VALUE FIXED;\n\
+  \  INITIALLY DO; STKPTR = 0; END;\n\
+  \  PUSH: OPERATION ACCEPTS (VALUE)\n\
+  \        MICROOP: PUSH 3 0;\n\
+  \        IF STKPTR = 16\n\
+  \        THEN ERROR;\n\
+  \        ELSE DO; STKPTR = STKPTR + 1; STK(STKPTR) = VALUE; END\n\
+   END;\n\
+  \  POP: OPERATION RETURNS (VALUE)\n\
+  \        MICROOP: POP 3 0;\n\
+  \        IF STKPTR = 0\n\
+  \        THEN ERROR;\n\
+  \        ELSE DO; VALUE = STK(STKPTR); STKPTR = STKPTR - 1; END\n\
+   END;\n\
+   ENDTYPE;\n\
+   DECLARE ADDRESS_STK STACK;\n"
+
+(* push 11, 22, 33; pop twice; result = 33 + 22 = 55 *)
+let stack_program =
+  stack_type
+  ^ "DECLARE A FIXED;\n\
+     DECLARE B FIXED;\n\
+     ADDRESS_STK.PUSH(11);\n\
+     ADDRESS_STK.PUSH(22);\n\
+     ADDRESS_STK.PUSH(33);\n\
+     A = ADDRESS_STK.POP();\n\
+     B = ADDRESS_STK.POP();\n\
+     A = A + B;\n"
+
+(* EMPL has no output statement; programs store their result into a
+   declared OUT array, and tests scan the static data region for it. *)
+let stack_program_store =
+  stack_type
+  ^ "DECLARE A FIXED;\n\
+     DECLARE B FIXED;\n\
+     DECLARE OUT(1) FIXED;\n\
+     ADDRESS_STK.PUSH(11);\n\
+     ADDRESS_STK.PUSH(22);\n\
+     ADDRESS_STK.PUSH(33);\n\
+     A = ADDRESS_STK.POP();\n\
+     B = ADDRESS_STK.POP();\n\
+     A = A + B;\n\
+     OUT(0) = A;\n"
+
+(* Find the address of OUT by storing a sentinel first: instead, OUT is the
+   last array allocated; simpler to check by scanning the data region. *)
+let find_value_in_data d sim expected =
+  let mem = Sim.memory sim in
+  let base = max 0 (d.Desc.d_scratch_base - 256) in
+  let rec scan a =
+    if a >= d.Desc.d_scratch_base then false
+    else if Bitvec.to_int (Memory.peek mem a) = expected then true
+    else scan (a + 1)
+  in
+  scan base
+
+(* the verbatim paper program (no OUT plumbing) compiles and halts on
+   every machine *)
+let test_stack_runs_everywhere () =
+  List.iter
+    (fun d ->
+      let sim, _ = compile_run d stack_program in
+      check_bool (d.Desc.d_name ^ " halts") true (Sim.cycles sim > 0))
+    Machines.all
+
+let test_stack_inlined () =
+  (* machines without hardware push/pop: operators inline *)
+  List.iter
+    (fun d ->
+      let sim, _ = compile_run d stack_program_store in
+      check_bool
+        (d.Desc.d_name ^ " stack result in data region")
+        true
+        (find_value_in_data d sim 55))
+    [ Machines.hp3; Machines.h1 ]
+
+let test_stack_hardware () =
+  (* B17 has push/pop microoperations: the MICROOP path *)
+  let d = Machines.b17 in
+  let sim, _ = compile_run d stack_program_store in
+  check_bool "B17 hardware stack result" true (find_value_in_data d sim 55)
+
+let test_microop_shrinks_code () =
+  (* the MICROOP hint must produce less code than inlining on B17 *)
+  let d = Machines.b17 in
+  let size use_microops =
+    let p = Empl.Compile.parse_compile ~use_microops d stack_program_store in
+    let _, _, m = Pipeline.compile d p in
+    m.Pipeline.m_instructions
+  in
+  let hw = size true and sw = size false in
+  check_bool (Printf.sprintf "hardware (%d) < inlined (%d)" hw sw) true (hw < sw);
+  (* and the software path still computes the same answer *)
+  let sim, _ = compile_run ~use_microops:false d stack_program_store in
+  check_bool "inlined result matches" true (find_value_in_data d sim 55)
+
+let test_stack_overflow_error () =
+  (* pushing 17 times hits the ERROR branch, which halts before OUT is
+     written *)
+  let d = Machines.hp3 in
+  let pushes =
+    String.concat "" (List.init 17 (fun i ->
+        Printf.sprintf "ADDRESS_STK.PUSH(%d);\n" (i + 1)))
+  in
+  let src =
+    stack_type ^ "DECLARE OUT(1) FIXED;\n" ^ pushes ^ "OUT(0) = 999;\n"
+  in
+  let sim, _ = compile_run d src in
+  check_bool "overflow halts before the sentinel write" false
+    (find_value_in_data d sim 999)
+
+(* -- general language features -------------------------------------------- *)
+
+let run_arith d src expected =
+  let full = "DECLARE OUT(1) FIXED;\n" ^ src ^ "OUT(0) = R;\n" in
+  let sim, _ = compile_run d full in
+  check_bool (Printf.sprintf "expected %d in data region" expected) true
+    (find_value_in_data d sim expected)
+
+let test_arithmetic () =
+  let d = Machines.hp3 in
+  run_arith d "DECLARE R FIXED;\nR = 6 * 7;\n" 42;
+  run_arith d "DECLARE R FIXED;\nR = 100 / 7;\n" 14;
+  run_arith d "DECLARE R FIXED;\nR = 100 MOD 7;\n" 2;
+  run_arith d "DECLARE R FIXED;\nR = 12 & 10;\n" 8;
+  run_arith d "DECLARE R FIXED;\nR = 12 | 3;\n" 15;
+  run_arith d "DECLARE R FIXED;\nR = 12 XOR 10;\n" 6;
+  run_arith d "DECLARE R FIXED;\nR = SHL(3, 4);\n" 48;
+  run_arith d "DECLARE R FIXED;\nR = SHR(48, 3);\n" 6;
+  run_arith d "DECLARE A FIXED;\nDECLARE R FIXED;\nA = 5;\nR = NEG(A);\nR = R + 10;\n" 5
+
+let test_while_goto () =
+  let d = Machines.hp3 in
+  run_arith d
+    "DECLARE I FIXED;\nDECLARE R FIXED;\nI = 10;\nR = 0;\n\
+     DO WHILE (I > 0);\n  R = R + I;\n  I = I - 1;\nEND;\n"
+    55;
+  run_arith d
+    "DECLARE I FIXED;\nDECLARE R FIXED;\nI = 0;\nR = 0;\n\
+     LOOP: R = R + I;\nI = I + 1;\nIF I < 5 THEN GOTO LOOP;\n"
+    10
+
+let test_procedures () =
+  let d = Machines.hp3 in
+  run_arith d
+    "DECLARE R FIXED;\n\
+     DOUBLE: PROCEDURE;\n  R = R + R;\nEND;\n\
+     R = 5;\nCALL DOUBLE;\nCALL DOUBLE;\n"
+    20
+
+let test_global_operator () =
+  let d = Machines.hp3 in
+  (* operators with two parameters, inlined twice *)
+  let src =
+    "DECLARE R FIXED;\nDECLARE T FIXED;\n\
+     ADDBOTH: OPERATION ACCEPTS (X, Y) RETURNS (Z)\n\
+    \  Z = X + Y;\n\
+     END;\n\
+     T = ADDBOTH(30, 12);\n\
+     R = ADDBOTH(T, T);\n"
+  in
+  run_arith d src 84
+
+let expect_diag phase f =
+  match f () with
+  | exception Diag.Error dg when dg.Diag.phase = phase -> ()
+  | exception Diag.Error dg ->
+      Alcotest.failf "wrong phase: %s" (Diag.to_string dg)
+  | _ -> Alcotest.fail "expected a diagnostic"
+
+let test_errors () =
+  let d = Machines.hp3 in
+  expect_diag Diag.Semantic (fun () ->
+      ignore (compile_run d "X = 1;\n"));
+  expect_diag Diag.Semantic (fun () ->
+      ignore (compile_run d "DECLARE X FIXED;\nX = POP();\n"));
+  expect_diag Diag.Semantic (fun () ->
+      ignore (compile_run d "CALL NOWHERE;\n"));
+  expect_diag Diag.Parsing (fun () ->
+      ignore (Empl.Parser.parse "DECLARE X;\n"));
+  (* recursive operator: inlining depth exceeded *)
+  expect_diag Diag.Semantic (fun () ->
+      ignore
+        (compile_run d
+           "DECLARE X FIXED;\n\
+            LOOPY: OPERATION ACCEPTS (A) RETURNS (B)\n\
+           \  B = LOOPY(A);\n\
+            END;\n\
+            X = LOOPY(1);\n"))
+
+let test_allocator_engaged () =
+  (* EMPL is the symbolic-variable language: the allocator must run *)
+  let d = Machines.hp3 in
+  let p =
+    Empl.Compile.parse_compile d
+      "DECLARE A FIXED;\nDECLARE B FIXED;\nA = 1;\nB = A + A;\n"
+  in
+  let _, _, m = Pipeline.compile d p in
+  match m.Pipeline.m_alloc with
+  | Some s -> check_bool "vregs allocated" true (s.Regalloc.vregs >= 2)
+  | None -> Alcotest.fail "allocator did not run"
+
+let () =
+  Alcotest.run "empl"
+    [
+      ( "paper example",
+        [
+          Alcotest.test_case "stack runs everywhere" `Quick
+            test_stack_runs_everywhere;
+          Alcotest.test_case "stack inlined" `Quick test_stack_inlined;
+          Alcotest.test_case "stack hardware microop" `Quick
+            test_stack_hardware;
+          Alcotest.test_case "microop shrinks code" `Quick
+            test_microop_shrinks_code;
+          Alcotest.test_case "stack overflow ERROR" `Quick
+            test_stack_overflow_error;
+        ] );
+      ( "language",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+          Alcotest.test_case "while and goto" `Quick test_while_goto;
+          Alcotest.test_case "procedures" `Quick test_procedures;
+          Alcotest.test_case "operators" `Quick test_global_operator;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "allocator engaged" `Quick test_allocator_engaged;
+        ] );
+    ]

@@ -1,0 +1,80 @@
+(* Robustness fuzzing: every frontend (and the microassembler) must answer
+   arbitrary input with a structured diagnostic — never an OCaml exception,
+   never a crash.  Two generators: raw printable noise, and mutations of
+   valid programs (which reach much deeper into the compilers). *)
+
+open Msl_machine
+module Core = Msl_core
+module Diag = Msl_util.Diag
+
+let printable rng =
+  let chars =
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 \n\t\
+     ()[]{};:,.#&|^~<>=+-*/!@'\"\\_"
+  in
+  chars.[Random.State.int rng (String.length chars)]
+
+let noise rng n = String.init n (fun _ -> printable rng)
+
+let mutate rng src =
+  let b = Bytes.of_string src in
+  let n = Bytes.length b in
+  if n = 0 then src
+  else begin
+    for _ = 0 to Random.State.int rng 6 do
+      let i = Random.State.int rng n in
+      match Random.State.int rng 3 with
+      | 0 -> Bytes.set b i (printable rng)
+      | 1 -> Bytes.set b i ' '
+      | _ -> Bytes.set b i (Bytes.get b (Random.State.int rng n))
+    done;
+    Bytes.to_string b
+  end
+
+(* The compiler under test survives when it returns or raises Diag.Error;
+   anything else is a robustness bug. *)
+let survives f =
+  match f () with
+  | _ -> true
+  | exception Diag.Error _ -> true
+  | exception _ -> false
+
+let seeds = [ "simpl"; "empl"; "sstar"; "yalll"; "masm" ]
+
+let valid_program = function
+  | "simpl" -> Core.Handcoded.simpl_fpmul
+  | "empl" ->
+      "DECLARE A FIXED;\nDECLARE OUT(1) FIXED;\nA = 6 * 7;\nOUT(0) = A;\n"
+  | "sstar" ->
+      "program P;\nvar x : seq [15..0] bit at R1;\n\
+       begin while x <> 0 inv { true } do x := x - 1 od end\n"
+  | "yalll" -> Core.Handcoded.yalll_translit
+  | _ -> Core.Handcoded.translit_hp3
+
+let compile_of lang src =
+  let d = Machines.hp3 in
+  match lang with
+  | "simpl" -> fun () -> ignore (Core.Toolkit.compile Core.Toolkit.Simpl d src)
+  | "empl" -> fun () -> ignore (Core.Toolkit.compile Core.Toolkit.Empl d src)
+  | "sstar" -> fun () -> ignore (Core.Toolkit.compile Core.Toolkit.Sstar d src)
+  | "yalll" -> fun () -> ignore (Core.Toolkit.compile Core.Toolkit.Yalll d src)
+  | _ -> fun () -> ignore (Masm.parse_program d src)
+
+let fuzz_lang lang =
+  QCheck.Test.make ~count:600
+    ~name:(Printf.sprintf "%s survives hostile input" lang)
+    QCheck.(pair (int_bound 1_000_000) (int_range 0 160))
+    (fun (seed, len) ->
+      let rng = Random.State.make [| seed; len |] in
+      let src =
+        if Random.State.bool rng then noise rng len
+        else mutate rng (valid_program lang)
+      in
+      survives (compile_of lang src))
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "frontends",
+        List.map (fun l -> QCheck_alcotest.to_alcotest (fuzz_lang l)) seeds );
+    ]

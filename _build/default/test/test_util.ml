@@ -1,0 +1,99 @@
+(* Unit tests for the utility layer: locations, diagnostics, the scanner
+   and the table renderer. *)
+
+module Loc = Msl_util.Loc
+module Diag = Msl_util.Diag
+module Scanner = Msl_util.Scanner
+module Tbl = Msl_util.Tbl
+
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* -- locations ------------------------------------------------------------ *)
+
+let test_loc () =
+  let p1 = { Loc.line = 2; col = 3; offset = 10 } in
+  let p2 = { Loc.line = 2; col = 9; offset = 16 } in
+  let l = Loc.make ~file:"f.mc" ~start_pos:p1 ~end_pos:p2 in
+  check_str "same-line span" "f.mc:2.3-9" (Loc.to_string l);
+  let p3 = { Loc.line = 4; col = 1; offset = 30 } in
+  let l2 = Loc.make ~file:"f.mc" ~start_pos:p2 ~end_pos:p3 in
+  check_str "multi-line span" "f.mc:2.9-4.1" (Loc.to_string l2);
+  check_bool "dummy" true (Loc.is_dummy Loc.dummy);
+  let m = Loc.merge l l2 in
+  check_str "merge covers both" "f.mc:2.3-4.1" (Loc.to_string m);
+  check_str "merge with dummy" (Loc.to_string l)
+    (Loc.to_string (Loc.merge Loc.dummy l))
+
+(* -- diagnostics ----------------------------------------------------------- *)
+
+let test_diag () =
+  (match Diag.error Diag.Parsing "bad %s at %d" "token" 7 with
+  | exception Diag.Error d ->
+      check_str "message formatted" "bad token at 7" d.Diag.message;
+      check_bool "phase" true (d.Diag.phase = Diag.Parsing);
+      check_str "rendering" "parse error: bad token at 7" (Diag.to_string d)
+  | _ -> Alcotest.fail "expected a diagnostic");
+  match Diag.protect (fun () -> Diag.error Diag.Codegen "nope") with
+  | Error d -> check_bool "protect captures" true (d.Diag.phase = Diag.Codegen)
+  | Ok _ -> Alcotest.fail "expected Error"
+
+(* -- scanner ---------------------------------------------------------------- *)
+
+let test_scanner () =
+  let sc = Scanner.make ~file:"t" "ab cd\nef" in
+  check_str "ident" "ab" (Scanner.ident sc);
+  Scanner.skip_spaces sc;
+  check_str "second ident" "cd" (Scanner.ident sc);
+  Scanner.skip_spaces sc;
+  let pos = Scanner.pos sc in
+  check_int "line tracked" 2 pos.Loc.line;
+  check_int "col tracked" 1 pos.Loc.col;
+  check_bool "eat" true (Scanner.eat sc 'e');
+  check_bool "eat wrong" false (Scanner.eat sc 'x');
+  check_bool "peek" true (Scanner.peek sc = Some 'f');
+  Scanner.advance sc;
+  check_bool "eof" true (Scanner.eof sc)
+
+let test_scanner_hspaces () =
+  let sc = Scanner.make ~file:"t" "  \t x\ny" in
+  Scanner.skip_hspaces sc;
+  check_bool "stops at x" true (Scanner.peek sc = Some 'x');
+  Scanner.advance sc;
+  Scanner.skip_hspaces sc;
+  check_bool "does not cross newline" true (Scanner.peek sc = Some '\n')
+
+(* -- tables ------------------------------------------------------------------ *)
+
+let test_tbl () =
+  let t = Tbl.make ~title:"demo" ~aligns:[ Tbl.Left; Tbl.Right ] [ "name"; "n" ] in
+  Tbl.add_row t [ "alpha"; "1" ];
+  Tbl.add_row t [ "b"; "22" ];
+  let r = Tbl.render t in
+  check_bool "title present" true
+    (String.length r > 0 && String.sub r 0 7 = "== demo");
+  (* right-aligned numeric column *)
+  check_bool "alignment" true
+    (let lines = String.split_on_char '\n' r in
+     List.exists (fun l -> l = "b      22") lines);
+  check_int "rows" 2 (List.length (Tbl.rows t));
+  (match Tbl.add_row t [ "only-one" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected arity failure");
+  check_str "pct" "+50.0%" (Tbl.cell_pct 9 6);
+  check_str "pct n/a" "n/a" (Tbl.cell_pct 9 0);
+  check_str "ratio" "1.50x" (Tbl.cell_ratio 9 6)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "util",
+        [
+          Alcotest.test_case "locations" `Quick test_loc;
+          Alcotest.test_case "diagnostics" `Quick test_diag;
+          Alcotest.test_case "scanner" `Quick test_scanner;
+          Alcotest.test_case "scanner hspaces" `Quick test_scanner_hspaces;
+          Alcotest.test_case "tables" `Quick test_tbl;
+        ] );
+    ]

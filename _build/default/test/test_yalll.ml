@@ -1,0 +1,267 @@
+(* Tests for the YALLL frontend (survey §2.2.4), including the paper's
+   transliteration example on both of its target machines. *)
+
+open Msl_bitvec
+open Msl_machine
+open Msl_mir
+module Yalll = Msl_yalll
+module Diag = Msl_util.Diag
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let bv w v = Bitvec.of_int ~width:w v
+
+let compile_run ?options ?(setup = fun _ -> ()) d src =
+  let p = Yalll.Compile.parse_compile d src in
+  let sim, _, metrics = Pipeline.load ?options d p in
+  setup sim;
+  (match Sim.run sim with
+  | Sim.Halted -> ()
+  | Sim.Out_of_fuel -> Alcotest.fail "program did not halt");
+  (sim, metrics)
+
+(* The survey's example program: transliterate a null-terminated string
+   through a table.  This is the HP300 version; the VAX version "differs
+   only in the declaration part". *)
+let translit_hp3 =
+  "reg str = db\n\
+   reg tbl = sb\n\
+   reg char = mbr\n\
+   loop:\n\
+  \  load char,str    ;get addressed character\n\
+  \  jump out if char = 0\n\
+  \  add  mar,char,tbl\n\
+  \  load char,mar\n\
+  \  stor char,str\n\
+  \  add  str,str,1\n\
+  \  jump loop\n\
+   out: exit\n"
+
+let translit_v11 =
+  "reg str = r0\n\
+   reg tbl = r1\n\
+   reg char = mbr\n\
+   loop:\n\
+  \  load char,str\n\
+  \  jump out if char = 0\n\
+  \  add  mar,char,tbl\n\
+  \  load char,mar\n\
+  \  stor char,str\n\
+  \  add  str,str,1\n\
+  \  jump loop\n\
+   out: exit\n"
+
+let setup_translit d str_reg tbl_reg sim =
+  let mem = Sim.memory sim in
+  (* table at 500: entry i holds i + 1 *)
+  for i = 0 to 127 do
+    Memory.poke mem (500 + i) (bv d.Desc.d_word (i + 1))
+  done;
+  (* string "abc\0" at 300 *)
+  Memory.load_ints mem ~base:300 [ 97; 98; 99; 0 ];
+  Sim.set_reg_int sim str_reg 300;
+  Sim.set_reg_int sim tbl_reg 500
+
+let check_translit d sim =
+  let mem = Sim.memory sim in
+  List.iteri
+    (fun i expected ->
+      check_int
+        (Printf.sprintf "%s mem[%d]" d.Desc.d_name (300 + i))
+        expected
+        (Bitvec.to_int (Memory.peek mem (300 + i))))
+    [ 98; 99; 100; 0 ]
+
+let test_translit_hp3 () =
+  let d = Machines.hp3 in
+  let sim, _ = compile_run d translit_hp3 ~setup:(setup_translit d "DB" "SB") in
+  check_translit d sim
+
+let test_translit_v11 () =
+  let d = Machines.v11 in
+  let sim, _ = compile_run d translit_v11 ~setup:(setup_translit d "R0" "R1") in
+  check_translit d sim
+
+let test_hp3_beats_v11 () =
+  (* the survey: "The HP implementation performed a lot better than the
+     VAX implementation" — reproduce the shape on cycles and code size *)
+  let run d src =
+    let sim, m = compile_run d src ~setup:(setup_translit d
+      (match d.Desc.d_name with "HP3" -> "DB" | _ -> "R0")
+      (match d.Desc.d_name with "HP3" -> "SB" | _ -> "R1")) in
+    (Sim.cycles sim, m.Pipeline.m_instructions)
+  in
+  let hp_cycles, hp_size = run Machines.hp3 translit_hp3 in
+  let vax_cycles, vax_size = run Machines.v11 translit_v11 in
+  check_bool
+    (Printf.sprintf "HP3 faster (%d vs %d cycles)" hp_cycles vax_cycles)
+    true (hp_cycles < vax_cycles);
+  check_bool
+    (Printf.sprintf "HP3 no bigger (%d vs %d words)" hp_size vax_size)
+    true (hp_size <= vax_size)
+
+let test_symbolic_variables () =
+  (* unbound registers become allocator-managed symbolic variables *)
+  let d = Machines.hp3 in
+  let src =
+    "reg total\n\
+     reg i\n\
+     set total, 0\n\
+     set i, 10\n\
+     loop:\n\
+    \  add total, total, i\n\
+    \  dec i, i\n\
+    \  jump loop if i <> 0\n\
+    \  exit total\n"
+  in
+  let sim, m = compile_run d src in
+  check_int "sum via symbolic vars" 55 (Bitvec.to_int (Sim.get_reg sim "R0"));
+  match m.Pipeline.m_alloc with
+  | Some s -> check_bool "allocator ran" true (s.Regalloc.vregs >= 2)
+  | None -> Alcotest.fail "allocator did not run"
+
+let test_mask_branch_both_machines () =
+  (* mask branch: native on HP3, synthesised on V11 *)
+  let src =
+    "reg x = r2\n\
+     reg y = r3\n\
+    \  jump hit if x mask 1x10\n\
+    \  set y, 0\n\
+    \  exit\n\
+     hit:\n\
+    \  set y, 1\n\
+    \  exit\n"
+  in
+  List.iter
+    (fun d ->
+      let run v =
+        let sim, _ =
+          compile_run d src ~setup:(fun sim -> Sim.set_reg_int sim "R2" v)
+        in
+        Bitvec.to_int (Sim.get_reg sim "R3")
+      in
+      check_int (d.Desc.d_name ^ " match 0b1010") 1 (run 0b1010);
+      check_int (d.Desc.d_name ^ " match 0b1110") 1 (run 0b1110);
+      check_int (d.Desc.d_name ^ " reject 0b1011") 0 (run 0b1011);
+      check_int (d.Desc.d_name ^ " reject 0b0010") 0 (run 0b0010))
+    [ Machines.hp3; Machines.v11 ]
+
+let test_call_ret () =
+  let d = Machines.hp3 in
+  let src =
+    "reg x = r1\n\
+    \  set x, 3\n\
+    \  call triple\n\
+    \  call triple\n\
+    \  exit x\n\
+     triple:\n\
+    \  add x, x, x\n\
+    \  add x, x, x\n\
+    \  ret\n"
+  in
+  (* 'triple' actually quadruples; the test checks call/ret plumbing *)
+  let sim, _ = compile_run d src in
+  check_int "two calls" 48 (Bitvec.to_int (Sim.get_reg sim "R0"))
+
+let test_shifts_and_logic () =
+  let d = Machines.b17 in
+  let src =
+    "reg a = r1\n\
+     reg b = r2\n\
+    \  set a, 6\n\
+    \  lsl a, a, 2     ; 24\n\
+    \  set b, 0xf\n\
+    \  and a, a, b     ; 8\n\
+    \  or  a, a, 1     ; 9\n\
+    \  xor a, a, b     ; 6\n\
+    \  not a, a\n\
+    \  not a, a        ; 6 again\n\
+    \  neg a, a\n\
+    \  neg a, a        ; 6 again\n\
+    \  lsr a, a, 1     ; 3\n\
+    \  exit a\n"
+  in
+  let sim, _ = compile_run d src in
+  check_int "arithmetic chain" 3 (Bitvec.to_int (Sim.get_reg sim "R0"))
+
+(* 32-bit addition on 16-bit machines: addf sets the carry, adc consumes
+   it.  All three machines agree. *)
+let test_carry_chain () =
+  let src =
+    "reg alo = r1\nreg ahi = r2\nreg blo = r3\nreg bhi = r4\n\
+     reg rlo = r5\nreg rhi = r6\n\
+    \  addf rlo, alo, blo\n\
+    \  adc  rhi, ahi, bhi\n\
+    \  exit\n"
+  in
+  List.iter
+    (fun d ->
+      let a = 0x1FFFF and b = 0x2FFF3 in
+      let sim, _ =
+        compile_run d src ~setup:(fun sim ->
+            Sim.set_reg_int sim "R1" (a land 0xFFFF);
+            Sim.set_reg_int sim "R2" (a lsr 16);
+            Sim.set_reg_int sim "R3" (b land 0xFFFF);
+            Sim.set_reg_int sim "R4" (b lsr 16))
+      in
+      let lo = Bitvec.to_int (Sim.get_reg sim "R5") in
+      let hi = Bitvec.to_int (Sim.get_reg sim "R6") in
+      check_int (d.Desc.d_name ^ " 32-bit sum") ((a + b) land 0xFFFFFFFF)
+        ((hi lsl 16) lor lo))
+    [ Machines.hp3; Machines.b17; Machines.v11 ]
+
+let expect_diag phase f =
+  match f () with
+  | exception Diag.Error d when d.Diag.phase = phase -> ()
+  | exception Diag.Error d -> Alcotest.failf "wrong phase: %s" (Diag.to_string d)
+  | _ -> Alcotest.fail "expected a diagnostic"
+
+let test_errors () =
+  let d = Machines.hp3 in
+  expect_diag Diag.Parsing (fun () ->
+      Yalll.Compile.parse_compile d "zap r1, r2\n");
+  expect_diag Diag.Parsing (fun () ->
+      Yalll.Compile.parse_compile d "add r1 r2 r3\n");
+  expect_diag Diag.Semantic (fun () ->
+      Yalll.Compile.parse_compile d "reg x = zork\n");
+  (* bound-only program must declare every register *)
+  expect_diag Diag.Semantic (fun () ->
+      ignore
+        (Pipeline.compile d
+           (Yalll.Compile.parse_compile d "reg a = r1\nmove a, q\nexit\n")));
+  expect_diag Diag.Parsing (fun () ->
+      Yalll.Compile.parse_compile d "jump l if x > 0\n")
+
+let test_hand_vs_compiled_parity () =
+  (* the compiled transliteration must match a reference interpretation *)
+  let d = Machines.hp3 in
+  let sim, _ = compile_run d translit_hp3 ~setup:(setup_translit d "DB" "SB") in
+  (* reference: done in OCaml *)
+  let expect = [ 98; 99; 100 ] in
+  List.iteri
+    (fun i e ->
+      check_int "parity" e (Bitvec.to_int (Memory.peek (Sim.memory sim) (300 + i))))
+    expect
+
+let () =
+  Alcotest.run "yalll"
+    [
+      ( "paper example",
+        [
+          Alcotest.test_case "transliterate on HP3" `Quick test_translit_hp3;
+          Alcotest.test_case "transliterate on V11" `Quick test_translit_v11;
+          Alcotest.test_case "HP3 beats V11" `Quick test_hp3_beats_v11;
+          Alcotest.test_case "parity with reference" `Quick
+            test_hand_vs_compiled_parity;
+        ] );
+      ( "language",
+        [
+          Alcotest.test_case "symbolic variables" `Quick test_symbolic_variables;
+          Alcotest.test_case "mask branches" `Quick
+            test_mask_branch_both_machines;
+          Alcotest.test_case "call/ret" `Quick test_call_ret;
+          Alcotest.test_case "shifts and logic" `Quick test_shifts_and_logic;
+          Alcotest.test_case "carry chain (addf/adc)" `Quick test_carry_chain;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+    ]
