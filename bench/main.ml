@@ -81,6 +81,51 @@ let emulate =
          ~setup:
            (Core.Emulator.dot_setup ~x:[ 1; 2; 3; 4 ] ~y:[ 4; 3; 2; 1 ]))
 
+(* -- the batch-compilation service: cold vs warm cache, 1 vs N domains -------- *)
+
+let corpus =
+  List.init 64 (fun i ->
+      Core.Service.job
+        ~id:(Printf.sprintf "w%02d" i)
+        Core.Toolkit.Yalll ~machine:"hp3"
+        ~source:(Core.Workloads.yalll_program ~seed:(i + 1) ~len:24))
+
+let batch_cold ~domains () =
+  let s = Core.Service.create ~domains () in
+  ignore (Core.Service.run_batch s corpus)
+
+let warm_service =
+  lazy
+    (let s = Core.Service.create ~domains:1 () in
+     ignore (Core.Service.run_batch s corpus);
+     s)
+
+let batch_warm () =
+  ignore (Core.Service.run_batch ~domains:1 (Lazy.force warm_service) corpus)
+
+(* A direct wall-clock comparison, printed with the tables: the claim the
+   cache exists to support (EXPERIMENTS.md, "S1") is that the warm path
+   beats the cold path. *)
+let print_service_comparison () =
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let n = List.length corpus in
+  Fmt.pr "== S1: batch service over a %d-program YALLL corpus ==@." n;
+  let cold1 = wall (batch_cold ~domains:1) in
+  let cold4 = wall (batch_cold ~domains:4) in
+  let s = Core.Service.create ~domains:1 () in
+  ignore (Core.Service.run_batch s corpus);
+  let warm = wall (fun () -> ignore (Core.Service.run_batch ~domains:1 s corpus)) in
+  Fmt.pr "cold cache, 1 domain   %8.2f ms@." (cold1 *. 1e3);
+  Fmt.pr "cold cache, 4 domains  %8.2f ms@." (cold4 *. 1e3);
+  Fmt.pr "warm cache             %8.2f ms@." (warm *. 1e3);
+  Fmt.pr "warm %s cold (%.0fx)@.@."
+    (if warm < cold1 then "beats" else "does NOT beat")
+    (if warm > 0.0 then cold1 /. warm else Float.infinity)
+
 let tests =
   Test.make_grouped ~name:"msl"
     [
@@ -106,6 +151,12 @@ let tests =
       Test.make ~name:"F2-emulate-mac16" (Staged.stage emulate);
       (* S*/Strum verification *)
       Test.make ~name:"V-verify-loop" (Staged.stage sstar_verify);
+      (* S1: the batch service — cache temperature and domain fan-out *)
+      Test.make ~name:"S1-batch-cold-1domain"
+        (Staged.stage (batch_cold ~domains:1));
+      Test.make ~name:"S1-batch-cold-4domains"
+        (Staged.stage (batch_cold ~domains:4));
+      Test.make ~name:"S1-batch-warm" (Staged.stage batch_warm);
     ]
 
 let benchmark () =
@@ -143,5 +194,8 @@ let print_bench () =
     (List.sort compare !rows)
 
 let () =
+  (* --smoke (CI): tables and the service comparison, no Bechamel suite *)
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
   print_tables ();
-  print_bench ()
+  print_service_comparison ();
+  if not smoke then print_bench ()

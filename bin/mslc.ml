@@ -5,7 +5,8 @@
      mslc verify prog.sstar                      discharge S* proof obligations
      mslc machines                               list machine models
      mslc matrix                                 print the survey's language matrix
-     mslc experiments [name ...]                 regenerate experiment tables *)
+     mslc experiments [name ...]                 regenerate experiment tables
+     mslc batch jobs.manifest                    batch-compile through the service *)
 
 open Cmdliner
 module Machines = Msl_machine.Machines
@@ -168,6 +169,84 @@ let experiments_cmd =
   Cmd.v (Cmd.info "experiments" ~doc:"Regenerate the experiment tables")
     Term.(const run $ names_arg)
 
+let batch_cmd =
+  let module Service = Msl_core.Service in
+  let manifest_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"MANIFEST")
+  in
+  let positive_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | Some _ -> Error (`Msg "must be at least 1")
+      | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
+    in
+    Arg.conv (parse, Fmt.int)
+  in
+  let domains_arg =
+    let doc = "Worker domains for the fan-out (default: the service default)." in
+    Arg.(
+      value
+      & opt (some positive_int) None
+      & info [ "j"; "domains" ] ~docv:"N" ~doc)
+  in
+  let rounds_arg =
+    let doc =
+      "Run the batch $(docv) times through the same cache; every round \
+       after the first is served warm."
+    in
+    Arg.(value & opt positive_int 1 & info [ "rounds" ] ~docv:"N" ~doc)
+  in
+  let cap_arg =
+    let doc = "Cache capacity in entries (oldest-inserted evicted beyond it)." in
+    Arg.(value & opt positive_int 4096 & info [ "cache-cap" ] ~docv:"N" ~doc)
+  in
+  let listings_arg =
+    let doc = "Print the microcode listing of every successful job." in
+    Arg.(value & flag & info [ "listings" ] ~doc)
+  in
+  let run manifest domains rounds cap listings =
+    handle_diag (fun () ->
+        let jobs =
+          Service.parse_manifest ~file:manifest ~load:read_file
+            (read_file manifest)
+        in
+        let service = Service.create ?domains ~capacity:cap () in
+        let failed = ref false in
+        for round = 1 to rounds do
+          if rounds > 1 then Fmt.pr "== round %d@." round;
+          let outcomes = Service.run_batch service jobs in
+          Array.iter
+            (fun (o : Service.outcome) ->
+              let id = o.Service.o_job.Service.j_id in
+              match o.Service.o_result with
+              | Ok (c, listing) ->
+                  Fmt.pr "ok    %-28s %4d words, %4d ops%s@." id
+                    c.Core.Toolkit.c_words c.Core.Toolkit.c_ops
+                    (if o.Service.o_cached then "  (cached)" else "");
+                  if listings then print_string listing
+              | Error d ->
+                  failed := true;
+                  Fmt.pr "error %-28s %s@." id (Diag.to_string d))
+            outcomes
+        done;
+        let s = Service.stats service in
+        Fmt.pr
+          "-- %d jobs: %d hits, %d misses, %d evictions, %d errors; %d \
+           entries cached@."
+          s.Service.st_jobs s.Service.st_hits s.Service.st_misses
+          s.Service.st_evictions s.Service.st_errors s.Service.st_entries;
+        if !failed then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Batch-compile a manifest of jobs through the content-addressed \
+          compilation service")
+    Term.(
+      const run $ manifest_arg $ domains_arg $ rounds_arg $ cap_arg
+      $ listings_arg)
+
 let () =
   let info =
     Cmd.info "mslc" ~version:"1.0"
@@ -177,4 +256,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ compile_cmd; run_cmd; encode_cmd; verify_cmd; machines_cmd; matrix_cmd;
-            experiments_cmd ]))
+            experiments_cmd; batch_cmd ]))

@@ -11,6 +11,18 @@ module Regalloc = Msl_mir.Regalloc
 module Dataflow = Msl_mir.Dataflow
 module Mir = Msl_mir.Mir
 
+(* Every experiment compilation goes through one shared service, so
+   regenerating several tables (or the same table twice, as T4/T5 style
+   sweeps do) reuses cached results instead of recompiling. *)
+let service = Service.create ~domains:1 ()
+
+let cached_compile ?options ?use_microops lang d src =
+  Service.compile_cached service ?options ?use_microops lang d src
+
+let cached_assemble d src = Service.assemble_cached service d src
+
+let service_stats () = Service.stats service
+
 (* -- T1: the language matrix --------------------------------------------------- *)
 
 let t1 () = [ Language_info.to_table (); Language_info.tallies_table () ]
@@ -31,37 +43,37 @@ let t2_rows () =
       t2_name = "transliterate (YALLL)";
       t2_machine = "HP3";
       t2_compiled =
-        words (Toolkit.compile Toolkit.Yalll Machines.hp3 Handcoded.yalll_translit);
-      t2_hand = words (Toolkit.assemble Machines.hp3 Handcoded.translit_hp3);
+        words (cached_compile Toolkit.Yalll Machines.hp3 Handcoded.yalll_translit);
+      t2_hand = words (cached_assemble Machines.hp3 Handcoded.translit_hp3);
     };
     {
       t2_name = "transliterate (YALLL)";
       t2_machine = "V11";
       t2_compiled =
         words
-          (Toolkit.compile Toolkit.Yalll Machines.v11 Handcoded.yalll_translit_v11);
-      t2_hand = words (Toolkit.assemble Machines.v11 Handcoded.translit_v11);
+          (cached_compile Toolkit.Yalll Machines.v11 Handcoded.yalll_translit_v11);
+      t2_hand = words (cached_assemble Machines.v11 Handcoded.translit_v11);
     };
     {
       t2_name = "fp multiply (SIMPL)";
       t2_machine = "H1";
       t2_compiled =
-        words (Toolkit.compile Toolkit.Simpl Machines.h1 Handcoded.simpl_fpmul);
-      t2_hand = words (Toolkit.assemble Machines.h1 Handcoded.fpmul_h1);
+        words (cached_compile Toolkit.Simpl Machines.h1 Handcoded.simpl_fpmul);
+      t2_hand = words (cached_assemble Machines.h1 Handcoded.fpmul_h1);
     };
     {
       t2_name = "multiply loop (SIMPL)";
       t2_machine = "H1";
       t2_compiled =
-        words (Toolkit.compile Toolkit.Simpl Machines.h1 Handcoded.simpl_mpy);
-      t2_hand = words (Toolkit.assemble Machines.h1 Handcoded.mpy_h1);
+        words (cached_compile Toolkit.Simpl Machines.h1 Handcoded.simpl_mpy);
+      t2_hand = words (cached_assemble Machines.h1 Handcoded.mpy_h1);
     };
     {
       t2_name = "dot product (YALLL)";
       t2_machine = "HP3";
       t2_compiled =
-        words (Toolkit.compile Toolkit.Yalll Machines.hp3 Handcoded.yalll_dot);
-      t2_hand = words (Toolkit.assemble Machines.hp3 Handcoded.dot_hp3);
+        words (cached_compile Toolkit.Yalll Machines.hp3 Handcoded.yalll_dot);
+      t2_hand = words (cached_assemble Machines.hp3 Handcoded.dot_hp3);
     };
   ]
 
@@ -104,7 +116,7 @@ type t3_row = {
 
 let t3_rows () =
   let run d src str_reg tbl_reg =
-    let c = Toolkit.compile Toolkit.Yalll d src in
+    let c = cached_compile Toolkit.Yalll d src in
     let sim =
       Toolkit.run c ~setup:(fun sim ->
           translit_setup d sim;
@@ -220,7 +232,7 @@ let t5_rows () =
       List.map
         (fun strategy ->
           let c =
-            Toolkit.compile
+            cached_compile
               ~options:{ Pipeline.default_options with strategy }
               Toolkit.Empl d src
           in
@@ -283,7 +295,7 @@ let t6_rows () =
     "DECLARE S FIXED;\nDECLARE A FIXED;\nDECLARE OUT(1) FIXED;\nS = 0;\n"
     ^ String.concat "" pairs ^ "OUT(0) = S;\n"
   in
-  let ce = Toolkit.compile Toolkit.Empl Machines.hp3 empl_src in
+  let ce = cached_compile Toolkit.Empl Machines.hp3 empl_src in
   let sim_e = Toolkit.run ce in
   let found =
     let mem = Sim.memory sim_e in
@@ -304,12 +316,12 @@ let t6_rows () =
     Sim.set_reg_int sim "R2" 200;
     Sim.set_reg_int sim "R3" (List.length x)
   in
-  let c = Toolkit.compile Toolkit.Yalll Machines.hp3 Handcoded.yalll_dot in
+  let c = cached_compile Toolkit.Yalll Machines.hp3 Handcoded.yalll_dot in
   let sim_c = Toolkit.run c ~setup:setup_micro in
   assert (Bitvec.to_int (Sim.get_reg sim_c "R0") = expected);
   let compiled_cycles = Sim.cycles sim_c in
   (* 3: hand microcode *)
-  let h = Toolkit.assemble Machines.hp3 Handcoded.dot_hp3 in
+  let h = cached_assemble Machines.hp3 Handcoded.dot_hp3 in
   let sim_h = Toolkit.run h ~setup:setup_micro in
   assert (Bitvec.to_int (Sim.get_reg sim_h "R0") = expected);
   let hand_cycles = Sim.cycles sim_h in
@@ -367,7 +379,7 @@ let t7_rows () =
     (fun (name, src, setup) ->
       List.map
         (fun d ->
-          let c = Toolkit.compile Toolkit.Simpl d src in
+          let c = cached_compile Toolkit.Simpl d src in
           let sim = Toolkit.run c ~setup in
           {
             t7_program = name;
@@ -648,14 +660,14 @@ let a1_rows () =
      S.PUSH(1);\nS.PUSH(2);\nS.PUSH(3);\nA = S.POP();\nA = S.POP();\n"
   in
   let stack_words use_microops =
-    (Toolkit.compile ~use_microops Toolkit.Empl Machines.b17 stack_src)
+    (cached_compile ~use_microops Toolkit.Empl Machines.b17 stack_src)
       .Toolkit.c_words
   in
   (* (c) priority vs first-fit on a tight machine *)
   let pressure = Workloads.pressure_program ~seed:3 ~nvars:24 ~nops:80 in
   let traffic strategy =
     let c =
-      Toolkit.compile
+      cached_compile
         ~options:
           { Pipeline.default_options with strategy; pool_limit = Some 6 }
         Toolkit.Empl Machines.hp3 pressure

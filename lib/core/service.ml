@@ -1,0 +1,369 @@
+(* The batch-compilation service: a content-addressed result cache plus a
+   domain worker pool.  See service.mli for the contract. *)
+
+open Msl_machine
+module Pipeline = Msl_mir.Pipeline
+module Compaction = Msl_mir.Compaction
+module Regalloc = Msl_mir.Regalloc
+module Diag = Msl_util.Diag
+module Fingerprint = Msl_util.Fingerprint
+module Safe_queue = Msl_util.Safe_queue
+
+type job = {
+  j_id : string;
+  j_language : Toolkit.language;
+  j_machine : string;
+  j_source : string;
+  j_options : Pipeline.options;
+  j_use_microops : bool;
+}
+
+type outcome = {
+  o_job : job;
+  o_result : (Toolkit.compiled * string, Diag.t) result;
+  o_cached : bool;
+}
+
+type stats = {
+  st_jobs : int;
+  st_hits : int;
+  st_misses : int;
+  st_evictions : int;
+  st_errors : int;
+  st_entries : int;
+}
+
+type entry = { e_compiled : Toolkit.compiled; e_listing : string }
+
+type t = {
+  capacity : int;
+  n_domains : int;
+  mutex : Mutex.t;
+  table : (string, entry) Hashtbl.t;  (* Fingerprint.t -> entry *)
+  order : string Queue.t;  (* insertion order, for eviction *)
+  mutable jobs : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable errors : int;
+}
+
+let default_domains () =
+  max 1 (min 4 (Domain.recommended_domain_count ()))
+
+let create ?domains ?(capacity = 4096) () =
+  let n_domains = match domains with Some n -> n | None -> default_domains () in
+  if n_domains < 1 then invalid_arg "Service.create: domains must be positive";
+  if capacity < 1 then invalid_arg "Service.create: capacity must be positive";
+  {
+    capacity;
+    n_domains;
+    mutex = Mutex.create ();
+    table = Hashtbl.create 64;
+    order = Queue.create ();
+    jobs = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    errors = 0;
+  }
+
+let domains t = t.n_domains
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let stats t =
+  locked t (fun () ->
+      {
+        st_jobs = t.jobs;
+        st_hits = t.hits;
+        st_misses = t.misses;
+        st_evictions = t.evictions;
+        st_errors = t.errors;
+        st_entries = Hashtbl.length t.table;
+      })
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      Queue.clear t.order;
+      t.jobs <- 0;
+      t.hits <- 0;
+      t.misses <- 0;
+      t.evictions <- 0;
+      t.errors <- 0)
+
+(* -- cache keys ---------------------------------------------------------------- *)
+
+let options_id (o : Pipeline.options) =
+  Printf.sprintf "algo=%s;chain=%b;strategy=%s;pool=%s;poll=%b;trap_safe=%b"
+    (Compaction.algo_name o.Pipeline.algo)
+    o.Pipeline.chain
+    (Regalloc.strategy_name o.Pipeline.strategy)
+    (match o.Pipeline.pool_limit with
+    | None -> "all"
+    | Some n -> string_of_int n)
+    o.Pipeline.poll o.Pipeline.trap_safe
+
+let key_of ~kind ~language ~machine ~options ~use_microops ~source =
+  Fingerprint.of_parts
+    [ kind; language; machine; options; string_of_bool use_microops; source ]
+
+let cache_key (j : job) =
+  key_of ~kind:"compile"
+    ~language:(Toolkit.language_name j.j_language)
+    ~machine:j.j_machine
+    ~options:(options_id j.j_options)
+    ~use_microops:j.j_use_microops ~source:j.j_source
+
+let job ?id ?(options = Pipeline.default_options) ?(use_microops = false)
+    language ~machine ~source =
+  let id =
+    match id with
+    | Some id -> id
+    | None ->
+        Printf.sprintf "%s:%s"
+          (String.lowercase_ascii (Toolkit.language_name language))
+          machine
+  in
+  {
+    j_id = id;
+    j_language = language;
+    j_machine = machine;
+    j_source = source;
+    j_options = options;
+    j_use_microops = use_microops;
+  }
+
+(* -- the cache proper ----------------------------------------------------------- *)
+
+let probe t key =
+  locked t (fun () ->
+      t.jobs <- t.jobs + 1;
+      match Hashtbl.find_opt t.table key with
+      | Some e ->
+          t.hits <- t.hits + 1;
+          Some e
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+(* Insert after a miss.  Two domains racing on the same key both compile
+   (the value is identical — compilation is deterministic); only the
+   first insertion is kept so the eviction queue stays consistent. *)
+let insert t key e =
+  locked t (fun () ->
+      if not (Hashtbl.mem t.table key) then begin
+        Hashtbl.replace t.table key e;
+        Queue.push key t.order;
+        while Hashtbl.length t.table > t.capacity do
+          let oldest = Queue.pop t.order in
+          Hashtbl.remove t.table oldest;
+          t.evictions <- t.evictions + 1
+        done
+      end)
+
+let note_error t = locked t (fun () -> t.errors <- t.errors + 1)
+
+(* -- compiling one job ----------------------------------------------------------- *)
+
+let compile_fresh (j : job) =
+  Diag.protect (fun () ->
+      let d =
+        try Machines.get j.j_machine
+        with Invalid_argument msg -> Diag.error Diag.Semantic "%s" msg
+      in
+      let c =
+        Toolkit.compile ~options:j.j_options ~use_microops:j.j_use_microops
+          j.j_language d j.j_source
+      in
+      (c, Masm.print d c.Toolkit.c_insts))
+
+let compile_job t (j : job) =
+  let key = (cache_key j :> string) in
+  match probe t key with
+  | Some e ->
+      { o_job = j; o_result = Ok (e.e_compiled, e.e_listing); o_cached = true }
+  | None -> (
+      match compile_fresh j with
+      | Ok (c, listing) ->
+          insert t key { e_compiled = c; e_listing = listing };
+          { o_job = j; o_result = Ok (c, listing); o_cached = false }
+      | Error d ->
+          note_error t;
+          { o_job = j; o_result = Error d; o_cached = false })
+
+(* -- the worker pool -------------------------------------------------------------- *)
+
+let run_batch ?domains t jobs =
+  let n_workers =
+    match domains with
+    | Some n when n < 1 -> invalid_arg "Service.run_batch: domains must be positive"
+    | Some n -> n
+    | None -> t.n_domains
+  in
+  let jobs = Array.of_list jobs in
+  let results = Array.make (Array.length jobs) None in
+  if n_workers = 1 || Array.length jobs <= 1 then
+    Array.iteri (fun i j -> results.(i) <- Some (compile_job t j)) jobs
+  else begin
+    let queue = Safe_queue.create () in
+    Array.iteri (fun i j -> Safe_queue.push queue (i, j)) jobs;
+    Safe_queue.close queue;
+    let worker () =
+      let rec loop () =
+        match Safe_queue.pop queue with
+        | None -> ()
+        | Some (i, j) ->
+            (* distinct slots per worker; Domain.join publishes the writes *)
+            results.(i) <- Some (compile_job t j);
+            loop ()
+      in
+      loop ()
+    in
+    let pool =
+      List.init
+        (min n_workers (Array.length jobs))
+        (fun _ -> Domain.spawn worker)
+    in
+    List.iter Domain.join pool
+  end;
+  Array.map
+    (function
+      | Some o -> o
+      | None -> assert false (* every index was queued and popped *))
+    results
+
+(* -- in-process cached entry points ------------------------------------------------ *)
+
+let cached_value t key compute =
+  match probe t key with
+  | Some e -> e
+  | None ->
+      let e = compute () in
+      insert t key e;
+      e
+
+let compile_cached t ?(options = Pipeline.default_options)
+    ?(use_microops = false) language (d : Desc.t) source =
+  let key =
+    (key_of ~kind:"compile"
+       ~language:(Toolkit.language_name language)
+       ~machine:d.Desc.d_name ~options:(options_id options) ~use_microops
+       ~source
+      :> string)
+  in
+  (cached_value t key (fun () ->
+       let c = Toolkit.compile ~options ~use_microops language d source in
+       { e_compiled = c; e_listing = Masm.print d c.Toolkit.c_insts }))
+    .e_compiled
+
+let assemble_cached t (d : Desc.t) source =
+  let key =
+    (key_of ~kind:"assemble" ~language:"-" ~machine:d.Desc.d_name ~options:"-"
+       ~use_microops:false ~source
+      :> string)
+  in
+  (cached_value t key (fun () ->
+       let c = Toolkit.assemble d source in
+       { e_compiled = c; e_listing = Masm.print d c.Toolkit.c_insts }))
+    .e_compiled
+
+(* -- batch manifests ---------------------------------------------------------------- *)
+
+let manifest_loc file line =
+  let pos = { Msl_util.Loc.line; col = 1; offset = 0 } in
+  Msl_util.Loc.make ~file ~start_pos:pos ~end_pos:pos
+
+let manifest_error loc fmt = Diag.error ~loc Diag.Parsing fmt
+
+let parse_bool loc key = function
+  | "on" | "true" | "yes" -> true
+  | "off" | "false" | "no" -> false
+  | v -> manifest_error loc "%s expects on/off, got %S" key v
+
+let parse_algo loc = function
+  | "sequential" -> Compaction.Sequential
+  | "fcfs" -> Compaction.Fcfs
+  | "critical-path" | "critical_path" | "critical" -> Compaction.Critical_path
+  | "optimal" | "branch-and-bound" -> Compaction.Optimal
+  | v -> manifest_error loc "unknown compaction algorithm %S" v
+
+let parse_strategy loc = function
+  | "first-fit" | "first_fit" -> Regalloc.First_fit
+  | "priority" -> Regalloc.Priority
+  | v -> manifest_error loc "unknown allocation strategy %S" v
+
+let parse_option loc (j : job) spec =
+  match String.index_opt spec '=' with
+  | None -> manifest_error loc "expected key=value, got %S" spec
+  | Some i ->
+      let key = String.sub spec 0 i in
+      let v = String.sub spec (i + 1) (String.length spec - i - 1) in
+      let opts = j.j_options in
+      let set o = { j with j_options = o } in
+      (match String.lowercase_ascii key with
+      | "id" -> { j with j_id = v }
+      | "algo" -> set { opts with Pipeline.algo = parse_algo loc v }
+      | "chain" -> set { opts with Pipeline.chain = parse_bool loc "chain" v }
+      | "strategy" ->
+          set { opts with Pipeline.strategy = parse_strategy loc v }
+      | "pool" ->
+          let pool_limit =
+            if v = "all" then None
+            else
+              match int_of_string_opt v with
+              | Some n when n > 0 -> Some n
+              | _ -> manifest_error loc "pool expects a positive integer or 'all', got %S" v
+          in
+          set { opts with Pipeline.pool_limit }
+      | "poll" -> set { opts with Pipeline.poll = parse_bool loc "poll" v }
+      | "trap_safe" | "trapsafe" ->
+          set { opts with Pipeline.trap_safe = parse_bool loc "trap_safe" v }
+      | "microops" ->
+          { j with j_use_microops = parse_bool loc "microops" v }
+      | k -> manifest_error loc "unknown manifest option %S" k)
+
+let parse_manifest ?(file = "<manifest>") ~load text =
+  let lines = String.split_on_char '\n' text in
+  let parse_line lineno line =
+    let loc = manifest_loc file lineno in
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    match
+      String.split_on_char ' ' line
+      |> List.concat_map (String.split_on_char '\t')
+      |> List.filter (fun s -> s <> "")
+    with
+    | [] -> None
+    | lang :: machine :: path :: opts ->
+        let language =
+          try Toolkit.language_of_string lang
+          with Invalid_argument msg -> manifest_error loc "%s" msg
+        in
+        (* validate the machine name at parse time, keep only the name *)
+        let machine =
+          match Machines.find machine with
+          | Some d -> d.Desc.d_name
+          | None -> manifest_error loc "unknown machine %S" machine
+        in
+        let source =
+          try load path
+          with Sys_error msg -> manifest_error loc "cannot read %S: %s" path msg
+        in
+        let base =
+          job ~id:(Printf.sprintf "%s@%s" path (String.lowercase_ascii machine))
+            language ~machine ~source
+        in
+        Some (List.fold_left (parse_option loc) base opts)
+    | _ ->
+        manifest_error loc
+          "manifest line needs '<language> <machine> <path> [key=value ...]'"
+  in
+  List.mapi (fun i line -> parse_line (i + 1) line) lines
+  |> List.filter_map Fun.id

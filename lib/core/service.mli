@@ -1,0 +1,118 @@
+(** The batch-compilation service: the first step from "a compiler
+    binary" toward a long-lived engine serving many compilations.
+
+    A service owns a content-addressed result cache shared by every
+    consumer (the [mslc batch] subcommand, the experiment drivers, the
+    benchmark harness) and a fan-out path that distributes independent
+    jobs over OCaml domains.  Results are deterministic: a batch result
+    is byte-identical to the same jobs run through {!Toolkit.compile}
+    sequentially, whatever the domain count or cache temperature — the
+    cache only ever short-circuits recomputation of a key, never changes
+    a value.
+
+    Cache keys are fingerprints of everything a compilation depends on:
+    the job kind (compile/assemble), language, machine name, the full
+    pipeline option record, the EMPL [use_microops] flag, and the source
+    text itself (see DESIGN.md, "The service layer"). *)
+
+open Msl_machine
+
+(** One unit of work: compile [j_source] (language [j_language]) for the
+    machine named [j_machine] under [j_options]. *)
+type job = {
+  j_id : string;  (** label reported back with the result *)
+  j_language : Toolkit.language;
+  j_machine : string;  (** resolved through {!Machines.get} *)
+  j_source : string;
+  j_options : Msl_mir.Pipeline.options;
+  j_use_microops : bool;  (** EMPL only *)
+}
+
+type outcome = {
+  o_job : job;
+  o_result : (Toolkit.compiled * string, Msl_util.Diag.t) result;
+      (** on success, the compilation and its {!Masm.print} listing *)
+  o_cached : bool;  (** served from the cache without recompiling *)
+}
+
+type stats = {
+  st_jobs : int;  (** jobs submitted (cache probes) *)
+  st_hits : int;
+  st_misses : int;
+  st_evictions : int;
+  st_errors : int;  (** jobs that raised a diagnostic *)
+  st_entries : int;  (** entries currently cached *)
+}
+
+type t
+
+val create : ?domains:int -> ?capacity:int -> unit -> t
+(** [domains] is the default worker-pool size for {!run_batch}
+    (default: the smaller of 4 and the recommended domain count);
+    [capacity] bounds the cache, evicting oldest-inserted entries
+    (default 4096).
+    @raise Invalid_argument when either is not positive. *)
+
+val domains : t -> int
+val stats : t -> stats
+
+val clear : t -> unit
+(** Drop every cached entry and zero the counters. *)
+
+val job :
+  ?id:string ->
+  ?options:Msl_mir.Pipeline.options ->
+  ?use_microops:bool ->
+  Toolkit.language ->
+  machine:string ->
+  source:string ->
+  job
+
+val cache_key : job -> Msl_util.Fingerprint.t
+
+val compile_job : t -> job -> outcome
+(** Compile one job through the cache.  Never raises: front- and
+    back-end diagnostics are captured in [o_result]; an unknown machine
+    name is reported the same way. *)
+
+val run_batch : ?domains:int -> t -> job list -> outcome array
+(** Fan the jobs out over a worker pool ([domains] overrides the
+    service default; 1 runs everything on the calling domain) and
+    return the outcomes in job order.  Deterministic: the outcome
+    values do not depend on the pool size. *)
+
+val compile_cached :
+  t ->
+  ?options:Msl_mir.Pipeline.options ->
+  ?use_microops:bool ->
+  Toolkit.language ->
+  Desc.t ->
+  string ->
+  Toolkit.compiled
+(** Drop-in cached {!Toolkit.compile} for in-process consumers (the
+    experiment drivers).  @raise Msl_util.Diag.Error like the
+    original. *)
+
+val assemble_cached : t -> Desc.t -> string -> Toolkit.compiled
+(** Cached {!Toolkit.assemble}, under a distinct key kind. *)
+
+(** {1 Batch manifests}
+
+    The textual job-list format consumed by [mslc batch] (documented in
+    README.md).  One job per line:
+
+    {v
+    # comment
+    <language> <machine> <path> [key=value ...]
+    v}
+
+    with option keys [algo], [chain], [strategy], [pool], [poll],
+    [trap_safe], [microops] and [id]. *)
+
+val parse_manifest :
+  ?file:string -> load:(string -> string) -> string -> job list
+(** Parse manifest text; [load] maps each source path to its contents
+    (the CLI passes a file reader, tests pass an in-memory table).
+    @raise Msl_util.Diag.Error with a located [Parsing] diagnostic on
+    any malformed line, unknown language/machine/key, or a [load]
+    failure ([Sys_error] is converted). *)

@@ -106,6 +106,37 @@ let pressure_program ~seed ~nvars ~nops =
   Buffer.add_string buf "OUT(0) = V0;\n";
   Buffer.contents buf
 
+(* -- YALLL corpus programs (batch service) ------------------------------------------ *)
+
+(* Straight-line YALLL over five bound registers, compilable on every
+   16-bit machine: the batch-compilation corpus.  Distinct seeds give
+   distinct sources, so a corpus of N programs exercises N cache keys. *)
+let yalll_program ~seed ~len =
+  let r = rng seed in
+  let reg () = Printf.sprintf "r%d" (1 + pick r 5) in
+  let line () =
+    match pick r 10 with
+    | 0 -> Printf.sprintf "set %s, %d" (reg ()) (pick r 1000)
+    | 1 -> Printf.sprintf "move %s, %s" (reg ()) (reg ())
+    | 2 -> Printf.sprintf "inc %s, %s" (reg ()) (reg ())
+    | 3 -> Printf.sprintf "dec %s, %s" (reg ()) (reg ())
+    | 4 -> Printf.sprintf "not %s, %s" (reg ()) (reg ())
+    | 5 -> Printf.sprintf "neg %s, %s" (reg ()) (reg ())
+    | 6 ->
+        Printf.sprintf "%s %s, %s, %d"
+          (List.nth [ "lsl"; "lsr"; "asr"; "rol"; "ror" ] (pick r 5))
+          (reg ()) (reg ())
+          (1 + pick r 7)
+    | _ ->
+        Printf.sprintf "%s %s, %s, %s"
+          (List.nth [ "add"; "sub"; "and"; "or"; "xor" ] (pick r 5))
+          (reg ()) (reg ()) (reg ())
+  in
+  let decls = List.init 5 (fun i -> Printf.sprintf "reg r%d = r%d" (i + 1) (i + 1)) in
+  let setup = List.init 5 (fun i -> Printf.sprintf "set r%d, %d" (i + 1) ((i * 37) + 5)) in
+  let body = List.init len (fun _ -> line ()) in
+  String.concat "\n" (decls @ setup @ body @ [ "exit" ]) ^ "\n"
+
 (* -- SIMPL-style straight-line blocks (F1) ---------------------------------------- *)
 
 (* MIR statement blocks with tunable independence, for the single-identity

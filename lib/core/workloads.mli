@@ -13,6 +13,11 @@ val pressure_program : seed:int -> nvars:int -> nops:int -> string
     folding everything into V0 and storing it to OUT(0) so no assignment
     is dead.  Experiment T5. *)
 
+val yalll_program : seed:int -> len:int -> string
+(** A straight-line YALLL program over five bound registers, compilable
+    on every 16-bit machine.  Distinct seeds give distinct sources — the
+    corpus generator for the batch-compilation service benchmarks. *)
+
 val simpl_block :
   Msl_machine.Desc.t -> seed:int -> n:int -> p_dep:int -> Msl_mir.Mir.stmt list
 (** Mixed-kind MIR statement blocks for the single-identity parallelism

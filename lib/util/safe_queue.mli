@@ -1,0 +1,23 @@
+(** A small mutex/condition-protected FIFO queue for handing work to a
+    pool of domains.
+
+    The producer pushes jobs and then {!close}s the queue; consumers
+    {!pop} until they receive [None].  All operations are linearisable;
+    [pop] blocks while the queue is empty and open. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** @raise Invalid_argument if the queue is closed. *)
+
+val close : 'a t -> unit
+(** Idempotent.  Wakes every blocked consumer. *)
+
+val pop : 'a t -> 'a option
+(** Next job in FIFO order, blocking while the queue is empty but open;
+    [None] once the queue is closed and drained. *)
+
+val length : 'a t -> int
+(** Jobs currently enqueued (racy by nature; for stats only). *)

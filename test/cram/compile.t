@@ -1,0 +1,33 @@
+The compile subcommand prints the microcode listing and the size line.
+
+  $ ../../bin/mslc.exe compile -l yalll -m hp3 ../../examples/sum_loop.yll
+     0: [ldc R2, #0]
+     1: [ldc R1, #10]
+     2: [add R2, R2, R1 | dec R1, R1] -> if R1 <> 0 goto 2
+     3: []
+     4: [mov R0, R2] -> halt
+     5: [] -> halt
+  ; 6 words, 5 microoperations, 1020 control-store bits
+
+Compaction is visible in the listing: the add and the dec share a word.
+
+  $ ../../bin/mslc.exe compile -l simpl -m b17 ../../examples/mpy.simpl
+     0: [ldc R1, #11]
+     1: [ldc R2, #9]
+     2: [ldc R3, #0]
+     3: [] -> if R1 <> 0 goto 5
+     4: [] -> goto 8
+     5: [add R3, R3, R2]
+     6: [ldc R27, #1]
+     7: [sub R1, R1, R27] -> goto 3
+     8: [] -> halt
+  ; 9 words, 6 microoperations, 531 control-store bits
+
+An unknown language is a usage error, not a crash.
+
+  $ ../../bin/mslc.exe compile -l cobol -m hp3 ../../examples/sum_loop.yll
+  mslc: option '-l': invalid value 'cobol', expected one of 'simpl', 'empl',
+        'sstar' or 'yalll'
+  Usage: mslc compile [--language=LANG] [--machine=MACHINE] [OPTION]… FILE
+  Try 'mslc compile --help' or 'mslc --help' for more information.
+  [124]

@@ -1,0 +1,11 @@
+The machine-model inventory is stable output.
+
+  $ ../../bin/mslc.exe machines
+  H1   64-bit, 19 registers, 3-phase, 167-bit control word
+       Generic 3-phase horizontal machine standing in for the Tucker-Flynn dynamic microprocessor (SIMPL's target).
+  HP3  16-bit, 32 registers, 2-phase, 170-bit control word
+       Clean horizontal machine standing in for the HP300 of the YALLL experiments.
+  V11  16-bit, 16 registers, 1-phase,  61-bit control word
+       Baroque horizontal machine standing in for the DEC VAX-11 micro architecture of the YALLL experiments.
+  B17  16-bit, 32 registers, 1-phase,  59-bit control word (vertical)
+       Vertical machine standing in for the Burroughs B1700/1800 series.

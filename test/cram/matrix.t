@@ -1,0 +1,26 @@
+The survey's language matrix (T1) is stable output.
+
+  $ ../../bin/mslc.exe matrix
+  == T1: the survey's language matrix (10 languages x design issues) ==
+  language     year  variables        parallelism  verif  impl              datatypes                                    reimplemented
+  -----------  ----  ---------------  -----------  -----  ----------------  -------------------------------------------  -------------
+  SIMPL        1974  registers        sequential   no     yes (1 machine)   integer only                                 yes          
+  EMPL         1976  symbolic         sequential   no     partial           integer + class-like extension types         yes          
+  S*           1978  registers        explicit     yes    no                bit, seq, array, tuple, stack; syn renaming  yes          
+  YALLL        1979  partly symbolic  sequential   no     yes (2 machines)  none (5 constant notations)                  yes          
+  MPL          1971  registers        sequential   no     partial           1-D arrays, concatenated virtual registers   -            
+  Strum        1976  registers        sequential   yes    yes (1 machine)   machine level                                -            
+  MPGL         1977  registers        sequential   no     yes (1 machine)   machine level                                -            
+  Malik-Lewis  1978  registers        sequential   no     no                emulated-machine objects                     -            
+  CHAMIL       1980  registers        explicit     no     yes (1 machine)   PASCAL-like structuring                      -            
+  PL/MP        1978  symbolic         sequential   no     partial           PL/I subset                                  -            
+  
+  == T1b: the survey's section-3 tallies, recomputed ==
+  claim                     count  survey text                                                   
+  ------------------------  -----  --------------------------------------------------------------
+  sequential specification      8  "eight allow complete sequential specification"               
+  explicit composition          2  "only two (S* and CHAMIL)"                                    
+  symbolic variables            3  "only two or three (EMPL, PL/MP and in a certain sense YALLL)"
+  parameter passing             0  "No language supports the passing of parameters"              
+  interrupt/trap handling       0  "has even been completely neglected"                          
+  

@@ -1,0 +1,25 @@
+Compile-and-execute: the gcd program leaves 21 in R0/R1.
+
+  $ ../../bin/mslc.exe run -l yalll -m hp3 ../../examples/gcd.yll
+  halted after 35 cycles (35 microinstructions executed)
+    R0     = 16'd21
+    R1     = 16'd21
+    R2     = 16'd21
+
+The same source retargeted to the vertical B17 gives the same answer in
+more cycles.
+
+  $ ../../bin/mslc.exe run -l yalll -m b17 ../../examples/gcd.yll
+  halted after 55 cycles (55 microinstructions executed)
+    R0     = 16'd21
+    R1     = 16'd21
+    R2     = 16'd21
+    R26    = 16'd32768
+    R27    = 16'd32768
+
+SIMPL through the full pipeline, summing 25..1.
+
+  $ ../../bin/mslc.exe run -l simpl -m hp3 ../../examples/sum_while.simpl
+  halted after 80 cycles (80 microinstructions executed)
+    R2     = 16'd325
+    R27    = 16'd1

@@ -72,9 +72,82 @@ let fuzz_lang lang =
       in
       survives (compile_of lang src))
 
+(* The shipped example programs are a richer mutation corpus than the
+   handcoded seeds: they exercise loops, shifts, subroutine-free control
+   flow and the EMPL allocator.  Every [examples/*] source is mutated
+   against its own frontend. *)
+let example_corpus =
+  let dir =
+    if Sys.file_exists "../examples" then "../examples" else "examples"
+  in
+  Sys.readdir dir |> Array.to_list |> List.sort compare
+  |> List.filter_map (fun f ->
+         let lang =
+           if Filename.check_suffix f ".yll" then Some Core.Toolkit.Yalll
+           else if Filename.check_suffix f ".simpl" then
+             Some Core.Toolkit.Simpl
+           else if Filename.check_suffix f ".empl" then Some Core.Toolkit.Empl
+           else None
+         in
+         match lang with
+         | None -> None
+         | Some lang ->
+             let ic = open_in_bin (Filename.concat dir f) in
+             let src = really_input_string ic (in_channel_length ic) in
+             close_in ic;
+             Some (f, lang, src))
+
+let corpus_is_populated () =
+  Alcotest.(check bool)
+    "at least six example sources" true
+    (List.length example_corpus >= 6)
+
+let fuzz_example (name, lang, src) =
+  QCheck.Test.make ~count:300
+    ~name:(Printf.sprintf "examples/%s survives mutation" name)
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed; String.length src; 97 |] in
+      let src = mutate rng src in
+      survives (fun () -> ignore (Core.Toolkit.compile lang Machines.hp3 src)))
+
+(* The batch-manifest parser must answer arbitrary manifest text — and
+   arbitrary [load] behaviour, including missing files — with a located
+   [Diag.Error], never a crash. *)
+let valid_manifest =
+  "# demo manifest\n\
+   yalll hp3 a.yll\n\
+   simpl b17 b.simpl algo=fcfs chain=off id=b@b17\n\
+   empl hp3 c.empl strategy=first-fit pool=4\n\
+   yalll v11 a.yll trap_safe=on poll=off microops=on\n"
+
+let fuzz_manifest =
+  QCheck.Test.make ~count:800 ~name:"manifest parser survives hostile input"
+    QCheck.(pair (int_bound 1_000_000) (int_range 0 200))
+    (fun (seed, len) ->
+      let rng = Random.State.make [| seed; len; 77 |] in
+      let text =
+        if Random.State.bool rng then noise rng len
+        else mutate rng valid_manifest
+      in
+      let load path =
+        match Random.State.int rng 3 with
+        | 0 -> raise (Sys_error (path ^ ": no such file or directory"))
+        | 1 -> noise rng 32
+        | _ -> "exit\n"
+      in
+      survives (fun () ->
+        ignore (Core.Service.parse_manifest ~file:"fuzz.manifest" ~load text)))
+
 let () =
   Alcotest.run "fuzz"
     [
       ( "frontends",
         List.map (fun l -> QCheck_alcotest.to_alcotest (fuzz_lang l)) seeds );
+      ( "examples",
+        Alcotest.test_case "corpus populated" `Quick corpus_is_populated
+        :: List.map
+             (fun e -> QCheck_alcotest.to_alcotest (fuzz_example e))
+             example_corpus );
+      ("manifest", [ QCheck_alcotest.to_alcotest fuzz_manifest ]);
     ]

@@ -1,0 +1,328 @@
+(* The batch-compilation service: determinism across domain counts and
+   cache temperature, cache bookkeeping, eviction, manifest parsing, and
+   a concurrent hammer on overlapping keys.
+
+   The service's contract is that it never changes a result — only when
+   it is recomputed.  So every test here compares against the same jobs
+   run through Toolkit.compile sequentially, byte for byte. *)
+
+open Msl_machine
+module Core = Msl_core
+module Service = Msl_core.Service
+module Toolkit = Msl_core.Toolkit
+module Pipeline = Msl_mir.Pipeline
+module Compaction = Msl_mir.Compaction
+module Diag = Msl_util.Diag
+
+(* A mixed job list: YALLL corpus programs on three machines, EMPL
+   pressure programs through the allocator, SIMPL with option variants. *)
+let jobs () =
+  let yalll =
+    List.concat_map
+      (fun machine ->
+        List.init 4 (fun i ->
+            Service.job
+              ~id:(Printf.sprintf "y%d@%s" i machine)
+              Toolkit.Yalll ~machine
+              ~source:(Core.Workloads.yalll_program ~seed:(i + 1) ~len:16)))
+      [ "hp3"; "v11"; "b17" ]
+  in
+  let empl =
+    List.init 4 (fun i ->
+        Service.job
+          ~id:(Printf.sprintf "e%d" i)
+          Toolkit.Empl ~machine:"hp3"
+          ~source:
+            (Core.Workloads.pressure_program ~seed:(i + 1) ~nvars:8 ~nops:12))
+  in
+  let simpl =
+    List.map
+      (fun (id, options) ->
+        Service.job ~id ~options Toolkit.Simpl ~machine:"hp3"
+          ~source:"begin 25 -> R1; 0 -> R2; while R1 <> 0 do begin R2 + R1 \
+                   -> R2; R1 - 1 -> R1; end; end")
+      [
+        ("s-default", Pipeline.default_options);
+        ("s-seq", { Pipeline.default_options with algo = Compaction.Sequential });
+        ("s-fcfs", { Pipeline.default_options with algo = Compaction.Fcfs });
+      ]
+  in
+  yalll @ empl @ simpl
+
+(* The sequential ground truth: Toolkit.compile, no service involved. *)
+let reference_listings js =
+  List.map
+    (fun (j : Service.job) ->
+      let d = Machines.get j.Service.j_machine in
+      let c =
+        Toolkit.compile ~options:j.Service.j_options
+          ~use_microops:j.Service.j_use_microops j.Service.j_language d
+          j.Service.j_source
+      in
+      (Masm.print d c.Toolkit.c_insts, (c.Toolkit.c_words, c.Toolkit.c_ops, c.Toolkit.c_bits)))
+    js
+
+let outcome_listings outcomes =
+  Array.to_list outcomes
+  |> List.map (fun (o : Service.outcome) ->
+         match o.Service.o_result with
+         | Ok (c, listing) ->
+             (listing, (c.Toolkit.c_words, c.Toolkit.c_ops, c.Toolkit.c_bits))
+         | Error d -> Alcotest.failf "job %s failed: %s" o.Service.o_job.Service.j_id (Diag.to_string d))
+
+let check_identical what expected got =
+  Alcotest.(check (list (pair string (triple int int int)))) what expected got
+
+let test_batch_matches_sequential () =
+  let js = jobs () in
+  let expected = reference_listings js in
+  let s = Service.create ~domains:1 () in
+  check_identical "1 domain, cold cache" expected
+    (outcome_listings (Service.run_batch s js))
+
+let test_domain_count_invariance () =
+  let js = jobs () in
+  let expected = reference_listings js in
+  let one = Service.create ~domains:1 () in
+  let four = Service.create ~domains:4 () in
+  let got1 = outcome_listings (Service.run_batch one js) in
+  let got4 = outcome_listings (Service.run_batch four js) in
+  check_identical "1 domain" expected got1;
+  check_identical "4 domains" expected got4
+
+let test_warm_cache_invariance () =
+  let js = jobs () in
+  let expected = reference_listings js in
+  let s = Service.create ~domains:1 () in
+  ignore (Service.run_batch s js);
+  (* second pass: everything served from the cache, bytes unchanged *)
+  let warm = Service.run_batch s js in
+  check_identical "warm cache" expected (outcome_listings warm);
+  Array.iter
+    (fun (o : Service.outcome) ->
+      Alcotest.(check bool)
+        (o.Service.o_job.Service.j_id ^ " served warm")
+        true o.Service.o_cached)
+    warm;
+  let st = Service.stats s in
+  Alcotest.(check int) "hits cover the second pass" (List.length js)
+    st.Service.st_hits
+
+let test_stats_accounting () =
+  let js = jobs () in
+  let s = Service.create ~domains:1 () in
+  ignore (Service.run_batch s js);
+  let st = Service.stats s in
+  Alcotest.(check int) "every job probed" (List.length js) st.Service.st_jobs;
+  Alcotest.(check int) "probes split hit/miss" st.Service.st_jobs
+    (st.Service.st_hits + st.Service.st_misses);
+  Alcotest.(check int) "no errors" 0 st.Service.st_errors;
+  Alcotest.(check int) "distinct keys cached"
+    st.Service.st_misses st.Service.st_entries;
+  Service.clear s;
+  let st = Service.stats s in
+  Alcotest.(check int) "clear zeroes entries" 0 st.Service.st_entries;
+  Alcotest.(check int) "clear zeroes probes" 0 st.Service.st_jobs
+
+let test_eviction () =
+  let s = Service.create ~domains:1 ~capacity:3 () in
+  let js =
+    List.init 6 (fun i ->
+        Service.job
+          ~id:(Printf.sprintf "v%d" i)
+          Toolkit.Yalll ~machine:"hp3"
+          ~source:(Core.Workloads.yalll_program ~seed:(100 + i) ~len:8))
+  in
+  ignore (Service.run_batch s js);
+  ignore (Service.run_batch s js);
+  let st = Service.stats s in
+  Alcotest.(check bool) "evictions happened" true (st.Service.st_evictions > 0);
+  Alcotest.(check bool) "capacity respected" true (st.Service.st_entries <= 3);
+  (* and results are still the sequential ones *)
+  check_identical "post-eviction results" (reference_listings js)
+    (outcome_listings (Service.run_batch s js))
+
+(* Hammer one cache from four domains with heavily overlapping keys: 64
+   jobs over 4 distinct sources.  Exercises probe/insert races; the
+   accounting below only holds if no probe or insertion was lost. *)
+let test_concurrent_hammer () =
+  let sources =
+    List.init 4 (fun i -> Core.Workloads.yalll_program ~seed:(i + 1) ~len:12)
+  in
+  let js =
+    List.init 64 (fun i ->
+        Service.job
+          ~id:(Printf.sprintf "h%02d" i)
+          Toolkit.Yalll ~machine:"hp3"
+          ~source:(List.nth sources (i mod 4)))
+  in
+  let expected = reference_listings js in
+  let s = Service.create () in
+  let got = Service.run_batch ~domains:4 s js in
+  check_identical "hammered results" expected (outcome_listings got);
+  let st = Service.stats s in
+  Alcotest.(check int) "no probe lost" 64 st.Service.st_jobs;
+  Alcotest.(check int) "hits + misses = probes" 64
+    (st.Service.st_hits + st.Service.st_misses);
+  (* racing domains may each miss the same fresh key, but never more
+     often than once per job, and all four keys must end up cached *)
+  Alcotest.(check bool) "at least one miss per key" true
+    (st.Service.st_misses >= 4);
+  Alcotest.(check int) "all four keys cached" 4 st.Service.st_entries
+
+let test_error_outcome () =
+  let s = Service.create ~domains:1 () in
+  let js =
+    [
+      Service.job ~id:"bad-src" Toolkit.Yalll ~machine:"hp3" ~source:"&&&\n";
+      Service.job ~id:"bad-machine" Toolkit.Yalll ~machine:"nosuch"
+        ~source:"reg a\nexit\n";
+      Service.job ~id:"good" Toolkit.Yalll ~machine:"hp3"
+        ~source:(Core.Workloads.yalll_program ~seed:1 ~len:4);
+    ]
+  in
+  let out = Service.run_batch s js in
+  (match out.(0).Service.o_result with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "syntax error must surface as a diagnostic");
+  (match out.(1).Service.o_result with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown machine must surface as a diagnostic");
+  (match out.(2).Service.o_result with
+  | Ok _ -> ()
+  | Error d -> Alcotest.failf "good job failed: %s" (Diag.to_string d));
+  let st = Service.stats s in
+  Alcotest.(check int) "two errors counted" 2 st.Service.st_errors;
+  (* errors are not cached: a retry recompiles *)
+  let again = Service.run_batch s js in
+  Alcotest.(check bool) "error retried, not served warm" false
+    again.(0).Service.o_cached
+
+(* -- cache keys ------------------------------------------------------------- *)
+
+let test_cache_key_sensitivity () =
+  let base =
+    Service.job Toolkit.Yalll ~machine:"hp3" ~source:"reg a\nexit\n"
+  in
+  let k = Service.cache_key base in
+  let differs what j =
+    Alcotest.(check bool) (what ^ " changes the key") false
+      (Msl_util.Fingerprint.equal k (Service.cache_key j))
+  in
+  differs "source" { base with Service.j_source = "reg a\nexit a\n" };
+  differs "machine" { base with Service.j_machine = "b17" };
+  differs "language" { base with Service.j_language = Toolkit.Simpl };
+  differs "microops" { base with Service.j_use_microops = true };
+  differs "compaction algorithm"
+    {
+      base with
+      Service.j_options =
+        { Pipeline.default_options with algo = Compaction.Fcfs };
+    };
+  differs "chaining"
+    {
+      base with
+      Service.j_options = { Pipeline.default_options with chain = false };
+    };
+  (* ... while the id is a label, not an input *)
+  Alcotest.(check bool) "id does not change the key" true
+    (Msl_util.Fingerprint.equal k
+       (Service.cache_key { base with Service.j_id = "renamed" }))
+
+(* -- manifests ----------------------------------------------------------------- *)
+
+let mem_load = function
+  | "a.yll" -> "reg a\nexit\n"
+  | "b.simpl" -> "begin 1 -> R1; end"
+  | path -> raise (Sys_error (path ^ ": no such test source"))
+
+let test_manifest_parse () =
+  let text =
+    "# a comment\n\
+     \n\
+     yalll hp3 a.yll\n\
+     simpl b17 b.simpl algo=fcfs chain=off id=renamed pool=4\n\
+     empl hp3 a.yll strategy=first-fit trap_safe=on microops=on  # trailing\n"
+  in
+  let js = Service.parse_manifest ~load:mem_load text in
+  Alcotest.(check int) "three jobs" 3 (List.length js);
+  let j1 = List.nth js 0 and j2 = List.nth js 1 and j3 = List.nth js 2 in
+  Alcotest.(check string) "default id" "a.yll@hp3" j1.Service.j_id;
+  Alcotest.(check string) "machine canonicalised" "B17" j2.Service.j_machine;
+  Alcotest.(check string) "id override" "renamed" j2.Service.j_id;
+  Alcotest.(check bool) "algo parsed" true
+    (j2.Service.j_options.Pipeline.algo = Compaction.Fcfs);
+  Alcotest.(check bool) "chain parsed" false j2.Service.j_options.Pipeline.chain;
+  Alcotest.(check (option int)) "pool parsed" (Some 4)
+    j2.Service.j_options.Pipeline.pool_limit;
+  Alcotest.(check bool) "strategy parsed" true
+    (j3.Service.j_options.Pipeline.strategy = Msl_mir.Regalloc.First_fit);
+  Alcotest.(check bool) "trap_safe parsed" true
+    j3.Service.j_options.Pipeline.trap_safe;
+  Alcotest.(check bool) "microops parsed" true j3.Service.j_use_microops
+
+let test_manifest_errors () =
+  let rejects what text =
+    match Service.parse_manifest ~load:mem_load text with
+    | exception Diag.Error d ->
+        Alcotest.(check bool)
+          (what ^ " is a parsing diagnostic")
+          true
+          (d.Diag.phase = Diag.Parsing)
+    | _ -> Alcotest.failf "%s: expected a diagnostic" what
+  in
+  rejects "short line" "yalll hp3\n";
+  rejects "unknown language" "cobol hp3 a.yll\n";
+  rejects "unknown machine" "yalll pdp11 a.yll\n";
+  rejects "unreadable source" "yalll hp3 missing.yll\n";
+  rejects "unknown option key" "yalll hp3 a.yll colour=red\n";
+  rejects "bad boolean" "yalll hp3 a.yll chain=maybe\n";
+  rejects "bad pool" "yalll hp3 a.yll pool=-3\n";
+  rejects "bad algo" "yalll hp3 a.yll algo=magic\n"
+
+(* batch over a parsed manifest equals sequential compiles of the same *)
+let test_manifest_end_to_end () =
+  let text =
+    "yalll hp3 a.yll\nyalll b17 a.yll\nsimpl hp3 b.simpl\n\
+     yalll hp3 a.yll id=dup\n"
+  in
+  let js = Service.parse_manifest ~load:mem_load text in
+  let s = Service.create ~domains:1 () in
+  let out = Service.run_batch s js in
+  check_identical "manifest batch" (reference_listings js)
+    (outcome_listings out);
+  Alcotest.(check bool) "duplicate line hits even when cold" true
+    out.(3).Service.o_cached
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "batch = sequential compiles" `Quick
+            test_batch_matches_sequential;
+          Alcotest.test_case "1 domain = 4 domains" `Quick
+            test_domain_count_invariance;
+          Alcotest.test_case "warm cache = cold cache" `Quick
+            test_warm_cache_invariance;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
+          Alcotest.test_case "bounded capacity evicts" `Quick test_eviction;
+          Alcotest.test_case "key sensitivity" `Quick test_cache_key_sensitivity;
+          Alcotest.test_case "errors surface and are not cached" `Quick
+            test_error_outcome;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "4-domain hammer on overlapping keys" `Quick
+            test_concurrent_hammer;
+        ] );
+      ( "manifest",
+        [
+          Alcotest.test_case "parse" `Quick test_manifest_parse;
+          Alcotest.test_case "malformed lines" `Quick test_manifest_errors;
+          Alcotest.test_case "end to end" `Quick test_manifest_end_to_end;
+        ] );
+    ]
