@@ -49,9 +49,18 @@ let compact algo () =
 let pressure_src = Core.Workloads.pressure_program ~seed:7 ~nvars:32 ~nops:100
 
 let allocate strategy () =
+  (* -O0: this measures the allocator, not what the optimizer leaves it *)
   ignore
     (Core.Toolkit.compile
-       ~options:{ Pipeline.default_options with strategy; pool_limit = Some 8 }
+       ~options:
+         { Pipeline.default_options with strategy; pool_limit = Some 8;
+           opt_level = 0 }
+       Core.Toolkit.Empl Machines.hp3 pressure_src)
+
+let compile_at opt_level () =
+  ignore
+    (Core.Toolkit.compile
+       ~options:{ Pipeline.default_options with opt_level }
        Core.Toolkit.Empl Machines.hp3 pressure_src)
 
 let sim_dot =
@@ -126,6 +135,44 @@ let print_service_comparison () =
     (if warm < cold1 then "beats" else "does NOT beat")
     (if warm > 0.0 then cold1 /. warm else Float.infinity)
 
+(* S2: where does compile time go?  Sum the pass manager's per-pass wall
+   clock over a mixed corpus — the observability half of the pass-manager
+   refactor, printed with the tables (and in --smoke runs). *)
+let print_pass_breakdown () =
+  let corpus =
+    List.init 24 (fun i ->
+        (Core.Toolkit.Empl, Machines.hp3,
+         Core.Workloads.pressure_program ~seed:(i + 1) ~nvars:16 ~nops:40))
+    @ List.init 24 (fun i ->
+          (Core.Toolkit.Yalll,
+           List.nth [ Machines.hp3; Machines.v11; Machines.b17 ] (i mod 3),
+           Core.Workloads.yalll_program ~seed:(i + 1) ~len:20))
+  in
+  let totals = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (lang, d, src) ->
+      let c = Core.Toolkit.compile lang d src in
+      List.iter
+        (fun (t : Msl_mir.Passmgr.timing) ->
+          let name = t.Msl_mir.Passmgr.t_pass in
+          if not (Hashtbl.mem totals name) then order := name :: !order;
+          Hashtbl.replace totals name
+            (t.Msl_mir.Passmgr.t_ms
+            +. try Hashtbl.find totals name with Not_found -> 0.0))
+        c.Core.Toolkit.c_timings)
+    corpus;
+  let grand = Hashtbl.fold (fun _ ms acc -> acc +. ms) totals 0.0 in
+  Fmt.pr "== S2: per-pass compile time over a %d-program corpus (-O1) ==@."
+    (List.length corpus);
+  List.iter
+    (fun name ->
+      let ms = Hashtbl.find totals name in
+      Fmt.pr "%-15s %8.3f ms  %5.1f%%@." name ms
+        (if grand > 0.0 then 100.0 *. ms /. grand else 0.0))
+    (List.rev !order);
+  Fmt.pr "%-15s %8.3f ms@.@." "total" grand
+
 let tests =
   Test.make_grouped ~name:"msl"
     [
@@ -146,6 +193,9 @@ let tests =
         (Staged.stage (allocate Regalloc.First_fit));
       Test.make ~name:"T5-alloc-priority"
         (Staged.stage (allocate Regalloc.Priority));
+      (* S2: the optimizer's own cost — the same compile at both levels *)
+      Test.make ~name:"S2-compile-O0" (Staged.stage (compile_at 0));
+      Test.make ~name:"S2-compile-O1" (Staged.stage (compile_at 1));
       (* T6/T7: the simulator itself *)
       Test.make ~name:"T6-simulate-dot" (Staged.stage sim_dot);
       Test.make ~name:"F2-emulate-mac16" (Staged.stage emulate);
@@ -198,4 +248,5 @@ let () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
   print_tables ();
   print_service_comparison ();
+  print_pass_breakdown ();
   if not smoke then print_bench ()

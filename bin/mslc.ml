@@ -48,23 +48,86 @@ let machine_arg =
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
 
+let opt_arg =
+  let doc =
+    "Optimization level: 0 disables the machine-independent MIR optimizer, \
+     1 (the default) enables it."
+  in
+  let level =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 0 -> Ok n
+      | Some _ -> Error (`Msg "must be non-negative")
+      | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
+    in
+    Arg.conv (parse, Fmt.int)
+  in
+  Arg.(value & opt level 1 & info [ "O" ] ~docv:"LEVEL" ~doc)
+
+let time_passes_arg =
+  let doc = "Print the wall-clock time of every pipeline pass." in
+  Arg.(value & flag & info [ "time-passes" ] ~doc)
+
+let dump_after_arg =
+  let doc =
+    "Dump the MIR after the named pass (see $(b,--time-passes) for the pass \
+     names).  Repeatable."
+  in
+  let pass =
+    let parse s =
+      if List.mem s Msl_mir.Pipeline.pass_names then Ok s
+      else
+        Error
+          (`Msg
+             (Printf.sprintf "unknown pass %S (expected one of: %s)" s
+                (String.concat ", " Msl_mir.Pipeline.pass_names)))
+    in
+    Arg.conv (parse, Fmt.string)
+  in
+  Arg.(value & opt_all pass [] & info [ "dump-after" ] ~docv:"PASS" ~doc)
+
+let options_of_opt_level opt_level =
+  { Msl_mir.Pipeline.default_options with Msl_mir.Pipeline.opt_level }
+
+let observe_of_dumps dumps =
+  if dumps = [] then None
+  else
+    Some
+      (fun pass p ->
+        if List.mem pass dumps then
+          Fmt.pr "; MIR after %s@.%a@." pass Msl_mir.Mir.pp p)
+
+let print_timings (c : Core.Toolkit.compiled) =
+  Fmt.pr "; pass timings@.%a" Msl_mir.Passmgr.pp_timings
+    c.Core.Toolkit.c_timings
+
 let compile_cmd =
-  let run lang machine file =
+  let run lang machine file opt time_passes dumps =
     handle_diag (fun () ->
         let d = Machines.get machine in
-        let c = Core.Toolkit.compile lang d (read_file file) in
+        let c =
+          Core.Toolkit.compile
+            ~options:(options_of_opt_level opt)
+            ?observe:(observe_of_dumps dumps) lang d (read_file file)
+        in
         print_string (Masm.print d c.Core.Toolkit.c_insts);
         Fmt.pr "; %d words, %d microoperations, %d control-store bits@."
-          c.Core.Toolkit.c_words c.Core.Toolkit.c_ops c.Core.Toolkit.c_bits)
+          c.Core.Toolkit.c_words c.Core.Toolkit.c_ops c.Core.Toolkit.c_bits;
+        if time_passes then print_timings c)
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a program and print its microcode")
-    Term.(const run $ lang_arg $ machine_arg $ file_arg)
+    Term.(
+      const run $ lang_arg $ machine_arg $ file_arg $ opt_arg
+      $ time_passes_arg $ dump_after_arg)
 
 let run_cmd =
-  let run lang machine file =
+  let run lang machine file opt =
     handle_diag (fun () ->
         let d = Machines.get machine in
-        let c = Core.Toolkit.compile lang d (read_file file) in
+        let c =
+          Core.Toolkit.compile ~options:(options_of_opt_level opt) lang d
+            (read_file file)
+        in
         let sim = Core.Toolkit.run c in
         Fmt.pr "halted after %d cycles (%d microinstructions executed)@."
           (Sim.cycles sim) (Sim.insts_executed sim);
@@ -76,7 +139,7 @@ let run_cmd =
           (Desc.regs d))
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile and execute a program")
-    Term.(const run $ lang_arg $ machine_arg $ file_arg)
+    Term.(const run $ lang_arg $ machine_arg $ file_arg $ opt_arg)
 
 let verify_cmd =
   let run machine file =
@@ -150,7 +213,8 @@ let experiments_cmd =
             ("t8", fun () -> [ Core.Experiments.t8 () ]);
             ("f1", fun () -> [ Core.Experiments.f1 () ]);
             ("f2", fun () -> Core.Experiments.f2 ());
-            ("a1", fun () -> [ Core.Experiments.a1 () ]) ]
+            ("a1", fun () -> [ Core.Experiments.a1 () ]);
+            ("o1", fun () -> [ Core.Experiments.o1 () ]) ]
         in
         let wanted =
           if names = [] then List.map fst all

@@ -23,6 +23,14 @@ let cached_assemble d src = Service.assemble_cached service d src
 
 let service_stats () = Service.stats service
 
+(* Experiments that study a single pipeline stage (the allocator under
+   pressure, the compaction achievable on raw blocks, the survey-era
+   compilers that shipped no optimizer) pin the machine-independent
+   optimizer off, so the stage under study sees the same program the
+   survey's compilers would have.  The optimizer gets its own table
+   (O1) instead of silently skewing theirs. *)
+let o0 = { Pipeline.default_options with Pipeline.opt_level = 0 }
+
 (* -- T1: the language matrix --------------------------------------------------- *)
 
 let t1 () = [ Language_info.to_table (); Language_info.tallies_table () ]
@@ -233,7 +241,7 @@ let t5_rows () =
         (fun strategy ->
           let c =
             cached_compile
-              ~options:{ Pipeline.default_options with strategy }
+              ~options:{ o0 with Pipeline.strategy }
               Toolkit.Empl d src
           in
           match c.Toolkit.c_alloc with
@@ -287,7 +295,9 @@ let t6_rows () =
   let macro_cycles = Sim.cycles sim_macro in
   (* 2: a high-level EMPL version — symbolic variables, multiplication left
      to the compiler's shift-and-add expansion: the survey's "factor of
-     five with comparatively little effort" *)
+     five with comparatively little effort".  Compiled at -O0: EMPL shipped
+     no optimizer, and at -O1 the constant products would fold away and
+     measure nothing *)
   let empl_src =
     let pairs =
       List.map2 (fun a b -> Printf.sprintf "A = %d * %d;\nS = S + A;\n" a b) x y
@@ -295,7 +305,7 @@ let t6_rows () =
     "DECLARE S FIXED;\nDECLARE A FIXED;\nDECLARE OUT(1) FIXED;\nS = 0;\n"
     ^ String.concat "" pairs ^ "OUT(0) = S;\n"
   in
-  let ce = cached_compile Toolkit.Empl Machines.hp3 empl_src in
+  let ce = cached_compile ~options:o0 Toolkit.Empl Machines.hp3 empl_src in
   let sim_e = Toolkit.run ce in
   let found =
     let mem = Sim.memory sim_e in
@@ -468,7 +478,8 @@ let f1_rows () =
       { Mir.main = [ { Mir.b_label = "b"; b_stmts = stmts; b_term = Mir.Halt } ];
         procs = []; vreg_names = []; next_vreg = 0 }
     in
-    let _, _, m = Pipeline.compile d p in
+    (* -O0: F1 measures what compaction alone realises on raw blocks *)
+    let _, _, m = Pipeline.compile ~options:o0 d p in
     if m.Pipeline.m_instructions = 0 then 0.0
     else float_of_int m.Pipeline.m_ops /. float_of_int m.Pipeline.m_instructions
   in
@@ -637,8 +648,7 @@ let a1_rows () =
   let p = Msl_simpl.Compile.parse_compile Machines.h1 chain_src in
   let words chain =
     let _, _, m =
-      Pipeline.compile ~options:{ Pipeline.default_options with chain }
-        Machines.h1 p
+      Pipeline.compile ~options:{ o0 with Pipeline.chain } Machines.h1 p
     in
     m.Pipeline.m_instructions
   in
@@ -660,7 +670,8 @@ let a1_rows () =
      S.PUSH(1);\nS.PUSH(2);\nS.PUSH(3);\nA = S.POP();\nA = S.POP();\n"
   in
   let stack_words use_microops =
-    (cached_compile ~use_microops Toolkit.Empl Machines.b17 stack_src)
+    (cached_compile ~options:o0 ~use_microops Toolkit.Empl Machines.b17
+       stack_src)
       .Toolkit.c_words
   in
   (* (c) priority vs first-fit on a tight machine *)
@@ -668,8 +679,7 @@ let a1_rows () =
   let traffic strategy =
     let c =
       cached_compile
-        ~options:
-          { Pipeline.default_options with strategy; pool_limit = Some 6 }
+        ~options:{ o0 with Pipeline.strategy; pool_limit = Some 6 }
         Toolkit.Empl Machines.hp3 pressure
     in
     match c.Toolkit.c_alloc with
@@ -700,6 +710,127 @@ let a1 () =
     (a1_rows ());
   t
 
+(* -- O1: the machine-independent optimizer ---------------------------------------------------- *)
+
+(* The survey's compilers translated statement by statement; §2.1.4 notes a
+   "huge" optimising compiler would be needed to close the gap to hand
+   code.  The MIR optimizer (constant folding/propagation, dead-assignment
+   elimination, branch simplification, jump threading) is machine
+   independent, so one implementation serves all four languages — this
+   table shows what it buys before compaction even starts.  S* rides along
+   as the control: the programmer composes the microinstructions directly,
+   there is no MIR, and -O1 changes nothing. *)
+
+type o1_row = {
+  o1_program : string;
+  o1_language : Toolkit.language;
+  o1_machine : Desc.t;
+  o1_words0 : int;  (* control-store words at -O0 *)
+  o1_bits0 : int;
+  o1_words1 : int;  (* and at -O1 *)
+  o1_bits1 : int;
+}
+
+let o1_yalll_src =
+  "reg x = r1\nreg y = r2\nreg z = r3\nset x, 9\nset y, 174\n\
+   lsl x, x, 3\nror y, y, 2\nxor z, x, y\nadd x, x, z\nasr y, z, 1\n\
+   or x, x, y\nnot y, x\nand x, x, y\nneg y, y\nsub x, x, y\nexit x\n"
+
+let o1_simpl_src =
+  "begin 6 -> R1; R1 + 7 -> R1; R1 | 9 -> R1; R1 & 1023 -> R2;\n\
+  \ R2 - 5 -> R2; write R2 -> R1; end"
+
+let o1_empl_src =
+  "DECLARE A FIXED;\nDECLARE B FIXED;\nDECLARE C FIXED;\nDECLARE S FIXED;\n\
+   DECLARE OUT(1) FIXED;\nA = 6 * 7;\nB = A + 19;\nC = B XOR A;\n\
+   S = A + B;\nS = S + C;\nS = S & 1023;\nOUT(0) = S;\n"
+
+let o1_sstar_src =
+  "program MPY;\n\
+   var left_alu_in : seq [63..0] bit at R4;\n\
+   var right_alu_in : seq [63..0] bit at R5;\n\
+   var aluout : seq [63..0] bit at R6;\n\
+   var localstore : array [0..2] of seq [63..0] bit at regs R1, R2, R3;\n\
+   const minus1 = dec (64) -1 at R8;\n\
+   syn mpr = localstore[0], mpnd = localstore[1], product = localstore[2];\n\
+   begin\n\
+  \  repeat\n\
+  \    cocycle\n\
+  \      cobegin left_alu_in := product; right_alu_in := mpnd coend;\n\
+  \      aluout := left_alu_in + right_alu_in;\n\
+  \      product := aluout\n\
+  \    end;\n\
+  \    cocycle\n\
+  \      cobegin left_alu_in := mpr; right_alu_in := minus1 coend;\n\
+  \      aluout := left_alu_in + right_alu_in;\n\
+  \      mpr := aluout\n\
+  \    end\n\
+  \  until aluout = 0\n\
+   end\n"
+
+let o1_rows () =
+  let cases =
+    [
+      ("straight-line shifts", Toolkit.Yalll, o1_yalll_src,
+       [ Machines.hp3; Machines.v11 ]);
+      ("constant cascade", Toolkit.Simpl, o1_simpl_src,
+       [ Machines.hp3; Machines.b17 ]);
+      ("constant fold", Toolkit.Empl, o1_empl_src,
+       [ Machines.hp3; Machines.b17 ]);
+      ("composed multiply (control)", Toolkit.Sstar, o1_sstar_src,
+       [ Machines.h1 ]);
+    ]
+  in
+  List.concat_map
+    (fun (name, lang, src, machines) ->
+      List.map
+        (fun d ->
+          let c0 = cached_compile ~options:o0 lang d src in
+          let c1 =
+            cached_compile ~options:Pipeline.default_options lang d src
+          in
+          {
+            o1_program = name;
+            o1_language = lang;
+            o1_machine = d;
+            o1_words0 = c0.Toolkit.c_words;
+            o1_bits0 = c0.Toolkit.c_bits;
+            o1_words1 = c1.Toolkit.c_words;
+            o1_bits1 = c1.Toolkit.c_bits;
+          })
+        machines)
+    cases
+
+let o1 () =
+  let t =
+    Tbl.make
+      ~title:
+        "O1: the machine-independent MIR optimizer across languages and \
+         machines (survey \u{00a7}2.1.4: optimization left to the -- never \
+         built -- \"huge\" compilers)"
+      ~aligns:
+        [ Tbl.Left; Tbl.Left; Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right;
+          Tbl.Right; Tbl.Right ]
+      [ "program"; "language"; "machine"; "-O0 words"; "-O1 words";
+        "reduction"; "-O0 bits"; "-O1 bits" ]
+  in
+  List.iter
+    (fun r ->
+      Tbl.add_row t
+        [
+          r.o1_program;
+          Toolkit.language_name r.o1_language;
+          r.o1_machine.Desc.d_name;
+          Tbl.cell_int r.o1_words0;
+          Tbl.cell_int r.o1_words1;
+          Tbl.cell_pct r.o1_words1 r.o1_words0;
+          Tbl.cell_int r.o1_bits0;
+          Tbl.cell_int r.o1_bits1;
+        ])
+    (o1_rows ());
+  t
+
 let all_tables () =
   t1 () @ [ t2 (); t3 (); t4 (); t5 (); t6 (); t7 (); t8 (); f1 () ]
-  @ f2 () @ [ a1 () ]
+  @ f2 ()
+  @ [ a1 (); o1 () ]

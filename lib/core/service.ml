@@ -98,14 +98,15 @@ let clear t =
 (* -- cache keys ---------------------------------------------------------------- *)
 
 let options_id (o : Pipeline.options) =
-  Printf.sprintf "algo=%s;chain=%b;strategy=%s;pool=%s;poll=%b;trap_safe=%b"
+  Printf.sprintf
+    "algo=%s;chain=%b;strategy=%s;pool=%s;poll=%b;trap_safe=%b;opt=%d"
     (Compaction.algo_name o.Pipeline.algo)
     o.Pipeline.chain
     (Regalloc.strategy_name o.Pipeline.strategy)
     (match o.Pipeline.pool_limit with
     | None -> "all"
     | Some n -> string_of_int n)
-    o.Pipeline.poll o.Pipeline.trap_safe
+    o.Pipeline.poll o.Pipeline.trap_safe o.Pipeline.opt_level
 
 let key_of ~kind ~language ~machine ~options ~use_microops ~source =
   Fingerprint.of_parts
@@ -322,6 +323,13 @@ let parse_option loc (j : job) spec =
       | "poll" -> set { opts with Pipeline.poll = parse_bool loc "poll" v }
       | "trap_safe" | "trapsafe" ->
           set { opts with Pipeline.trap_safe = parse_bool loc "trap_safe" v }
+      | "opt" -> (
+          match int_of_string_opt v with
+          | Some n when n >= 0 ->
+              set { opts with Pipeline.opt_level = n }
+          | _ ->
+              manifest_error loc
+                "opt expects a non-negative integer, got %S" v)
       | "microops" ->
           { j with j_use_microops = parse_bool loc "microops" v }
       | k -> manifest_error loc "unknown manifest option %S" k)

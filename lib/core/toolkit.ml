@@ -30,9 +30,10 @@ type compiled = {
   c_ops : int;  (* microoperations *)
   c_bits : int;  (* control-store bits *)
   c_alloc : Msl_mir.Regalloc.stats option;
+  c_timings : Msl_mir.Passmgr.timing list;
 }
 
-let of_insts language d insts labels alloc =
+let of_insts ?(timings = []) language d insts labels alloc =
   {
     c_language = language;
     c_machine = d;
@@ -42,23 +43,23 @@ let of_insts language d insts labels alloc =
     c_ops = List.fold_left (fun acc i -> acc + List.length i.Inst.ops) 0 insts;
     c_bits = Encode.program_bits d insts;
     c_alloc = alloc;
+    c_timings = timings;
   }
 
-let compile ?options ?use_microops (language : language) (d : Desc.t) src =
+let compile ?options ?use_microops ?observe (language : language) (d : Desc.t)
+    src =
+  let through_pipeline p =
+    let insts, labels, m = Pipeline.compile ?options ?observe d p in
+    of_insts ~timings:m.Pipeline.m_timings language d insts labels
+      m.Pipeline.m_alloc
+  in
   match language with
-  | Simpl ->
-      let p = Msl_simpl.Compile.parse_compile d src in
-      let insts, labels, m = Pipeline.compile ?options d p in
-      of_insts language d insts labels m.Pipeline.m_alloc
-  | Empl ->
-      let p = Msl_empl.Compile.parse_compile ?use_microops d src in
-      let insts, labels, m = Pipeline.compile ?options d p in
-      of_insts language d insts labels m.Pipeline.m_alloc
-  | Yalll ->
-      let p = Msl_yalll.Compile.parse_compile d src in
-      let insts, labels, m = Pipeline.compile ?options d p in
-      of_insts language d insts labels m.Pipeline.m_alloc
+  | Simpl -> through_pipeline (Msl_simpl.Compile.parse_compile d src)
+  | Empl -> through_pipeline (Msl_empl.Compile.parse_compile ?use_microops d src)
+  | Yalll -> through_pipeline (Msl_yalll.Compile.parse_compile d src)
   | Sstar ->
+      (* the S* programmer composes the microinstructions: no MIR
+         pipeline, so no passes to time or observe *)
       let insts, labels = Msl_sstar.Compile.parse_compile d src in
       of_insts language d insts labels None
 

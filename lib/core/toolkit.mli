@@ -22,16 +22,22 @@ type compiled = {
   c_alloc : Msl_mir.Regalloc.stats option;
       (** present when the register allocator ran (symbolic-variable
           programs) *)
+  c_timings : Msl_mir.Passmgr.timing list;
+      (** per-pass wall clock of the pipeline run; empty for S* and
+          assembled programs (no pass pipeline) *)
 }
 
 val compile :
   ?options:Msl_mir.Pipeline.options ->
   ?use_microops:bool ->
+  ?observe:(string -> Msl_mir.Mir.program -> unit) ->
   language ->
   Desc.t ->
   string ->
   compiled
-(** Parse and compile source text.  [use_microops] applies to EMPL only.
+(** Parse and compile source text.  [use_microops] applies to EMPL only;
+    [observe] sees the MIR after every executed pass (ignored for S*,
+    which has no MIR pipeline).
     @raise Msl_util.Diag.Error on any front- or back-end failure. *)
 
 val assemble : Desc.t -> string -> compiled

@@ -115,7 +115,16 @@ let term_targets = function
 
 let all_blocks p = p.main @ List.concat_map (fun pr -> pr.p_blocks) p.procs
 
-let find_block p l = List.find_opt (fun b -> b.b_label = l) (all_blocks p)
+(* Label-indexed view of the blocks, for repeated lookups (first
+   binding wins, matching list order). *)
+let block_table p =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun b -> if not (Hashtbl.mem tbl b.b_label) then Hashtbl.add tbl b.b_label b)
+    (all_blocks p);
+  tbl
+
+let find_block p l = Hashtbl.find_opt (block_table p) l
 
 (* Every virtual register mentioned anywhere in the program. *)
 let program_vregs p =
@@ -146,20 +155,19 @@ let validate p =
         invalid "duplicate block label %S" b.b_label;
       Hashtbl.replace seen b.b_label ())
     blocks;
-  let proc_entries =
-    List.map
-      (fun pr ->
-        match pr.p_blocks with
-        | [] -> invalid "empty procedure %S" pr.p_name
-        | b :: _ -> (pr.p_name, b.b_label))
-      p.procs
-  in
+  let proc_entries = Hashtbl.create 8 in
+  List.iter
+    (fun pr ->
+      match pr.p_blocks with
+      | [] -> invalid "empty procedure %S" pr.p_name
+      | b :: _ -> Hashtbl.replace proc_entries pr.p_name b.b_label)
+    p.procs;
   List.iter
     (fun b ->
       List.iter
         (fun l ->
           let is_block = Hashtbl.mem seen l in
-          let is_proc = List.mem_assoc l proc_entries in
+          let is_proc = Hashtbl.mem proc_entries l in
           if not (is_block || is_proc) then
             invalid "block %S targets unknown label %S (undefined jump \
                      target in the source?)" b.b_label l)

@@ -85,6 +85,11 @@ val cond_reads : cond -> reg list
 val term_reads : term -> reg list
 val term_targets : term -> label list
 val all_blocks : program -> block list
+
+val block_table : program -> (label, block) Hashtbl.t
+(** Label-indexed view of {!all_blocks}; first binding wins.  Build once
+    for repeated lookups. *)
+
 val find_block : program -> label -> block option
 
 val program_vregs : program -> int list

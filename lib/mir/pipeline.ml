@@ -1,8 +1,14 @@
 (* The compiler back end: MIR program -> control store image.
 
-   Order of passes:
-     validate -> Lower.expand -> (Pollpoints.insert) -> (Regalloc.run)
-     -> Select per block -> Compaction per block -> layout & link.
+   The middle-end is a Passmgr pass list built from [options]:
+     validate -> (const-fold -> copy-prop -> branch-simplify ->
+     jump-thread -> dce, at -O1) -> lower -> (trapsafe) -> (pollpoints)
+     -> (regalloc)
+   followed by the machine-dependent back end: Select per block,
+   Compaction per block, layout & link.  The optimizer runs *before*
+   lowering on purpose — folding a constant multiply deletes the whole
+   shift-and-add expansion it would otherwise become (§2.1.4's
+   machine-independent line).
 
    The same pipeline serves all four frontends; S* additionally uses the
    lower-level [link] entry point directly because its programmer composes
@@ -18,6 +24,7 @@ type options = {
   pool_limit : int option;  (* cap on allocatable registers (T5 sweep) *)
   poll : bool;  (* insert interrupt poll points on back edges *)
   trap_safe : bool;  (* restart-safe recompilation (survey §2.1.5) *)
+  opt_level : int;  (* 0: survey-faithful, no optimizer; >= 1: Opt passes *)
 }
 
 let default_options =
@@ -28,6 +35,7 @@ let default_options =
     pool_limit = None;
     poll = false;
     trap_safe = false;
+    opt_level = 1;
   }
 
 type metrics = {
@@ -37,6 +45,7 @@ type metrics = {
   m_blocks : int;
   m_alloc : Regalloc.stats option;
   m_search_nodes : int;  (* B&B nodes, when the Optimal algo ran *)
+  m_timings : Passmgr.timing list;  (* per-pass wall clock, execution order *)
 }
 
 (* A block lowered to concrete microinstructions with labelled targets. *)
@@ -156,14 +165,26 @@ let link ?(aliases = []) (_d : Desc.t) (blocks : linked_block list) :
         (b.k_label, a))
       blocks
   in
+  (* resolution is the hot loop of linking (once per emitted word), so
+     index labels and aliases in hash tables; first binding wins, like
+     the assoc lists they replace *)
+  let index pairs =
+    let tbl = Hashtbl.create (2 * List.length pairs) in
+    List.iter
+      (fun (k, v) -> if not (Hashtbl.mem tbl k) then Hashtbl.add tbl k v)
+      pairs;
+    tbl
+  in
+  let label_tbl = index label_map in
+  let alias_tbl = index aliases in
   let resolve l =
-    match List.assoc_opt l label_map with
+    match Hashtbl.find_opt label_tbl l with
     | Some a -> a
     | None -> (
         (* procedure names alias their entry block's label *)
-        match List.assoc_opt l aliases with
+        match Hashtbl.find_opt alias_tbl l with
         | Some entry -> (
-            match List.assoc_opt entry label_map with
+            match Hashtbl.find_opt label_tbl entry with
             | Some a -> a
             | None -> Diag.error Diag.Codegen "undefined code label %S" entry)
         | None -> Diag.error Diag.Codegen "undefined code label %S" l)
@@ -229,27 +250,73 @@ let lower_block ~options ctx d nodes_acc (b : Mir.block) : linked_block =
   let mis = if mis = [] then [ ([], Select.L_next) ] else mis in
   { k_label = b.Mir.b_label; k_mis = mis }
 
+(* -- the middle-end as a pass list ------------------------------------------- *)
+
+(* Build the MIR pass pipeline for [options].  The optimizer passes are
+   gated on the level; trapsafe/pollpoints on their flags; regalloc on
+   whether the program *reaching it* still has virtual registers —
+   trapsafe introduces vregs into all-physical programs, which is
+   exactly why the predicate takes the current program. *)
+let mir_passes ~options d ~alloc_stats =
+  let o1 = Passmgr.make ~enabled:(fun _ -> options.opt_level >= 1) in
+  [
+    Passmgr.make ~descr:"check label and block invariants" "validate"
+      Mir.validate;
+    o1 ~descr:"constant folding and propagation" "const-fold"
+      Opt.constant_fold;
+    o1 ~descr:"copy propagation" "copy-prop" Opt.copy_prop;
+    o1 ~descr:"decide branches on known conditions" "branch-simplify"
+      Opt.branch_simplify;
+    o1 ~descr:"thread jumps, drop unreachable blocks" "jump-thread"
+      Opt.jump_thread;
+    o1 ~descr:"dead-assignment elimination" "dce" Opt.dce;
+    Passmgr.make ~descr:"machine-dependent expansion (mul, div, switch)"
+      "lower"
+      (fun p -> Lower.expand d p);
+    Passmgr.make
+      ~enabled:(fun _ -> options.trap_safe)
+      ~descr:"restart-safe rewriting of faulting blocks" "trapsafe"
+      (fun p -> Trapsafe.rewrite d p);
+    Passmgr.make
+      ~enabled:(fun _ -> options.poll)
+      ~descr:"interrupt poll points on back edges" "pollpoints"
+      Pollpoints.insert;
+    Passmgr.make
+      ~enabled:(fun p -> Mir.program_vregs p <> [])
+      ~descr:"virtual register allocation" "regalloc"
+      (fun p ->
+        let p', stats =
+          Regalloc.run ~strategy:options.strategy
+            ?pool_limit:options.pool_limit d p
+        in
+        alloc_stats := Some stats;
+        p');
+  ]
+
+(* Every pass name compile can run, in pipeline order (for --dump-after
+   validation and documentation).  The two pseudo-passes cover the
+   machine-dependent back end, which also reports timings. *)
+let pass_names =
+  [ "validate"; "const-fold"; "copy-prop"; "branch-simplify"; "jump-thread";
+    "dce"; "lower"; "trapsafe"; "pollpoints"; "regalloc" ]
+
+let backend_pass_names = [ "select+compact"; "link" ]
+
 (* -- entry point -------------------------------------------------------------- *)
 
-let compile ?(options = default_options) (d : Desc.t) (p : Mir.program) =
-  let p = Mir.validate p in
-  let p = Lower.expand d p in
-  let p = if options.trap_safe then Trapsafe.rewrite d p else p in
-  let p = if options.poll then Pollpoints.insert p else p in
-  let p, alloc_stats =
-    if Mir.program_vregs p <> [] then
-      let p', stats =
-        Regalloc.run ~strategy:options.strategy ?pool_limit:options.pool_limit
-          d p
-      in
-      (p', Some stats)
-    else (p, None)
+let compile ?(options = default_options) ?observe (d : Desc.t)
+    (p : Mir.program) =
+  let alloc_stats = ref None in
+  let p, timings =
+    Passmgr.run ?observe (mir_passes ~options d ~alloc_stats) p
   in
   let ctx = Select.make_ctx d in
   let nodes_acc = ref 0 in
+  let t0 = Unix.gettimeofday () in
   let blocks =
     List.map (lower_block ~options ctx d nodes_acc) (Mir.all_blocks p)
   in
+  let t1 = Unix.gettimeofday () in
   let aliases =
     List.filter_map
       (fun pr ->
@@ -259,6 +326,14 @@ let compile ?(options = default_options) (d : Desc.t) (p : Mir.program) =
       p.Mir.procs
   in
   let insts, label_map = link ~aliases d blocks in
+  let t2 = Unix.gettimeofday () in
+  let timings =
+    timings
+    @ [
+        { Passmgr.t_pass = "select+compact"; t_ms = (t1 -. t0) *. 1000. };
+        { Passmgr.t_pass = "link"; t_ms = (t2 -. t1) *. 1000. };
+      ]
+  in
   let metrics =
     {
       m_instructions = List.length insts;
@@ -266,8 +341,9 @@ let compile ?(options = default_options) (d : Desc.t) (p : Mir.program) =
         List.fold_left (fun acc i -> acc + List.length i.Inst.ops) 0 insts;
       m_bits = Encode.program_bits d insts;
       m_blocks = List.length blocks;
-      m_alloc = alloc_stats;
+      m_alloc = !alloc_stats;
       m_search_nodes = !nodes_acc;
+      m_timings = timings;
     }
   in
   (insts, label_map, metrics)

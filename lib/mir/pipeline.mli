@@ -1,7 +1,9 @@
-(** The compiler back end shared by all four frontends:
+(** The compiler back end shared by all four frontends.
 
-    validate → {!Lower.expand} → ({!Pollpoints.insert}) → ({!Regalloc.run})
-    → {!Select} per block → {!Compaction} per block → layout and link.
+    The middle-end is a {!Passmgr} pass list built from [options]:
+    validate → ({!Opt} passes, at [-O1]) → {!Lower.expand} →
+    ({!Trapsafe.rewrite}) → ({!Pollpoints.insert}) → ({!Regalloc.run}),
+    then {!Select} per block, {!Compaction} per block, layout and link.
 
     S* uses the lower-level {!link} directly, because its programmer
     composes the microinstructions. *)
@@ -18,11 +20,15 @@ type options = {
       (** restart-safe recompilation: redirect pre-fault register writes to
           temporaries committed after the block's last faulting statement
           (the repair for the survey's §2.1.5 incread hazard) *)
+  opt_level : int;
+      (** 0: survey-faithful pipeline with no machine-independent
+          optimizer (§2.1.4); 1 (the default): the {!Opt} passes run
+          before lowering *)
 }
 
 val default_options : options
 (** Critical-path compaction, chaining on, priority allocation, full pool,
-    no poll points. *)
+    no poll points, optimization level 1. *)
 
 type metrics = {
   m_instructions : int;  (** control-store words *)
@@ -31,7 +37,16 @@ type metrics = {
   m_blocks : int;
   m_alloc : Regalloc.stats option;  (** when the allocator ran *)
   m_search_nodes : int;  (** B&B nodes, when [Optimal] ran *)
+  m_timings : Passmgr.timing list;
+      (** wall clock of every executed pass, in execution order, ending
+          with the [select+compact] and [link] back-end pseudo-passes *)
 }
+
+val pass_names : string list
+(** Every middle-end pass name {!compile} can run, in pipeline order. *)
+
+val backend_pass_names : string list
+(** The back-end pseudo-passes appearing in [m_timings]. *)
 
 (** A block already lowered to explicit microinstructions with labelled
     targets (the S* entry path). *)
@@ -52,9 +67,12 @@ val link :
 
 val compile :
   ?options:options ->
+  ?observe:(string -> Mir.program -> unit) ->
   Desc.t ->
   Mir.program ->
   Inst.t list * (string * int) list * metrics
+(** [observe name p'] is called after every executed middle-end pass
+    with the program it produced (the `--dump-after` hook). *)
 
 val load :
   ?options:options ->

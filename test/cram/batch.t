@@ -3,24 +3,24 @@ manifest.  The three duplicate jobs at the end hit the content-addressed
 cache even on a cold first round.
 
   $ (cd ../.. && bin/mslc.exe batch examples/batch.manifest --domains 1)
-  ok    examples/sum_loop.yll@hp3       6 words,    5 ops
-  ok    examples/sum_loop.yll@v11       9 words,    9 ops
-  ok    examples/sum_loop.yll@b17       7 words,    5 ops
-  ok    examples/gcd.yll@hp3           12 words,    8 ops
-  ok    examples/gcd.yll@v11           17 words,   15 ops
-  ok    examples/gcd.yll@b17           16 words,   13 ops
-  ok    examples/shifts.yll@hp3        12 words,   13 ops
-  ok    examples/shifts.yll@v11        30 words,   32 ops
-  ok    examples/shifts.yll@b17        14 words,   13 ops
-  ok    sum_loop.yll@hp3+seq            7 words,    5 ops
-  ok    sum_loop.yll@hp3+fcfs           6 words,    5 ops
-  ok    sum_loop.yll@hp3+opt            6 words,    5 ops
-  ok    gcd.yll@hp3+seq                12 words,    8 ops
-  ok    gcd.yll@hp3+fcfs               12 words,    8 ops
-  ok    gcd.yll@hp3+opt                12 words,    8 ops
-  ok    shifts.yll@hp3+seq             14 words,   13 ops
-  ok    shifts.yll@hp3+fcfs            12 words,   13 ops
-  ok    shifts.yll@hp3+opt             12 words,   13 ops
+  ok    examples/sum_loop.yll@hp3       5 words,    5 ops
+  ok    examples/sum_loop.yll@v11       8 words,    9 ops
+  ok    examples/sum_loop.yll@b17       6 words,    5 ops
+  ok    examples/gcd.yll@hp3           10 words,    7 ops
+  ok    examples/gcd.yll@v11           15 words,   14 ops
+  ok    examples/gcd.yll@b17           14 words,   12 ops
+  ok    examples/shifts.yll@hp3         4 words,    4 ops
+  ok    examples/shifts.yll@v11         4 words,    4 ops
+  ok    examples/shifts.yll@b17         4 words,    4 ops
+  ok    sum_loop.yll@hp3+seq            6 words,    5 ops
+  ok    sum_loop.yll@hp3+fcfs           5 words,    5 ops
+  ok    sum_loop.yll@hp3+opt            5 words,    5 ops
+  ok    gcd.yll@hp3+seq                10 words,    7 ops
+  ok    gcd.yll@hp3+fcfs               10 words,    7 ops
+  ok    gcd.yll@hp3+opt                10 words,    7 ops
+  ok    shifts.yll@hp3+seq              4 words,    4 ops
+  ok    shifts.yll@hp3+fcfs             4 words,    4 ops
+  ok    shifts.yll@hp3+opt              4 words,    4 ops
   ok    examples/sum_while.simpl@hp3    7 words,    5 ops
   ok    examples/sum_while.simpl@h1     7 words,    5 ops
   ok    examples/sum_while.simpl@b17    8 words,    5 ops
@@ -31,24 +31,24 @@ cache even on a cold first round.
   ok    mpy.simpl@h1-chain              8 words,    6 ops
   ok    sum_while.simpl@hp3+poll       10 words,    6 ops
   ok    mpy.simpl@hp3+trapsafe          8 words,    6 ops
-  ok    examples/fold.empl@hp3         22 words,   22 ops
-  ok    examples/fold.empl@b17         15 words,   15 ops
-  ok    fold.empl@hp3+ff               20 words,   22 ops
-  ok    fold.empl@hp3+pool4            22 words,   22 ops
-  ok    fold.empl@b17+ff               15 words,   15 ops
-  ok    sum_loop.yll@hp3+dup            6 words,    5 ops  (cached)
+  ok    examples/fold.empl@hp3          2 words,    3 ops
+  ok    examples/fold.empl@b17          3 words,    3 ops
+  ok    fold.empl@hp3+ff                2 words,    3 ops
+  ok    fold.empl@hp3+pool4             2 words,    3 ops
+  ok    fold.empl@b17+ff                3 words,    3 ops
+  ok    sum_loop.yll@hp3+dup            5 words,    5 ops  (cached)
   ok    sum_while.simpl@hp3+dup         7 words,    5 ops  (cached)
-  ok    fold.empl@hp3+dup              22 words,   22 ops  (cached)
+  ok    fold.empl@hp3+dup               2 words,    3 ops  (cached)
   -- 36 jobs: 3 hits, 33 misses, 0 evictions, 0 errors; 33 entries cached
 
 A second round over the same service is served entirely warm: every
 probe after round one is a hit.
 
   $ (cd ../.. && bin/mslc.exe batch examples/batch.manifest --domains 1 --rounds 2) | tail -n 5
-  ok    fold.empl@b17+ff               15 words,   15 ops  (cached)
-  ok    sum_loop.yll@hp3+dup            6 words,    5 ops  (cached)
+  ok    fold.empl@b17+ff                3 words,    3 ops  (cached)
+  ok    sum_loop.yll@hp3+dup            5 words,    5 ops  (cached)
   ok    sum_while.simpl@hp3+dup         7 words,    5 ops  (cached)
-  ok    fold.empl@hp3+dup              22 words,   22 ops  (cached)
+  ok    fold.empl@hp3+dup               2 words,    3 ops  (cached)
   -- 72 jobs: 39 hits, 33 misses, 0 evictions, 0 errors; 33 entries cached
 
 A manifest referencing an unknown machine is a located parse error.

@@ -6,8 +6,7 @@ The compile subcommand prints the microcode listing and the size line.
      2: [add R2, R2, R1 | dec R1, R1] -> if R1 <> 0 goto 2
      3: []
      4: [mov R0, R2] -> halt
-     5: [] -> halt
-  ; 6 words, 5 microoperations, 1020 control-store bits
+  ; 5 words, 5 microoperations, 850 control-store bits
 
 Compaction is visible in the listing: the add and the dec share a word.
 
@@ -28,6 +27,6 @@ An unknown language is a usage error, not a crash.
   $ ../../bin/mslc.exe compile -l cobol -m hp3 ../../examples/sum_loop.yll
   mslc: option '-l': invalid value 'cobol', expected one of 'simpl', 'empl',
         'sstar' or 'yalll'
-  Usage: mslc compile [--language=LANG] [--machine=MACHINE] [OPTION]… FILE
+  Usage: mslc compile [OPTION]… FILE
   Try 'mslc compile --help' or 'mslc --help' for more information.
   [124]

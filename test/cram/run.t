@@ -1,7 +1,7 @@
 Compile-and-execute: the gcd program leaves 21 in R0/R1.
 
   $ ../../bin/mslc.exe run -l yalll -m hp3 ../../examples/gcd.yll
-  halted after 35 cycles (35 microinstructions executed)
+  halted after 29 cycles (29 microinstructions executed)
     R0     = 16'd21
     R1     = 16'd21
     R2     = 16'd21
@@ -10,7 +10,7 @@ The same source retargeted to the vertical B17 gives the same answer in
 more cycles.
 
   $ ../../bin/mslc.exe run -l yalll -m b17 ../../examples/gcd.yll
-  halted after 55 cycles (55 microinstructions executed)
+  halted after 49 cycles (49 microinstructions executed)
     R0     = 16'd21
     R1     = 16'd21
     R2     = 16'd21

@@ -282,6 +282,25 @@ let test_a1_shape () =
         (alloc.Core.Experiments.a1_base <= alloc.Core.Experiments.a1_variant)
   | _ -> Alcotest.fail "expected three ablation rows"
 
+let test_o1_shape () =
+  let rows = Core.Experiments.o1_rows () in
+  check_bool "several rows" true (List.length rows >= 6);
+  let strict, control = ref 0, ref 0 in
+  List.iter
+    (fun (r : Core.Experiments.o1_row) ->
+      check_bool "-O1 never larger" true
+        (r.Core.Experiments.o1_words1 <= r.Core.Experiments.o1_words0);
+      if r.Core.Experiments.o1_words1 < r.Core.Experiments.o1_words0 then
+        incr strict;
+      if r.Core.Experiments.o1_language = Core.Toolkit.Sstar then begin
+        incr control;
+        check_int "S* control unchanged" r.Core.Experiments.o1_words0
+          r.Core.Experiments.o1_words1
+      end)
+    rows;
+  check_bool "strict reduction on at least three rows" true (!strict >= 3);
+  check_int "the S* control is present" 1 !control
+
 let test_sweeper_machines_valid () =
   List.iter
     (fun n ->
@@ -322,6 +341,8 @@ let () =
           Alcotest.test_case "F1 parallelism gap" `Quick test_f1_shape;
           Alcotest.test_case "F2 interrupts and traps" `Quick test_f2_shape;
           Alcotest.test_case "A1 ablations" `Quick test_a1_shape;
+          Alcotest.test_case "O1 optimizer wins, S* control flat" `Quick
+            test_o1_shape;
         ] );
       ( "infrastructure",
         [

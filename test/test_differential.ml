@@ -202,6 +202,129 @@ let test_examples () =
       List.iter (fun d -> check_program name lang d src) machines)
     sources
 
+(* -- -O1 vs -O0 ----------------------------------------------------------------- *)
+
+(* The optimizer's observability contract: source-visible physical
+   registers and program memory at exit are preserved exactly.  The
+   machine's reserved scratch registers (classes "at"/"at2"/"acc") and
+   the spill pad above [d_scratch_base] are compiler-internal — which
+   registers the backend scratches through legitimately changes with the
+   program the optimizer hands it — so the oracle compares everything
+   but those.  -O1 must also never emit more words than -O0. *)
+
+let scratch_classes = [ "at"; "at2"; "acc" ]
+
+let program_phys_regs (p : Mir.program) =
+  let add acc = function Mir.Phys i -> i :: acc | Mir.Virt _ -> acc in
+  let of_block acc (b : Mir.block) =
+    let acc =
+      List.fold_left
+        (fun acc s ->
+          List.fold_left add acc (Mir.stmt_reads s @ Mir.stmt_writes s))
+        acc b.Mir.b_stmts
+    in
+    List.fold_left add acc (Mir.term_reads b.Mir.b_term)
+  in
+  List.fold_left of_block [] (Mir.all_blocks p) |> List.sort_uniq compare
+
+let observe_visible d regs sim =
+  let visible =
+    Desc.regs d
+    |> List.filter (fun (r : Desc.reg) ->
+           List.mem r.Desc.r_id regs
+           && not (List.exists (Desc.reg_in_class r) scratch_classes))
+  in
+  let reg_part =
+    List.map
+      (fun (r : Desc.reg) ->
+        Printf.sprintf "%s=%Ld" r.Desc.r_name
+          (Bitvec.to_int64 (Sim.get_reg_id sim r.Desc.r_id)))
+      visible
+  in
+  let mem_region base len =
+    List.init len (fun i ->
+        let a = base + i in
+        let v = Bitvec.to_int64 (Memory.peek (Sim.memory sim) a) in
+        if v = 0L then "" else Printf.sprintf "m[%d]=%Ld" a v)
+    |> List.filter (fun s -> s <> "")
+  in
+  let data = max 0 (d.Desc.d_scratch_base - 256) in
+  String.concat " "
+    (reg_part @ mem_region 0 512
+    @ mem_region data (d.Desc.d_scratch_base - data))
+
+let check_opt_levels what d (p : Mir.program) =
+  let regs = program_phys_regs p in
+  let run opt_level =
+    let sim, _, m =
+      Pipeline.load ~options:{ Pipeline.default_options with opt_level } d p
+    in
+    (match Sim.run ~fuel:500_000 sim with
+    | Sim.Halted -> ()
+    | Sim.Out_of_fuel ->
+        Alcotest.failf "%s at -O%d did not halt" what opt_level);
+    (observe_visible d regs sim, m.Pipeline.m_instructions)
+  in
+  let s0, w0 = run 0 in
+  let s1, w1 = run 1 in
+  Alcotest.(check string)
+    (Printf.sprintf "%s on %s: -O1 state = -O0 state" what d.Desc.d_name)
+    s0 s1;
+  Alcotest.(check bool)
+    (Printf.sprintf "%s on %s: -O1 words (%d) <= -O0 words (%d)" what
+       d.Desc.d_name w1 w0)
+    true (w1 <= w0)
+
+let test_opt_blocks () =
+  (* seeded straight-line blocks wrapped as one-block programs *)
+  List.iter
+    (fun seed ->
+      let d = List.nth block_machines (seed mod 3) in
+      let n = 6 + (seed * 5 mod 20) in
+      let stmts = Core.Workloads.simpl_block d ~seed ~n ~p_dep:40 in
+      let p =
+        { Mir.main =
+            [ { Mir.b_label = "b"; b_stmts = stmts; b_term = Mir.Halt } ];
+          procs = []; vreg_names = []; next_vreg = 0 }
+      in
+      check_opt_levels (Printf.sprintf "opt block seed %d" seed) d p)
+    (List.init 12 (fun i -> i + 1))
+
+let test_opt_generated () =
+  List.iter
+    (fun seed ->
+      let src = Core.Workloads.pressure_program ~seed ~nvars:10 ~nops:16 in
+      check_opt_levels
+        (Printf.sprintf "opt pressure seed %d" seed)
+        Machines.hp3
+        (Msl_empl.Compile.parse_compile Machines.hp3 src))
+    [ 1; 2; 3; 4; 5; 6 ];
+  List.iter
+    (fun seed ->
+      let src = Core.Workloads.yalll_program ~seed ~len:14 in
+      List.iter
+        (fun d ->
+          check_opt_levels
+            (Printf.sprintf "opt yalll seed %d" seed)
+            d
+            (Msl_yalll.Compile.parse_compile d src))
+        [ Machines.hp3; Machines.v11; Machines.b17 ])
+    [ 1; 2; 3; 4 ]
+
+let test_opt_examples () =
+  List.iter
+    (fun (name, lang, machines, path) ->
+      let src = read_file path in
+      let parse d =
+        match lang with
+        | Toolkit.Simpl -> Msl_simpl.Compile.parse_compile d src
+        | Toolkit.Empl -> Msl_empl.Compile.parse_compile d src
+        | Toolkit.Yalll -> Msl_yalll.Compile.parse_compile d src
+        | Toolkit.Sstar -> assert false  (* no MIR; not in this corpus *)
+      in
+      List.iter (fun d -> check_opt_levels name d (parse d)) machines)
+    (example_sources ())
+
 let () =
   Alcotest.run "differential"
     [
@@ -214,5 +337,14 @@ let () =
           Alcotest.test_case "YALLL corpus programs" `Quick
             test_yalll_programs;
           Alcotest.test_case "every examples/* program" `Quick test_examples;
+        ] );
+      ( "opt oracle",
+        [
+          Alcotest.test_case "-O1 vs -O0 on seeded blocks" `Quick
+            test_opt_blocks;
+          Alcotest.test_case "-O1 vs -O0 on generated programs" `Quick
+            test_opt_generated;
+          Alcotest.test_case "-O1 vs -O0 on every example" `Quick
+            test_opt_examples;
         ] );
     ]

@@ -427,9 +427,13 @@ let many_vars_prog d n =
     next_vreg = n + 1;
   }
 
+(* The allocator tests pin -O0: their constant-seeded workloads are exactly
+   what the optimizer folds away, and the point here is the allocator. *)
+let alloc_opts = { Pipeline.default_options with Pipeline.opt_level = 0 }
+
 let test_regalloc_no_spills () =
   let d = Machines.hp3 in
-  let sim, m = run_mir d (many_vars_prog d 8) in
+  let sim, m = run_mir d ~options:alloc_opts (many_vars_prog d 8) in
   check_int "sum correct" 36 (Bitvec.to_int (Sim.get_reg sim "R0"));
   match m.Pipeline.m_alloc with
   | Some s ->
@@ -441,7 +445,7 @@ let test_regalloc_spills_correct () =
   let n = 40 in
   let sim, m =
     run_mir d
-      ~options:{ Pipeline.default_options with pool_limit = Some 6 }
+      ~options:{ alloc_opts with Pipeline.pool_limit = Some 6 }
       (many_vars_prog d n)
   in
   check_int "sum correct despite spills" (n * (n + 1) / 2)
@@ -488,8 +492,7 @@ let test_regalloc_priority_beats_first_fit () =
   let traffic strategy =
     let _, m =
       run_mir d
-        ~options:
-          { Pipeline.default_options with strategy; pool_limit = Some 2 }
+        ~options:{ alloc_opts with Pipeline.strategy; pool_limit = Some 2 }
         p
     in
     match m.Pipeline.m_alloc with
