@@ -135,6 +135,25 @@ let print_service_comparison () =
     (if warm < cold1 then "beats" else "does NOT beat")
     (if warm > 0.0 then cold1 /. warm else Float.infinity)
 
+(* L1: static-analyzer throughput — the full validate_machine re-check
+   (races + encoding + reachability) over a precompiled mixed corpus,
+   the cost a batch lint= gate adds to every job. *)
+let lint_corpus =
+  lazy
+    (List.init 16 (fun i ->
+         let d = List.nth [ Machines.hp3; Machines.v11; Machines.b17 ] (i mod 3) in
+         let c =
+           Core.Toolkit.compile Core.Toolkit.Yalll d
+             (Core.Workloads.yalll_program ~seed:(i + 1) ~len:20)
+         in
+         (d, c.Core.Toolkit.c_labels, c.Core.Toolkit.c_insts)))
+
+let lint_validate () =
+  List.iter
+    (fun (d, labels, insts) ->
+      ignore (Msl_mir.Lint.validate_machine ~labels d insts))
+    (Lazy.force lint_corpus)
+
 (* S2: where does compile time go?  Sum the pass manager's per-pass wall
    clock over a mixed corpus — the observability half of the pass-manager
    refactor, printed with the tables (and in --smoke runs). *)
@@ -207,6 +226,8 @@ let tests =
       Test.make ~name:"S1-batch-cold-4domains"
         (Staged.stage (batch_cold ~domains:4));
       Test.make ~name:"S1-batch-warm" (Staged.stage batch_warm);
+      (* L1: the post-compile static analyzer (the batch lint gate) *)
+      Test.make ~name:"L1-lint-validate" (Staged.stage lint_validate);
     ]
 
 let benchmark () =

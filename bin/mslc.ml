@@ -2,11 +2,16 @@
 
      mslc compile -l yalll -m hp3 prog.yll       compile, print the listing
      mslc run -l simpl -m h1 prog.simpl          compile and execute
+     mslc lint -l simpl -m h1 prog.simpl         compile and statically audit
      mslc verify prog.sstar                      discharge S* proof obligations
      mslc machines                               list machine models
      mslc matrix                                 print the survey's language matrix
      mslc experiments [name ...]                 regenerate experiment tables
-     mslc batch jobs.manifest                    batch-compile through the service *)
+     mslc batch jobs.manifest                    batch-compile through the service
+
+   Exit codes, uniformly: 0 = success, 1 = the requested check failed
+   (lint findings, unproved S* obligations, failed batch jobs), 2 = the
+   input could not be processed at all (parse/compile errors). *)
 
 open Cmdliner
 module Machines = Msl_machine.Machines
@@ -24,10 +29,24 @@ let read_file path =
   close_in ic;
   s
 
+(* Every compiler failure prints as a structured, source-located finding
+   and exits 2: exit 1 is reserved for "the program was processed and the
+   requested check failed". *)
 let handle_diag f =
   try f () with Diag.Error d ->
-    Fmt.epr "%s@." (Diag.to_string d);
-    exit 1
+    Fmt.epr "%a@." Msl_mir.Diag.pp_compiler_error d;
+    exit 2
+
+(* A per-job batch line already leads with an "error" tag, so the
+   finding is rendered without repeating the severity. *)
+let pp_job_error ppf d =
+  let f = Msl_mir.Diag.of_compiler_error d in
+  match f.Msl_mir.Diag.f_loc with
+  | Msl_mir.Diag.L_none ->
+      Fmt.pf ppf "[%s] %s" f.Msl_mir.Diag.f_code f.Msl_mir.Diag.f_message
+  | loc ->
+      Fmt.pf ppf "[%s] %a: %s" f.Msl_mir.Diag.f_code Msl_mir.Diag.pp_location
+        loc f.Msl_mir.Diag.f_message
 
 let lang_arg =
   let doc = "Source language: simpl, empl, sstar or yalll." in
@@ -141,6 +160,91 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Compile and execute a program")
     Term.(const run $ lang_arg $ machine_arg $ file_arg $ opt_arg)
 
+let lint_cmd =
+  let format_arg =
+    let doc = "Report format: human, json or sexp." in
+    Arg.(
+      value
+      & opt (enum [ ("human", `Human); ("json", `Json); ("sexp", `Sexp) ]) `Human
+      & info [ "format" ] ~docv:"FORMAT" ~doc)
+  in
+  let budget_arg =
+    let doc =
+      "Also check the worst-case microcycle gap between interrupt polls \
+       against $(docv)."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "latency-budget" ] ~docv:"CYCLES" ~doc)
+  in
+  let pedantic_arg =
+    let doc =
+      "Also report legal same-phase write/read register sharing (as info)."
+    in
+    Arg.(value & flag & info [ "pedantic" ] ~doc)
+  in
+  let poll_arg =
+    let doc =
+      "Compile with interrupt poll points on loop back edges before \
+       analyzing (the manifest's poll=on)."
+    in
+    Arg.(value & flag & info [ "poll" ] ~doc)
+  in
+  let run lang machine file opt format budget pedantic poll =
+    handle_diag (fun () ->
+        let d = Machines.get machine in
+        (* the first observed pass is "validate": the frontend's own MIR,
+           before any transformation — lint findings point at what the
+           programmer wrote.  S* never calls observe (no MIR pipeline). *)
+        let mir = ref None in
+        let observe _pass p = if !mir = None then mir := Some p in
+        let options =
+          { (options_of_opt_level opt) with Msl_mir.Pipeline.poll }
+        in
+        let c =
+          Core.Toolkit.compile ~options ~observe lang d (read_file file)
+        in
+        let config =
+          { Msl_mir.Lint.latency_budget = budget; pedantic }
+        in
+        let findings =
+          Msl_mir.Lint.run ~config ?mir:!mir
+            ~labels:c.Core.Toolkit.c_labels d c.Core.Toolkit.c_insts
+        in
+        let errors = Msl_mir.Diag.errors findings in
+        (match format with
+        | `Human ->
+            List.iter
+              (fun f -> Fmt.pr "%a@." Msl_mir.Diag.pp_finding f)
+              findings;
+            let warnings = Msl_mir.Diag.warnings findings in
+            if findings = [] then
+              Fmt.pr "%s: %d words on %s: no findings@." file
+                c.Core.Toolkit.c_words d.Desc.d_name
+            else
+              Fmt.pr "%s: %d error%s, %d warning%s@." file
+                (List.length errors)
+                (if List.length errors = 1 then "" else "s")
+                (List.length warnings)
+                (if List.length warnings = 1 then "" else "s")
+        | `Json ->
+            print_endline
+              (Msl_mir.Diag.report_json ~machine:d.Desc.d_name findings)
+        | `Sexp ->
+            print_endline
+              (Msl_mir.Diag.report_sexp ~machine:d.Desc.d_name findings));
+        if errors <> [] then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Compile a program and audit the result with the independent \
+          static analyzer (exit 1 on any error finding)")
+    Term.(
+      const run $ lang_arg $ machine_arg $ file_arg $ opt_arg $ format_arg
+      $ budget_arg $ pedantic_arg $ poll_arg)
+
 let verify_cmd =
   let run machine file =
     handle_diag (fun () ->
@@ -214,7 +318,8 @@ let experiments_cmd =
             ("f1", fun () -> [ Core.Experiments.f1 () ]);
             ("f2", fun () -> Core.Experiments.f2 ());
             ("a1", fun () -> [ Core.Experiments.a1 () ]);
-            ("o1", fun () -> [ Core.Experiments.o1 () ]) ]
+            ("o1", fun () -> [ Core.Experiments.o1 () ]);
+            ("l1", fun () -> [ Core.Experiments.l1 () ]) ]
         in
         let wanted =
           if names = [] then List.map fst all
@@ -269,11 +374,22 @@ let batch_cmd =
     let doc = "Print the microcode listing of every successful job." in
     Arg.(value & flag & info [ "listings" ] ~doc)
   in
-  let run manifest domains rounds cap listings =
+  let lint_arg =
+    let doc =
+      "Run the static analyzer on every compiled job and fail jobs with \
+       error findings (equivalent to lint=on on every manifest line)."
+    in
+    Arg.(value & flag & info [ "lint" ] ~doc)
+  in
+  let run manifest domains rounds cap listings lint =
     handle_diag (fun () ->
         let jobs =
           Service.parse_manifest ~file:manifest ~load:read_file
             (read_file manifest)
+        in
+        let jobs =
+          if lint then List.map (fun j -> { j with Service.j_lint = true }) jobs
+          else jobs
         in
         let service = Service.create ?domains ~capacity:cap () in
         let failed = ref false in
@@ -291,7 +407,7 @@ let batch_cmd =
                   if listings then print_string listing
               | Error d ->
                   failed := true;
-                  Fmt.pr "error %-28s %s@." id (Diag.to_string d))
+                  Fmt.pr "error %-28s %a@." id pp_job_error d)
             outcomes
         done;
         let s = Service.stats service in
@@ -309,7 +425,7 @@ let batch_cmd =
           compilation service")
     Term.(
       const run $ manifest_arg $ domains_arg $ rounds_arg $ cap_arg
-      $ listings_arg)
+      $ listings_arg $ lint_arg)
 
 let () =
   let info =
@@ -319,5 +435,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ compile_cmd; run_cmd; encode_cmd; verify_cmd; machines_cmd; matrix_cmd;
-            experiments_cmd; batch_cmd ]))
+          [ compile_cmd; run_cmd; encode_cmd; lint_cmd; verify_cmd;
+            machines_cmd; matrix_cmd; experiments_cmd; batch_cmd ]))

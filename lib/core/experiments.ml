@@ -830,7 +830,103 @@ let o1 () =
     (o1_rows ());
   t
 
+(* -- L1: seeded defect injection vs the static analyzer ------------------------- *)
+
+(* How much of each injected compiler-defect class the independent
+   analyzer (Msl_mir.Lint.validate_machine) actually catches.  Races and
+   field overflows must be 100% (test_lint pins that); swapped operands
+   are caught only when the swap is type-wrong; a dropped dependence
+   edge reorders computation without creating any intra-word hazard, so
+   its low rate is the honest negative result — only the differential
+   simulator oracle sees those. *)
+
+type l1_row = {
+  l1_machine : Desc.t;
+  l1_defect : Workloads.defect;
+  l1_injected : int;
+  l1_detected : int;
+}
+
+let l1_machines = [ Machines.hp3; Machines.h1; Machines.v11; Machines.b17 ]
+
+(* The block generator has no v11 templates, so v11 rides the YALLL
+   whole-program corpus — at -O0, where the generator programs keep
+   enough register reuse to offer race-injection sites. *)
+let l1_corpus d =
+  if d.Desc.d_name = Machines.v11.Desc.d_name then
+    List.map
+      (fun seed ->
+        let src = Workloads.yalll_program ~seed ~len:14 in
+        let c = cached_compile ~options:o0 Toolkit.Yalll d src in
+        c.Toolkit.c_insts)
+      [ 1; 2; 3; 4; 5; 6 ]
+  else
+    List.map
+      (fun seed ->
+        let ops = Workloads.compaction_block d ~seed ~n:16 ~p_dep:40 in
+        let r =
+          Compaction.compact ~chain:true ~algo:Compaction.Critical_path d ops
+        in
+        List.map (fun g -> { Inst.ops = g; next = Inst.Next })
+          r.Compaction.groups
+        @ [ { Inst.ops = []; next = Inst.Halt } ])
+      [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let l1_rows () =
+  List.concat_map
+    (fun d ->
+      let corpus = l1_corpus d in
+      List.map
+        (fun defect ->
+          let injected = ref 0 and detected = ref 0 in
+          List.iter
+            (fun insts ->
+              List.iter
+                (fun seed ->
+                  match Workloads.inject_defect d ~seed defect insts with
+                  | None -> ()
+                  | Some mutant ->
+                      incr injected;
+                      if
+                        Msl_mir.Diag.errors
+                          (Msl_mir.Lint.validate_machine d mutant)
+                        <> []
+                      then incr detected)
+                [ 0; 1; 2; 3; 4 ])
+            corpus;
+          { l1_machine = d; l1_defect = defect; l1_injected = !injected;
+            l1_detected = !detected })
+        Workloads.all_defects)
+    l1_machines
+
+let l1 () =
+  let rate det inj =
+    if inj = 0 then "n/a"
+    else Printf.sprintf "%.0f%%" (100.0 *. float_of_int det /. float_of_int inj)
+  in
+  let t =
+    Tbl.make
+      ~title:
+        "L1: seeded compiler-defect injection vs the static analyzer \
+         (mutants of honestly compiled programs; detected = any error \
+         finding)"
+      ~aligns:[ Tbl.Left; Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right ]
+      [ "machine"; "defect"; "injected"; "detected"; "rate" ]
+  in
+  List.iter
+    (fun r ->
+      Tbl.add_row t
+        [
+          r.l1_machine.Desc.d_name;
+          Workloads.defect_name r.l1_defect;
+          Tbl.cell_int r.l1_injected;
+          Tbl.cell_int r.l1_detected;
+          rate r.l1_detected r.l1_injected;
+        ])
+    (l1_rows ());
+  t
+
 let all_tables () =
   t1 () @ [ t2 (); t3 (); t4 (); t5 (); t6 (); t7 (); t8 (); f1 () ]
   @ f2 ()
-  @ [ a1 (); o1 () ]
+  @ [ a1 (); o1 (); l1 () ]

@@ -16,6 +16,7 @@ type job = {
   j_source : string;
   j_options : Pipeline.options;
   j_use_microops : bool;
+  j_lint : bool;
 }
 
 type outcome = {
@@ -120,7 +121,7 @@ let cache_key (j : job) =
     ~use_microops:j.j_use_microops ~source:j.j_source
 
 let job ?id ?(options = Pipeline.default_options) ?(use_microops = false)
-    language ~machine ~source =
+    ?(lint = false) language ~machine ~source =
   let id =
     match id with
     | Some id -> id
@@ -136,6 +137,7 @@ let job ?id ?(options = Pipeline.default_options) ?(use_microops = false)
     j_source = source;
     j_options = options;
     j_use_microops = use_microops;
+    j_lint = lint;
   }
 
 (* -- the cache proper ----------------------------------------------------------- *)
@@ -182,19 +184,53 @@ let compile_fresh (j : job) =
       in
       (c, Masm.print d c.Toolkit.c_insts))
 
+(* The post-compile lint gate.  Runs outside the cache: the cached value
+   is always the pure compilation (j_lint is not in the key), and a
+   cache hit re-runs the gate — the analyzer is cheap next to the
+   compile it audits.  Only the machine-level analyses apply here: the
+   MIR checks need the pre-pass program, which cached entries do not
+   carry. *)
+let lint_gate (c : Toolkit.compiled) =
+  let findings =
+    Msl_mir.Lint.validate_machine ~labels:c.Toolkit.c_labels
+      c.Toolkit.c_machine c.Toolkit.c_insts
+  in
+  match Msl_mir.Diag.errors findings with
+  | [] -> None
+  | first :: rest ->
+      let message =
+        Fmt.str "%a%s" Msl_mir.Diag.pp_finding first
+          (match rest with
+          | [] -> ""
+          | _ -> Printf.sprintf " (+%d more)" (List.length rest))
+      in
+      Some { Diag.phase = Diag.Lint; loc = Msl_util.Loc.dummy; message }
+
 let compile_job t (j : job) =
   let key = (cache_key j :> string) in
-  match probe t key with
-  | Some e ->
-      { o_job = j; o_result = Ok (e.e_compiled, e.e_listing); o_cached = true }
-  | None -> (
-      match compile_fresh j with
-      | Ok (c, listing) ->
-          insert t key { e_compiled = c; e_listing = listing };
-          { o_job = j; o_result = Ok (c, listing); o_cached = false }
-      | Error d ->
-          note_error t;
-          { o_job = j; o_result = Error d; o_cached = false })
+  let outcome =
+    match probe t key with
+    | Some e ->
+        { o_job = j; o_result = Ok (e.e_compiled, e.e_listing); o_cached = true }
+    | None -> (
+        match compile_fresh j with
+        | Ok (c, listing) ->
+            insert t key { e_compiled = c; e_listing = listing };
+            { o_job = j; o_result = Ok (c, listing); o_cached = false }
+        | Error d ->
+            note_error t;
+            { o_job = j; o_result = Error d; o_cached = false })
+  in
+  if not j.j_lint then outcome
+  else
+    match outcome.o_result with
+    | Error _ -> outcome
+    | Ok (c, _) -> (
+        match lint_gate c with
+        | None -> outcome
+        | Some d ->
+            note_error t;
+            { outcome with o_result = Error d })
 
 (* -- the worker pool -------------------------------------------------------------- *)
 
@@ -332,6 +368,7 @@ let parse_option loc (j : job) spec =
                 "opt expects a non-negative integer, got %S" v)
       | "microops" ->
           { j with j_use_microops = parse_bool loc "microops" v }
+      | "lint" -> { j with j_lint = parse_bool loc "lint" v }
       | k -> manifest_error loc "unknown manifest option %S" k)
 
 let parse_manifest ?(file = "<manifest>") ~load text =

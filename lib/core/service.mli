@@ -26,6 +26,11 @@ type job = {
   j_source : string;
   j_options : Msl_mir.Pipeline.options;
   j_use_microops : bool;  (** EMPL only *)
+  j_lint : bool;
+      (** post-compile gate: run {!Msl_mir.Lint.validate_machine} on the
+          compiled program and fail the job on any error finding.  Runs
+          outside the cache — the cached value is always the pure
+          compilation, and [j_lint] is not part of the cache key. *)
 }
 
 type outcome = {
@@ -63,6 +68,7 @@ val job :
   ?id:string ->
   ?options:Msl_mir.Pipeline.options ->
   ?use_microops:bool ->
+  ?lint:bool ->
   Toolkit.language ->
   machine:string ->
   source:string ->
@@ -107,7 +113,7 @@ val assemble_cached : t -> Desc.t -> string -> Toolkit.compiled
     v}
 
     with option keys [algo], [chain], [strategy], [pool], [poll],
-    [trap_safe], [microops] and [id]. *)
+    [trap_safe], [microops], [lint] and [id]. *)
 
 val parse_manifest :
   ?file:string -> load:(string -> string) -> string -> job list

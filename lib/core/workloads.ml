@@ -166,3 +166,157 @@ let simpl_block d ~seed ~n ~p_dep =
       | _ ->
           Mir.assign d0
             (Mir.R_binop (ops.(pick r (Array.length ops)), src (), src ())))
+
+(* -- defect injection (L1) ------------------------------------------------------ *)
+
+type defect = D_race_ww | D_field_overflow | D_swap_fields | D_drop_dep
+
+let all_defects = [ D_race_ww; D_field_overflow; D_swap_fields; D_drop_dep ]
+
+let defect_name = function
+  | D_race_ww -> "race-ww"
+  | D_field_overflow -> "field-overflow"
+  | D_swap_fields -> "swap-fields"
+  | D_drop_dep -> "drop-dep"
+
+let op_identical (o1 : Inst.op) (o2 : Inst.op) =
+  o1.Inst.op_t.Desc.t_name = o2.Inst.op_t.Desc.t_name
+  && o1.Inst.op_args = o2.Inst.op_args
+
+(* Replace the ops of word [i]. *)
+let with_ops insts i ops =
+  List.mapi
+    (fun j (inst : Inst.t) -> if j = i then { inst with Inst.ops } else inst)
+    insts
+
+(* Every (word, op) pair of the program, with word indices. *)
+let indexed_ops insts =
+  List.concat
+    (List.mapi
+       (fun i (inst : Inst.t) ->
+         List.map (fun op -> (i, op)) inst.Inst.ops)
+       insts)
+
+(* A compacted program never holds a same-phase double write inside one
+   word, but plenty exist *across* words; merging such a pair recreates
+   exactly the defect the conflict model exists to prevent. *)
+let race_ww_sites d insts =
+  let ops = indexed_ops insts in
+  List.concat_map
+    (fun (i, o1) ->
+      List.filter_map
+        (fun (j, o2) ->
+          if i < j && not (op_identical o1 o2)
+             && Inst.op_phase o1 = Inst.op_phase o2
+             && List.exists
+                  (fun w -> List.mem w (Inst.op_writes d o2))
+                  (Inst.op_writes d o1)
+          then Some (i, o2)
+          else None)
+        ops)
+    ops
+
+(* Register-operand field settings whose width a too-large value can
+   overflow: (word, op, operand index, field width). *)
+let overflow_sites insts =
+  indexed_ops insts
+  |> List.concat_map (fun (i, (op : Inst.op)) ->
+         List.filter_map
+           (fun (fs : Desc.field_setting) ->
+             match fs.fs_value with
+             | Desc.Fv_opnd k -> (
+                 match op.Inst.op_args.(k) with
+                 | Inst.A_reg _ -> Some (i, op, k)
+                 | Inst.A_imm _ -> None)
+             | Desc.Fv_const _ -> None)
+           op.Inst.op_t.Desc.t_fields)
+
+let swap_sites insts =
+  indexed_ops insts
+  |> List.filter_map (fun (i, (op : Inst.op)) ->
+         if
+           Array.length op.Inst.op_args >= 2
+           && op.Inst.op_args.(0) <> op.Inst.op_args.(1)
+         then Some (i, op)
+         else None)
+
+(* RAW pairs in adjacent fallthrough words: (producer word, consumer op). *)
+let drop_dep_sites d insts =
+  let arr = Array.of_list insts in
+  List.concat
+    (List.init
+       (max 0 (Array.length arr - 1))
+       (fun i ->
+         if arr.(i).Inst.next <> Inst.Next then []
+         else
+           List.concat_map
+             (fun o1 ->
+               List.filter_map
+                 (fun o2 ->
+                   if
+                     List.exists
+                       (fun w -> List.mem w (Inst.op_reads d o2))
+                       (Inst.op_writes d o1)
+                   then Some (i, o2)
+                   else None)
+                 arr.(i + 1).Inst.ops)
+             arr.(i).Inst.ops))
+
+let nth_site sites seed =
+  match sites with
+  | [] -> None
+  | _ -> Some (List.nth sites (seed mod List.length sites))
+
+let inject_defect d ~seed defect insts =
+  match defect with
+  | D_race_ww ->
+      nth_site (race_ww_sites d insts) seed
+      |> Option.map (fun (i, o2) ->
+             let w = List.nth insts i in
+             with_ops insts i (w.Inst.ops @ [ o2 ]))
+  | D_field_overflow ->
+      nth_site (overflow_sites insts) seed
+      |> Option.map (fun (i, (op : Inst.op), k) ->
+             (* an id with a bit beyond every field the operand feeds *)
+             let widths =
+               List.filter_map
+                 (fun (fs : Desc.field_setting) ->
+                   match fs.fs_value with
+                   | Desc.Fv_opnd k' when k' = k ->
+                       List.find_map
+                         (fun (f : Desc.field) ->
+                           if f.f_name = fs.fs_field then Some f.f_width
+                           else None)
+                         d.Desc.d_fields
+                   | _ -> None)
+                 op.Inst.op_t.Desc.t_fields
+             in
+             let w = List.fold_left max 1 widths in
+             let args = Array.copy op.Inst.op_args in
+             args.(k) <- Inst.A_reg (1 lsl w);
+             let mutant = { op with Inst.op_args = args } in
+             let word = List.nth insts i in
+             with_ops insts i
+               (List.map
+                  (fun o -> if o == op then mutant else o)
+                  word.Inst.ops))
+  | D_swap_fields ->
+      nth_site (swap_sites insts) seed
+      |> Option.map (fun (i, (op : Inst.op)) ->
+             let args = Array.copy op.Inst.op_args in
+             let t = args.(0) in
+             args.(0) <- args.(1);
+             args.(1) <- t;
+             let mutant = { op with Inst.op_args = args } in
+             let word = List.nth insts i in
+             with_ops insts i
+               (List.map
+                  (fun o -> if o == op then mutant else o)
+                  word.Inst.ops))
+  | D_drop_dep ->
+      nth_site (drop_dep_sites d insts) seed
+      |> Option.map (fun (i, o2) ->
+             let wi = List.nth insts i and wj = List.nth insts (i + 1) in
+             let insts = with_ops insts i (wi.Inst.ops @ [ o2 ]) in
+             with_ops insts (i + 1)
+               (List.filter (fun o -> not (o == o2)) wj.Inst.ops))

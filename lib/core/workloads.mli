@@ -22,3 +22,35 @@ val simpl_block :
   Msl_machine.Desc.t -> seed:int -> n:int -> p_dep:int -> Msl_mir.Mir.stmt list
 (** Mixed-kind MIR statement blocks for the single-identity parallelism
     profile (experiment F1). *)
+
+(** {1 Defect injection (experiment L1)}
+
+    Seeded mutations of honestly compiled microprograms, modelling the
+    compiler bugs the {!Msl_mir.Lint} analyzer is supposed to catch. *)
+
+type defect =
+  | D_race_ww
+      (** merge a microoperation into an earlier word it write-conflicts
+          with: the same-phase double write the compactor must prevent *)
+  | D_field_overflow
+      (** replace a field value with one that does not fit its width *)
+  | D_swap_fields
+      (** swap two operands of one microoperation — sometimes type-wrong
+          (statically detectable), sometimes only semantically wrong *)
+  | D_drop_dep
+      (** hoist a dependent microoperation into its producer's word, as a
+          compactor that lost a RAW edge would — usually invisible to
+          intra-word checks, which is the experiment's point *)
+
+val all_defects : defect list
+
+val defect_name : defect -> string
+
+val inject_defect :
+  Msl_machine.Desc.t -> seed:int -> defect ->
+  Msl_machine.Inst.t list -> Msl_machine.Inst.t list option
+(** Deterministically mutate a compiled program, the seed choosing among
+    the injection sites.  [None] when the program offers no site for this
+    defect (e.g. no two ops anywhere write the same register in the same
+    phase).  Word count and addresses are preserved, so branch targets
+    stay valid. *)

@@ -1,0 +1,162 @@
+(* Structured lint diagnostics.
+
+   [Msl_util.Diag] is the exception compiler phases raise; this module is
+   the *finding* the post-compile analyzer reports.  A finding carries a
+   stable code ("race-ww", "field-overflow", ...), a severity, and a
+   location that chains provenance back from the control-store word
+   through the owning MIR block to the source span, plus renderers for
+   humans, sexps and JSON. *)
+
+type severity = Error | Warning | Info
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+type location =
+  | L_none
+  | L_source of Msl_util.Loc.t
+  | L_block of { block : string; stmt : int option }
+  | L_word of { addr : int; owner : string option }
+
+type finding = {
+  f_code : string;
+  f_severity : severity;
+  f_loc : location;
+  f_message : string;
+}
+
+let finding ?(severity = Error) ?(loc = L_none) ~code fmt =
+  Format.kasprintf
+    (fun f_message ->
+      { f_code = code; f_severity = severity; f_loc = loc; f_message })
+    fmt
+
+let errors fs = List.filter (fun f -> f.f_severity = Error) fs
+let warnings fs = List.filter (fun f -> f.f_severity = Warning) fs
+
+(* Source findings first, then MIR blocks, then words by address; the
+   sort is stable so analysis order breaks ties deterministically. *)
+let location_rank = function
+  | L_none -> (0, 0, "")
+  | L_source l -> (1, (Msl_util.Loc.start_pos_of l).offset, l.file)
+  | L_block { block; stmt } ->
+      (2, (match stmt with None -> -1 | Some i -> i), block)
+  | L_word { addr; _ } -> (3, addr, "")
+
+let by_location fs =
+  List.stable_sort
+    (fun a b -> compare (location_rank a.f_loc) (location_rank b.f_loc))
+    fs
+
+(* Rendering ---------------------------------------------------------- *)
+
+let pp_location ppf = function
+  | L_none -> ()
+  | L_source l -> Msl_util.Loc.pp ppf l
+  | L_block { block; stmt = None } -> Fmt.pf ppf "block %s" block
+  | L_block { block; stmt = Some i } -> Fmt.pf ppf "block %s stmt %d" block i
+  | L_word { addr; owner = None } -> Fmt.pf ppf "word %d" addr
+  | L_word { addr; owner = Some l } -> Fmt.pf ppf "word %d (block %s)" addr l
+
+let pp_finding ppf f =
+  match f.f_loc with
+  | L_none ->
+      Fmt.pf ppf "%s[%s]: %s" (severity_name f.f_severity) f.f_code f.f_message
+  | loc ->
+      Fmt.pf ppf "%s[%s] %a: %s" (severity_name f.f_severity) f.f_code
+        pp_location loc f.f_message
+
+(* Escaping shared by the sexp and JSON emitters: both accept the JSON
+   string escapes for quote, backslash and control characters. *)
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let location_to_sexp = function
+  | L_none -> "(none)"
+  | L_source l -> Fmt.str "(source \"%s\")" (escape (Msl_util.Loc.to_string l))
+  | L_block { block; stmt = None } -> Fmt.str "(block \"%s\")" (escape block)
+  | L_block { block; stmt = Some i } ->
+      Fmt.str "(block \"%s\" %d)" (escape block) i
+  | L_word { addr; owner = None } -> Fmt.str "(word %d)" addr
+  | L_word { addr; owner = Some l } ->
+      Fmt.str "(word %d \"%s\")" addr (escape l)
+
+let finding_to_sexp f =
+  Fmt.str "(finding (code %s) (severity %s) (loc %s) (message \"%s\"))"
+    f.f_code
+    (severity_name f.f_severity)
+    (location_to_sexp f.f_loc)
+    (escape f.f_message)
+
+let location_to_json = function
+  | L_none -> "null"
+  | L_source l ->
+      Fmt.str "{\"kind\":\"source\",\"at\":\"%s\"}"
+        (escape (Msl_util.Loc.to_string l))
+  | L_block { block; stmt } ->
+      Fmt.str "{\"kind\":\"block\",\"block\":\"%s\",\"stmt\":%s}" (escape block)
+        (match stmt with None -> "null" | Some i -> string_of_int i)
+  | L_word { addr; owner } ->
+      Fmt.str "{\"kind\":\"word\",\"addr\":%d,\"owner\":%s}" addr
+        (match owner with
+        | None -> "null"
+        | Some l -> Fmt.str "\"%s\"" (escape l))
+
+let finding_to_json f =
+  Fmt.str "{\"code\":\"%s\",\"severity\":\"%s\",\"loc\":%s,\"message\":\"%s\"}"
+    (escape f.f_code)
+    (severity_name f.f_severity)
+    (location_to_json f.f_loc)
+    (escape f.f_message)
+
+let report_sexp ~machine fs =
+  Fmt.str "(lint (machine %s) (errors %d) (warnings %d) (findings%s))" machine
+    (List.length (errors fs))
+    (List.length (warnings fs))
+    (String.concat ""
+       (List.map (fun f -> "\n  " ^ finding_to_sexp f) fs))
+
+let report_json ~machine fs =
+  Fmt.str "{\"machine\":\"%s\",\"errors\":%d,\"warnings\":%d,\"findings\":[%s]}"
+    (escape machine)
+    (List.length (errors fs))
+    (List.length (warnings fs))
+    (String.concat "," (List.map finding_to_json fs))
+
+(* Compiler errors as findings ---------------------------------------- *)
+
+let phase_code (p : Msl_util.Diag.phase) =
+  match p with
+  | Lexing -> "lex"
+  | Parsing -> "parse"
+  | Semantic -> "semantic"
+  | Instantiation -> "instantiate"
+  | Verification -> "verify"
+  | Allocation -> "alloc"
+  | Codegen -> "codegen"
+  | Compaction -> "compact"
+  | Assembly -> "assemble"
+  | Execution -> "execute"
+  | Lint -> "lint"
+
+(* The code already names the phase, so the message is carried as-is. *)
+let of_compiler_error (d : Msl_util.Diag.t) =
+  let loc = if Msl_util.Loc.is_dummy d.loc then L_none else L_source d.loc in
+  { f_code = phase_code d.phase; f_severity = Error; f_loc = loc;
+    f_message = d.message }
+
+let pp_compiler_error ppf d = pp_finding ppf (of_compiler_error d)

@@ -15,6 +15,7 @@ type phase =
   | Compaction
   | Assembly
   | Execution      (* simulator-level faults surfaced as diagnostics *)
+  | Lint           (* post-compile static-analysis findings promoted to failures *)
 
 let phase_name = function
   | Lexing -> "lexical error"
@@ -27,6 +28,7 @@ let phase_name = function
   | Compaction -> "compaction error"
   | Assembly -> "assembly error"
   | Execution -> "execution error"
+  | Lint -> "lint failure"
 
 type t = {
   phase : phase;

@@ -15,6 +15,7 @@ type phase =
   | Compaction
   | Assembly
   | Execution  (** simulator-level faults surfaced as diagnostics *)
+  | Lint  (** post-compile static-analysis findings promoted to failures *)
 
 val phase_name : phase -> string
 

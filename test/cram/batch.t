@@ -51,18 +51,20 @@ probe after round one is a hit.
   ok    fold.empl@hp3+dup               2 words,    3 ops  (cached)
   -- 72 jobs: 39 hits, 33 misses, 0 evictions, 0 errors; 33 entries cached
 
-A manifest referencing an unknown machine is a located parse error.
+A manifest referencing an unknown machine is a located parse error —
+the input could not be processed at all, which is exit 2.
 
   $ echo "yalll pdp11 ../../examples/sum_loop.yll" > bad.manifest
   $ ../../bin/mslc.exe batch bad.manifest
-  bad.manifest:1.1-1: parse error: unknown machine "pdp11"
-  [1]
+  error[parse] bad.manifest:1.1-1: unknown machine "pdp11"
+  [2]
 
-A failing job is reported per job and fails the batch.
+A failing job is reported per job and fails the batch: the manifest
+itself was processed, so this is exit 1.
 
   $ echo "&&& not yalll" > broken.yll
   $ echo "yalll hp3 broken.yll" > broken.manifest
   $ ../../bin/mslc.exe batch broken.manifest
-  error broken.yll@hp3               <yalll>:1.1-1: parse error: unexpected character '&'
+  error broken.yll@hp3               [parse] <yalll>:1.1-1: unexpected character '&'
   -- 1 jobs: 0 hits, 1 misses, 0 evictions, 1 errors; 0 entries cached
   [1]

@@ -1,0 +1,55 @@
+The static analyzer.  Exit-code discipline: 0 when the program is
+clean, 1 when it was analyzed and findings were reported, 2 when the
+input could not be processed at all.
+
+A clean program: one summary line, exit 0.
+
+  $ (cd ../.. && bin/mslc.exe lint -l yalll -m hp3 examples/sum_loop.yll)
+  examples/sum_loop.yll: 5 words on HP3: no findings
+
+The machine-readable reports carry the machine name and the tallies.
+
+  $ (cd ../.. && bin/mslc.exe lint -l yalll -m hp3 --format json examples/sum_loop.yll)
+  {"machine":"HP3","errors":0,"warnings":0,"findings":[]}
+
+  $ (cd ../.. && bin/mslc.exe lint -l yalll -m b17 --format sexp examples/shifts.yll)
+  (lint (machine B17) (errors 0) (warnings 0) (findings))
+
+The latency analysis is opt-in: under a 3-cycle budget the unpolled
+sum loop is flagged, with provenance back to the owning block, and the
+check failure is exit 1.
+
+  $ (cd ../.. && bin/mslc.exe lint -l yalll -m hp3 --latency-budget 3 examples/sum_loop.yll)
+  error[poll-unbounded] word 2 (block loop): a loop contains no interrupt poll: poll latency is unbounded
+  examples/sum_loop.yll: 1 error, 0 warnings
+  [1]
+
+  $ (cd ../.. && bin/mslc.exe lint -l yalll -m hp3 --latency-budget 3 --format json examples/sum_loop.yll)
+  {"machine":"HP3","errors":1,"warnings":0,"findings":[{"code":"poll-unbounded","severity":"error","loc":{"kind":"word","addr":2,"owner":"loop"},"message":"a loop contains no interrupt poll: poll latency is unbounded"}]}
+  [1]
+
+Compiling with poll points inserted satisfies a realistic budget.
+
+  $ (cd ../.. && bin/mslc.exe lint -l yalll -m hp3 --poll --latency-budget 64 examples/sum_loop.yll)
+  examples/sum_loop.yll: 8 words on HP3: no findings
+
+A source that does not parse is exit 2, through the same structured
+diagnostic printer.
+
+  $ echo "&&& not yalll" > broken.yll
+  $ ../../bin/mslc.exe lint -l yalll -m hp3 broken.yll
+  error[parse] <yalll>:1.1-1: unexpected character '&'
+  [2]
+
+The batch service gates jobs on the same analyzer: --lint turns the
+gate on for every job, and a manifest line can opt in with lint=on.
+
+  $ echo "yalll hp3 ../../examples/sum_loop.yll lint=on" > lint.manifest
+  $ ../../bin/mslc.exe batch lint.manifest
+  ok    ../../examples/sum_loop.yll@hp3    5 words,    5 ops
+  -- 1 jobs: 0 hits, 1 misses, 0 evictions, 0 errors; 1 entries cached
+
+  $ echo "yalll hp3 ../../examples/gcd.yll" > lint2.manifest
+  $ ../../bin/mslc.exe batch lint2.manifest --lint
+  ok    ../../examples/gcd.yll@hp3     10 words,    7 ops
+  -- 1 jobs: 0 hits, 1 misses, 0 evictions, 0 errors; 1 entries cached

@@ -31,13 +31,35 @@ let mutate rng src =
     Bytes.to_string b
   end
 
-(* The compiler under test survives when it returns or raises Diag.Error;
-   anything else is a robustness bug. *)
+(* The compiler under test survives when it succeeds (and its thunk's
+   property holds) or raises Diag.Error; anything else is a robustness
+   bug. *)
 let survives f =
   match f () with
-  | _ -> true
+  | ok -> ok
   | exception Diag.Error _ -> true
   | exception _ -> false
+
+(* Every fuzzed program that compiles gets the full analyzer run on it:
+   the linter must never crash on compiler output — and the
+   translation-validation core (races + encoding) must never flag it.
+   The MIR/dead/latency checks are exempt from the cleanliness claim: a
+   mutated-but-valid source can legitimately contain uninitialized reads
+   or unreachable code.  Hand-assembled programs are only held to
+   crash-freedom — hand-written microcode may genuinely race, which is
+   the analyzer's reason to exist. *)
+let lint_config =
+  { Msl_mir.Lint.latency_budget = Some 4096; pedantic = true }
+
+let lint_compiled (c : Core.Toolkit.compiled) =
+  let d = c.Core.Toolkit.c_machine in
+  let labels = c.Core.Toolkit.c_labels in
+  let insts = c.Core.Toolkit.c_insts in
+  ignore (Msl_mir.Lint.run ~config:lint_config ~labels d insts);
+  Msl_mir.Diag.errors
+    (Msl_mir.Lint.check_races ~labels d insts
+    @ Msl_mir.Lint.check_encoding ~labels d insts)
+  = []
 
 let seeds = [ "simpl"; "empl"; "sstar"; "yalll"; "masm" ]
 
@@ -53,12 +75,17 @@ let valid_program = function
 
 let compile_of lang src =
   let d = Machines.hp3 in
+  let via l () = lint_compiled (Core.Toolkit.compile l d src) in
   match lang with
-  | "simpl" -> fun () -> ignore (Core.Toolkit.compile Core.Toolkit.Simpl d src)
-  | "empl" -> fun () -> ignore (Core.Toolkit.compile Core.Toolkit.Empl d src)
-  | "sstar" -> fun () -> ignore (Core.Toolkit.compile Core.Toolkit.Sstar d src)
-  | "yalll" -> fun () -> ignore (Core.Toolkit.compile Core.Toolkit.Yalll d src)
-  | _ -> fun () -> ignore (Masm.parse_program d src)
+  | "simpl" -> via Core.Toolkit.Simpl
+  | "empl" -> via Core.Toolkit.Empl
+  | "sstar" -> via Core.Toolkit.Sstar
+  | "yalll" -> via Core.Toolkit.Yalll
+  | _ ->
+      fun () ->
+        let insts = Masm.parse_program d src in
+        ignore (Msl_mir.Lint.run ~config:lint_config d insts);
+        true
 
 let fuzz_lang lang =
   QCheck.Test.make ~count:600
@@ -109,7 +136,8 @@ let fuzz_example (name, lang, src) =
     (fun seed ->
       let rng = Random.State.make [| seed; String.length src; 97 |] in
       let src = mutate rng src in
-      survives (fun () -> ignore (Core.Toolkit.compile lang Machines.hp3 src)))
+      survives (fun () ->
+          lint_compiled (Core.Toolkit.compile lang Machines.hp3 src)))
 
 (* The batch-manifest parser must answer arbitrary manifest text — and
    arbitrary [load] behaviour, including missing files — with a located
@@ -137,7 +165,8 @@ let fuzz_manifest =
         | _ -> "exit\n"
       in
       survives (fun () ->
-        ignore (Core.Service.parse_manifest ~file:"fuzz.manifest" ~load text)))
+          ignore (Core.Service.parse_manifest ~file:"fuzz.manifest" ~load text);
+          true))
 
 let () =
   Alcotest.run "fuzz"

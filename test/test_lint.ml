@@ -1,0 +1,444 @@
+(* The microlint analyzer's own oracle.
+
+   Two obligations, mirroring the translation-validation claim in
+   lib/mir/lint.mli:
+
+   - soundness of the *silence*: zero findings on every honestly
+     compiled program — all examples/* on every machine they target at
+     both -O0 and -O1, seeded whole-program corpora, and seeded blocks
+     through all four compaction algorithms;
+   - sensitivity: 100% detection of injected write-write races and
+     field overflows (Workloads.inject_defect) on all four machines.
+
+   Plus direct unit tests of each analysis on crafted inputs, and of the
+   finding renderers. *)
+
+open Msl_bitvec
+open Msl_machine
+open Msl_mir
+module Core = Msl_core
+module Toolkit = Msl_core.Toolkit
+module W = Msl_core.Workloads
+
+let show fs =
+  String.concat "; " (List.map (fun f -> Fmt.str "%a" Diag.pp_finding f) fs)
+
+(* Render the findings into the assertion so a failure names the exact
+   false positive. *)
+let check_clean what fs = Alcotest.(check string) what "" (show fs)
+
+let has code fs = List.exists (fun f -> f.Diag.f_code = code) fs
+
+let check_has what code fs =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s reports %s [%s]" what code (show fs))
+    true (has code fs)
+
+(* -- honest compiles: no false positives -------------------------------- *)
+
+let compile_with_mir ?(opt_level = 1) ?(poll = false) lang d src =
+  (* The first observed pass is the frontend's raw MIR — the program the
+     MIR-level checks should judge, before the optimizer rewrites it. *)
+  let mir = ref None in
+  let observe _pass p = if !mir = None then mir := Some p in
+  let options = { Pipeline.default_options with opt_level; poll } in
+  let c = Toolkit.compile ~options ~observe lang d src in
+  (c, !mir)
+
+let lint_full (c, mir) =
+  Lint.run ?mir ~labels:c.Toolkit.c_labels c.Toolkit.c_machine
+    c.Toolkit.c_insts
+
+let example_languages =
+  [ (".yll", (Toolkit.Yalll, [ Machines.hp3; Machines.v11; Machines.b17 ]));
+    (".simpl", (Toolkit.Simpl, [ Machines.hp3; Machines.h1; Machines.b17 ]));
+    (".empl", (Toolkit.Empl, [ Machines.hp3; Machines.b17 ])) ]
+
+let example_sources () =
+  let dir =
+    if Sys.file_exists "../examples" then "../examples" else "examples"
+  in
+  Sys.readdir dir |> Array.to_list |> List.sort compare
+  |> List.filter_map (fun f ->
+         List.find_map
+           (fun (ext, (lang, machines)) ->
+             if Filename.check_suffix f ext then
+               Some (f, lang, machines, Filename.concat dir f)
+             else None)
+           example_languages)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_honest_examples () =
+  let sources = example_sources () in
+  Alcotest.(check bool)
+    "found the example corpus" true
+    (List.length sources >= 6);
+  List.iter
+    (fun (name, lang, machines, path) ->
+      let src = read_file path in
+      List.iter
+        (fun d ->
+          List.iter
+            (fun opt_level ->
+              check_clean
+                (Printf.sprintf "%s on %s at -O%d" name d.Desc.d_name
+                   opt_level)
+                (lint_full (compile_with_mir ~opt_level lang d src)))
+            [ 0; 1 ])
+        machines)
+    sources
+
+let test_honest_generated () =
+  List.iter
+    (fun seed ->
+      let src = W.yalll_program ~seed ~len:14 in
+      List.iter
+        (fun d ->
+          List.iter
+            (fun opt_level ->
+              check_clean
+                (Printf.sprintf "yalll seed %d on %s at -O%d" seed
+                   d.Desc.d_name opt_level)
+                (lint_full (compile_with_mir ~opt_level Toolkit.Yalll d src)))
+            [ 0; 1 ])
+        [ Machines.hp3; Machines.v11; Machines.b17 ])
+    [ 1; 2; 3; 4; 5; 6 ];
+  List.iter
+    (fun seed ->
+      let src = W.pressure_program ~seed ~nvars:10 ~nops:16 in
+      List.iter
+        (fun d ->
+          check_clean
+            (Printf.sprintf "pressure seed %d on %s" seed d.Desc.d_name)
+            (lint_full (compile_with_mir Toolkit.Empl d src)))
+        [ Machines.hp3; Machines.b17 ])
+    [ 1; 2; 3; 4 ]
+
+(* Every algorithm's schedule must pass the independent race re-check —
+   the translation-validation core, against a checker sharing no code
+   with Compaction.check. *)
+let algos =
+  [ Compaction.Sequential; Compaction.Fcfs; Compaction.Critical_path;
+    Compaction.Optimal ]
+
+let block_machines = [ Machines.hp3; Machines.h1; Machines.b17 ]
+
+let wrap_groups groups =
+  List.map (fun g -> { Inst.ops = g; next = Inst.Next }) groups
+  @ [ { Inst.ops = []; next = Inst.Halt } ]
+
+let test_honest_blocks () =
+  List.iter
+    (fun seed ->
+      let d = List.nth block_machines (seed mod 3) in
+      let n = 4 + (seed * 7 mod 24) in
+      let p_dep = seed * 13 mod 95 in
+      let ops = W.compaction_block d ~seed ~n ~p_dep in
+      List.iter
+        (fun chain ->
+          List.iter
+            (fun algo ->
+              let r = Compaction.compact ~chain ~algo d ops in
+              check_clean
+                (Printf.sprintf "block seed %d %s %s chain=%b" seed
+                   d.Desc.d_name (Compaction.algo_name algo) chain)
+                (Lint.validate_machine d (wrap_groups r.Compaction.groups)))
+            algos)
+        [ true; false ])
+    (List.init 24 (fun i -> i + 1))
+
+(* -- injected defects: 100% detection ------------------------------------ *)
+
+(* A mutation corpus per machine.  The block generator has no v11
+   templates, so v11 rides the YALLL whole-program corpus — which also
+   keeps branchy words (not just straight-line blocks) in the mix.
+   Compiled at -O0: the optimizer folds the straight-line generator
+   programs down to a handful of constant loads of distinct registers,
+   leaving nothing for the race injector to merge. *)
+let mutation_corpus d =
+  if d.Desc.d_name = Machines.v11.Desc.d_name then
+    List.map
+      (fun seed ->
+        let src = W.yalll_program ~seed ~len:14 in
+        let options = { Pipeline.default_options with opt_level = 0 } in
+        let c = Toolkit.compile ~options Toolkit.Yalll d src in
+        (Printf.sprintf "yalll seed %d" seed, c.Toolkit.c_insts))
+      [ 1; 2; 3; 4; 5; 6 ]
+  else
+    List.map
+      (fun seed ->
+        let ops = W.compaction_block d ~seed ~n:16 ~p_dep:40 in
+        let r =
+          Compaction.compact ~chain:true ~algo:Compaction.Critical_path d ops
+        in
+        (Printf.sprintf "block seed %d" seed, wrap_groups r.Compaction.groups))
+      [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let all_machines = [ Machines.hp3; Machines.h1; Machines.v11; Machines.b17 ]
+
+(* Every mutant [inject_defect] produces must be caught by the named
+   analysis code — detection below 100% is a test failure, and a corpus
+   offering no injection site at all on some machine is too. *)
+let check_detection d defect code =
+  let injected = ref 0 in
+  List.iter
+    (fun (what, insts) ->
+      List.iter
+        (fun seed ->
+          match W.inject_defect d ~seed defect insts with
+          | None -> ()
+          | Some mutant ->
+              incr injected;
+              let fs = Lint.validate_machine d mutant in
+              check_has
+                (Printf.sprintf "%s mutant of %s (seed %d) on %s"
+                   (W.defect_name defect) what seed d.Desc.d_name)
+                code
+                (Diag.errors fs))
+        [ 0; 1; 2; 3; 4 ])
+    (mutation_corpus d);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s corpus offers %s sites" d.Desc.d_name
+       (W.defect_name defect))
+    true (!injected > 0)
+
+let test_detect_race () =
+  List.iter (fun d -> check_detection d W.D_race_ww "race-ww") all_machines
+
+let test_detect_overflow () =
+  List.iter
+    (fun d -> check_detection d W.D_field_overflow "field-overflow")
+    all_machines
+
+(* The remaining defects are not promised 100% static detection (a
+   dropped dependence edge reorders computation without any intra-word
+   hazard — experiment L1 measures how often each slips through); the
+   analyzer must merely survive them with every analysis enabled. *)
+let test_mutants_never_crash () =
+  let config = { Lint.latency_budget = Some 64; pedantic = true } in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun (_, insts) ->
+          List.iter
+            (fun defect ->
+              List.iter
+                (fun seed ->
+                  match W.inject_defect d ~seed defect insts with
+                  | None -> ()
+                  | Some mutant -> ignore (Lint.run ~config d mutant))
+                [ 0; 1; 2 ])
+            W.all_defects)
+        (mutation_corpus d))
+    all_machines
+
+(* -- unit tests: MIR analyses -------------------------------------------- *)
+
+let prog main =
+  { Mir.main; procs = []; vreg_names = []; next_vreg = 8 }
+
+let k16 n = Mir.R_const (Bitvec.of_int ~width:16 n)
+
+let test_uninit () =
+  let read_v0 = Mir.assign (Mir.Virt 1) (Mir.R_copy (Mir.Virt 0)) in
+  let p =
+    prog [ { Mir.b_label = "entry"; b_stmts = [ read_v0 ]; b_term = Mir.Halt } ]
+  in
+  check_has "never-assigned vreg" "uninit-read" (Lint.check_uninit p);
+  (* may-analysis: assigned on one incoming path is enough *)
+  let p2 =
+    prog
+      [ { Mir.b_label = "entry"; b_stmts = [];
+          b_term = Mir.If (Mir.Int_pending, "yes", "join") };
+        { Mir.b_label = "yes"; b_stmts = [ Mir.assign (Mir.Virt 0) (k16 1) ];
+          b_term = Mir.Goto "join" };
+        { Mir.b_label = "join"; b_stmts = [ read_v0 ]; b_term = Mir.Halt } ]
+  in
+  check_clean "one-path assignment (may-join)" (Lint.check_uninit p2);
+  (* physical registers are console-initialized machine state *)
+  let p3 =
+    prog
+      [ { Mir.b_label = "entry";
+          b_stmts = [ Mir.assign (Mir.Virt 0) (Mir.R_copy (Mir.Phys 1)) ];
+          b_term = Mir.Halt } ]
+  in
+  check_clean "physical registers exempt" (Lint.check_uninit p3);
+  (* unreachable blocks are not checked *)
+  let p4 =
+    prog
+      [ { Mir.b_label = "entry"; b_stmts = []; b_term = Mir.Halt };
+        { Mir.b_label = "island"; b_stmts = [ read_v0 ]; b_term = Mir.Halt } ]
+  in
+  check_clean "unreachable blocks exempt" (Lint.check_uninit p4)
+
+let test_bindings () =
+  let d = Machines.hp3 in
+  let nregs = Array.length d.Desc.d_regs in
+  let p bad =
+    prog
+      [ { Mir.b_label = "entry";
+          b_stmts = [ Mir.assign (Mir.Phys bad) (k16 0) ];
+          b_term = Mir.Halt } ]
+  in
+  check_has "out-of-range register id" "bad-reg"
+    (Lint.check_bindings d (p (nregs + 3)));
+  check_clean "in-range register id" (Lint.check_bindings d (p 0))
+
+(* -- unit tests: machine analyses ---------------------------------------- *)
+
+let an_op d = List.hd (W.compaction_block d ~seed:1 ~n:4 ~p_dep:0)
+
+let test_dead () =
+  let d = Machines.hp3 in
+  let op = an_op d in
+  check_has "unreachable word with an op" "dead-code"
+    (Lint.check_dead d
+       [ { Inst.ops = []; next = Inst.Jump 2 };
+         { Inst.ops = [ op ]; next = Inst.Next };
+         { Inst.ops = []; next = Inst.Halt } ]);
+  check_clean "empty padding words are inert"
+    (Lint.check_dead d
+       [ { Inst.ops = []; next = Inst.Jump 2 };
+         { Inst.ops = []; next = Inst.Next };
+         { Inst.ops = []; next = Inst.Halt } ]);
+  check_has "branch target outside the program" "bad-target"
+    (Lint.check_dead d
+       [ { Inst.ops = []; next = Inst.Jump 9 };
+         { Inst.ops = []; next = Inst.Halt } ]);
+  check_has "falling off the control store" "fall-off-end"
+    (Lint.check_dead d [ { Inst.ops = []; next = Inst.Next } ])
+
+let test_latency () =
+  let d = Machines.hp3 in
+  let dir =
+    if Sys.file_exists "../examples" then "../examples" else "examples"
+  in
+  let src = read_file (Filename.concat dir "sum_loop.yll") in
+  let compiled ~poll =
+    let c, _ = compile_with_mir ~poll Toolkit.Yalll d src in
+    (c.Toolkit.c_labels, c.Toolkit.c_insts)
+  in
+  let labels, insts = compiled ~poll:false in
+  let fs = Lint.check_latency ~labels ~budget:3 d insts in
+  Alcotest.(check bool)
+    (Printf.sprintf "unpolled loop breaks a 3-cycle budget [%s]" (show fs))
+    true
+    (has "poll-unbounded" fs || has "poll-gap" fs);
+  let labels, insts = compiled ~poll:true in
+  check_clean "polled loop meets a generous budget"
+    (Lint.check_latency ~labels ~budget:10_000 d insts)
+
+let test_vertical () =
+  (* two distinct ops packed into one word of the vertical b17 *)
+  let d = Machines.b17 in
+  let ops = W.compaction_block d ~seed:3 ~n:6 ~p_dep:0 in
+  let distinct =
+    match ops with
+    | a :: rest -> (
+        match
+          List.find_opt
+            (fun b ->
+              not
+                (a.Inst.op_t.Desc.t_name = b.Inst.op_t.Desc.t_name
+                && a.Inst.op_args = b.Inst.op_args))
+            rest
+        with
+        | Some b -> [ a; b ]
+        | None -> Alcotest.fail "seeded block has no two distinct ops")
+    | [] -> Alcotest.fail "seeded block is empty"
+  in
+  check_has "multi-op word on a vertical machine" "vertical-packed"
+    (Lint.check_races d
+       [ { Inst.ops = distinct; next = Inst.Halt } ])
+
+(* -- unit tests: findings and renderers ---------------------------------- *)
+
+let test_renderers () =
+  let f =
+    Diag.finding ~severity:Diag.Warning
+      ~loc:(Diag.L_word { addr = 4; owner = Some "loop" })
+      ~code:"race-ww" "double write of %s" "x"
+  in
+  Alcotest.(check string) "human line"
+    "warning[race-ww] word 4 (block loop): double write of x"
+    (Fmt.str "%a" Diag.pp_finding f);
+  Alcotest.(check string) "json"
+    "{\"code\":\"race-ww\",\"severity\":\"warning\",\"loc\":{\"kind\":\"word\",\
+     \"addr\":4,\"owner\":\"loop\"},\"message\":\"double write of x\"}"
+    (Diag.finding_to_json f);
+  Alcotest.(check string) "sexp"
+    "(finding (code race-ww) (severity warning) (loc (word 4 \"loop\")) \
+     (message \"double write of x\"))"
+    (Diag.finding_to_sexp f);
+  Alcotest.(check string) "empty json report"
+    "{\"machine\":\"HP3\",\"errors\":0,\"warnings\":0,\"findings\":[]}"
+    (Diag.report_json ~machine:"HP3" []);
+  (* block findings sort before word findings *)
+  let g =
+    Diag.finding
+      ~loc:(Diag.L_block { block = "b"; stmt = Some 1 })
+      ~code:"uninit-read" "v0 read before assignment"
+  in
+  Alcotest.(check string) "sort: MIR provenance first"
+    "error[uninit-read] block b stmt 1: v0 read before assignment"
+    (Fmt.str "%a" Diag.pp_finding (List.hd (Diag.by_location [ f; g ])));
+  (* escaping in both structured forms *)
+  let e = Diag.finding ~code:"x" "a \"quoted\"\nline" in
+  Alcotest.(check string) "json escaping"
+    "{\"code\":\"x\",\"severity\":\"error\",\"loc\":null,\"message\":\"a \
+     \\\"quoted\\\"\\nline\"}"
+    (Diag.finding_to_json e)
+
+let test_compiler_error () =
+  match Toolkit.compile Toolkit.Yalll Machines.hp3 "?? not yalll ??" with
+  | _ -> Alcotest.fail "nonsense source compiled"
+  | exception Msl_util.Diag.Error d ->
+      let f = Diag.of_compiler_error d in
+      Alcotest.(check bool)
+        (Printf.sprintf "phase becomes the finding code (got %s)" f.Diag.f_code)
+        true
+        (List.mem f.Diag.f_code [ "lex"; "parse" ]);
+      Alcotest.(check bool) "severity is error" true
+        (f.Diag.f_severity = Diag.Error)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "honest programs are clean",
+        [
+          Alcotest.test_case "every examples/* at -O0 and -O1" `Quick
+            test_honest_examples;
+          Alcotest.test_case "seeded YALLL and EMPL corpora" `Quick
+            test_honest_generated;
+          Alcotest.test_case "seeded blocks x 4 algos x chain on/off" `Quick
+            test_honest_blocks;
+        ] );
+      ( "injected defects are caught",
+        [
+          Alcotest.test_case "write-write races: 100% on all machines" `Quick
+            test_detect_race;
+          Alcotest.test_case "field overflows: 100% on all machines" `Quick
+            test_detect_overflow;
+          Alcotest.test_case "all defects: analyzer never crashes" `Quick
+            test_mutants_never_crash;
+        ] );
+      ( "analyses",
+        [
+          Alcotest.test_case "uninitialized reads" `Quick test_uninit;
+          Alcotest.test_case "register bindings" `Quick test_bindings;
+          Alcotest.test_case "dead code and bad targets" `Quick test_dead;
+          Alcotest.test_case "interrupt-poll latency" `Quick test_latency;
+          Alcotest.test_case "vertical packing" `Quick test_vertical;
+        ] );
+      ( "findings",
+        [
+          Alcotest.test_case "renderers and ordering" `Quick test_renderers;
+          Alcotest.test_case "compiler errors as findings" `Quick
+            test_compiler_error;
+        ] );
+    ]
