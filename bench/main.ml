@@ -10,6 +10,7 @@ module Experiments = Msl_core.Experiments
 module Pipeline = Msl_mir.Pipeline
 module Compaction = Msl_mir.Compaction
 module Regalloc = Msl_mir.Regalloc
+module Trace = Msl_util.Trace
 
 (* -- part 1: the tables ------------------------------------------------------ *)
 
@@ -192,6 +193,49 @@ let print_pass_breakdown () =
     (List.rev !order);
   Fmt.pr "%-15s %8.3f ms@.@." "total" grand
 
+(* S3: the tracing layer.  The contract the instrumentation lives on is
+   that the disabled path is one branch and allocates nothing, so the
+   simulator loop and the service cache can carry it unconditionally.
+   Pinned two ways: a Bechamel kernel (disabled emission cost per call)
+   and a hard minor-heap assertion printed with the tables. *)
+let trace_disabled_kernel () =
+  for i = 0 to 999 do
+    Trace.counter ~cat:"bench" "noop" i;
+    Trace.instant ~cat:"bench" "noop"
+  done
+
+let print_trace_overhead () =
+  assert (not (Trace.enabled ()));
+  let w0 = Gc.minor_words () in
+  trace_disabled_kernel ();
+  let dw = Gc.minor_words () -. w0 in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let workload () = compile_simpl_fpmul (); sim_dot () in
+  workload () (* warm the allocator and code paths once *);
+  let rounds = 20 in
+  let off = wall (fun () -> for _ = 1 to rounds do workload () done) in
+  let tmp = Filename.temp_file "msl_trace" ".jsonl" in
+  Trace.enable_file tmp;
+  let on = wall (fun () -> for _ = 1 to rounds do workload () done) in
+  Trace.disable ();
+  let events =
+    match Trace.read_events tmp with Ok es -> List.length es | Error _ -> 0
+  in
+  Sys.remove tmp;
+  Fmt.pr "== S3: tracing overhead (%d compile+simulate rounds) ==@." rounds;
+  Fmt.pr "tracing disabled       %8.2f ms@." (off *. 1e3);
+  Fmt.pr "tracing to a file      %8.2f ms  (%d events)@." (on *. 1e3) events;
+  Fmt.pr "enabled overhead       %+7.1f%%@."
+    (if off > 0.0 then 100.0 *. (on -. off) /. off else 0.0);
+  Fmt.pr "disabled-path minor words per 2000 emissions: %.0f@.@." dw;
+  (* a couple of words of slack for the Gc.minor_words sampling itself;
+     any real per-emission allocation would show as >= 2000 words *)
+  assert (dw < 100.0)
+
 let tests =
   Test.make_grouped ~name:"msl"
     [
@@ -228,6 +272,8 @@ let tests =
       Test.make ~name:"S1-batch-warm" (Staged.stage batch_warm);
       (* L1: the post-compile static analyzer (the batch lint gate) *)
       Test.make ~name:"L1-lint-validate" (Staged.stage lint_validate);
+      (* S3: 2000 emission calls with tracing disabled (the no-op path) *)
+      Test.make ~name:"S3-trace-disabled" (Staged.stage trace_disabled_kernel);
     ]
 
 let benchmark () =
@@ -270,4 +316,5 @@ let () =
   print_tables ();
   print_service_comparison ();
   print_pass_breakdown ();
+  print_trace_overhead ();
   if not smoke then print_bench ()

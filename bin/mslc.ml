@@ -8,10 +8,12 @@
      mslc matrix                                 print the survey's language matrix
      mslc experiments [name ...]                 regenerate experiment tables
      mslc batch jobs.manifest                    batch-compile through the service
+     mslc stats trace.jsonl                      summarize a recorded trace
 
    Exit codes, uniformly: 0 = success, 1 = the requested check failed
-   (lint findings, unproved S* obligations, failed batch jobs), 2 = the
-   input could not be processed at all (parse/compile errors). *)
+   (lint findings, unproved S* obligations, failed batch jobs,
+   non-termination within the fuel budget), 2 = the input could not be
+   processed at all (parse/compile errors). *)
 
 open Cmdliner
 module Machines = Msl_machine.Machines
@@ -19,7 +21,9 @@ module Masm = Msl_machine.Masm
 module Sim = Msl_machine.Sim
 module Desc = Msl_machine.Desc
 module Encode = Msl_machine.Encode
+module Compaction = Msl_mir.Compaction
 module Diag = Msl_util.Diag
+module Trace = Msl_util.Trace
 module Core = Msl_core
 
 let read_file path =
@@ -47,6 +51,27 @@ let pp_job_error ppf d =
   | loc ->
       Fmt.pf ppf "[%s] %a: %s" f.Msl_mir.Diag.f_code Msl_mir.Diag.pp_location
         loc f.Msl_mir.Diag.f_message
+
+let positive_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some _ -> Error (`Msg "must be at least 1")
+    | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
+  in
+  Arg.conv (parse, Fmt.int)
+
+let trace_arg =
+  let doc =
+    "Write a Chrome-trace-event JSONL trace of this invocation to $(docv) \
+     (load it in Perfetto, or summarize it with $(b,mslc stats)); see \
+     DESIGN.md for the event schema."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* Tracing stays on until process exit: enable_file registers an at_exit
+   flush/close, so the trace survives the driver's explicit exits. *)
+let setup_trace = Option.iter Trace.enable_file
 
 let lang_arg =
   let doc = "Source language: simpl, empl, sstar or yalll." in
@@ -105,8 +130,48 @@ let dump_after_arg =
   in
   Arg.(value & opt_all pass [] & info [ "dump-after" ] ~docv:"PASS" ~doc)
 
-let options_of_opt_level opt_level =
-  { Msl_mir.Pipeline.default_options with Msl_mir.Pipeline.opt_level }
+let algo_arg =
+  let doc =
+    "Compaction algorithm: sequential, fcfs, critical-path or optimal \
+     (branch-and-bound)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("sequential", Compaction.Sequential); ("fcfs", Compaction.Fcfs);
+             ("critical-path", Compaction.Critical_path);
+             ("optimal", Compaction.Optimal) ])
+        Compaction.Critical_path
+    & info [ "algo" ] ~docv:"ALGO" ~doc)
+
+let bb_budget_arg =
+  let doc =
+    "Branch-and-bound node budget per basic block for $(b,--algo optimal).  \
+     A block that exhausts it falls back to the critical-path schedule and \
+     a warning is printed (the result is still correct, possibly wider)."
+  in
+  Arg.(
+    value
+    & opt positive_int Compaction.default_node_budget
+    & info [ "bb-budget" ] ~docv:"NODES" ~doc)
+
+let options_of opt_level algo bb_budget =
+  {
+    Msl_mir.Pipeline.default_options with
+    Msl_mir.Pipeline.opt_level;
+    algo;
+    bb_budget;
+  }
+
+let warn_inexact (c : Core.Toolkit.compiled) =
+  let n = c.Core.Toolkit.c_inexact_blocks in
+  if n > 0 then
+    Fmt.epr
+      "mslc: warning: %d block%s hit the branch-and-bound node budget; the \
+       schedule may be wider than optimal (raise --bb-budget)@."
+      n
+      (if n = 1 then "" else "s")
 
 let observe_of_dumps dumps =
   if dumps = [] then None
@@ -121,14 +186,16 @@ let print_timings (c : Core.Toolkit.compiled) =
     c.Core.Toolkit.c_timings
 
 let compile_cmd =
-  let run lang machine file opt time_passes dumps =
+  let run lang machine file opt algo bb_budget trace time_passes dumps =
+    setup_trace trace;
     handle_diag (fun () ->
         let d = Machines.get machine in
         let c =
           Core.Toolkit.compile
-            ~options:(options_of_opt_level opt)
+            ~options:(options_of opt algo bb_budget)
             ?observe:(observe_of_dumps dumps) lang d (read_file file)
         in
+        warn_inexact c;
         print_string (Masm.print d c.Core.Toolkit.c_insts);
         Fmt.pr "; %d words, %d microoperations, %d control-store bits@."
           c.Core.Toolkit.c_words c.Core.Toolkit.c_ops c.Core.Toolkit.c_bits;
@@ -136,29 +203,50 @@ let compile_cmd =
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a program and print its microcode")
     Term.(
-      const run $ lang_arg $ machine_arg $ file_arg $ opt_arg
-      $ time_passes_arg $ dump_after_arg)
+      const run $ lang_arg $ machine_arg $ file_arg $ opt_arg $ algo_arg
+      $ bb_budget_arg $ trace_arg $ time_passes_arg $ dump_after_arg)
+
+let fuel_arg =
+  let doc =
+    "Execution budget in microinstruction steps; a program still running \
+     after $(docv) steps is reported as non-terminating (exit 1)."
+  in
+  Arg.(value & opt positive_int 2_000_000 & info [ "fuel" ] ~docv:"STEPS" ~doc)
 
 let run_cmd =
-  let run lang machine file opt =
+  let run lang machine file opt algo bb_budget trace fuel =
+    setup_trace trace;
     handle_diag (fun () ->
         let d = Machines.get machine in
         let c =
-          Core.Toolkit.compile ~options:(options_of_opt_level opt) lang d
+          Core.Toolkit.compile ~options:(options_of opt algo bb_budget) lang d
             (read_file file)
         in
-        let sim = Core.Toolkit.run c in
-        Fmt.pr "halted after %d cycles (%d microinstructions executed)@."
-          (Sim.cycles sim) (Sim.insts_executed sim);
-        List.iter
-          (fun (r : Desc.reg) ->
-            let v = Sim.get_reg_id sim r.Desc.r_id in
-            if not (Msl_bitvec.Bitvec.is_zero v) then
-              Fmt.pr "  %-6s = %a@." r.Desc.r_name Msl_bitvec.Bitvec.pp v)
-          (Desc.regs d))
+        warn_inexact c;
+        match Core.Toolkit.run_status ~fuel c with
+        | sim, Sim.Out_of_fuel ->
+            (* the program compiled fine but failed the termination check:
+               that is exit 1 territory, with the state a non-terminating
+               microprogram needs shown — not a bare exit-2 diagnostic *)
+            Fmt.epr
+              "mslc: program did not halt within %d steps (pc=%d, %d \
+               cycles, %d microinstructions executed)@."
+              fuel (Sim.pc sim) (Sim.cycles sim) (Sim.insts_executed sim);
+            exit 1
+        | sim, Sim.Halted ->
+            Fmt.pr "halted after %d cycles (%d microinstructions executed)@."
+              (Sim.cycles sim) (Sim.insts_executed sim);
+            List.iter
+              (fun (r : Desc.reg) ->
+                let v = Sim.get_reg_id sim r.Desc.r_id in
+                if not (Msl_bitvec.Bitvec.is_zero v) then
+                  Fmt.pr "  %-6s = %a@." r.Desc.r_name Msl_bitvec.Bitvec.pp v)
+              (Desc.regs d))
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile and execute a program")
-    Term.(const run $ lang_arg $ machine_arg $ file_arg $ opt_arg)
+    Term.(
+      const run $ lang_arg $ machine_arg $ file_arg $ opt_arg $ algo_arg
+      $ bb_budget_arg $ trace_arg $ fuel_arg)
 
 let lint_cmd =
   let format_arg =
@@ -191,7 +279,9 @@ let lint_cmd =
     in
     Arg.(value & flag & info [ "poll" ] ~doc)
   in
-  let run lang machine file opt format budget pedantic poll =
+  let run lang machine file opt algo bb_budget trace format budget pedantic
+      poll =
+    setup_trace trace;
     handle_diag (fun () ->
         let d = Machines.get machine in
         (* the first observed pass is "validate": the frontend's own MIR,
@@ -200,11 +290,12 @@ let lint_cmd =
         let mir = ref None in
         let observe _pass p = if !mir = None then mir := Some p in
         let options =
-          { (options_of_opt_level opt) with Msl_mir.Pipeline.poll }
+          { (options_of opt algo bb_budget) with Msl_mir.Pipeline.poll }
         in
         let c =
           Core.Toolkit.compile ~options ~observe lang d (read_file file)
         in
+        warn_inexact c;
         let config =
           { Msl_mir.Lint.latency_budget = budget; pedantic }
         in
@@ -242,8 +333,9 @@ let lint_cmd =
          "Compile a program and audit the result with the independent \
           static analyzer (exit 1 on any error finding)")
     Term.(
-      const run $ lang_arg $ machine_arg $ file_arg $ opt_arg $ format_arg
-      $ budget_arg $ pedantic_arg $ poll_arg)
+      const run $ lang_arg $ machine_arg $ file_arg $ opt_arg $ algo_arg
+      $ bb_budget_arg $ trace_arg $ format_arg $ budget_arg $ pedantic_arg
+      $ poll_arg)
 
 let verify_cmd =
   let run machine file =
@@ -304,7 +396,8 @@ let experiments_cmd =
   let names_arg =
     Arg.(value & pos_all string [] & info [] ~docv:"NAME")
   in
-  let run names =
+  let run trace names =
+    setup_trace trace;
     handle_diag (fun () ->
         let all =
           [ ("t1", fun () -> Core.Experiments.t1 ());
@@ -331,26 +424,17 @@ let experiments_cmd =
             | Some f ->
                 List.iter
                   (fun t -> Msl_util.Tbl.print t; print_newline ())
-                  (f ())
+                  (Trace.with_span ~cat:"experiment" n f)
             | None -> Fmt.epr "unknown experiment %S@." n)
           wanted)
   in
   Cmd.v (Cmd.info "experiments" ~doc:"Regenerate the experiment tables")
-    Term.(const run $ names_arg)
+    Term.(const run $ trace_arg $ names_arg)
 
 let batch_cmd =
   let module Service = Msl_core.Service in
   let manifest_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"MANIFEST")
-  in
-  let positive_int =
-    let parse s =
-      match int_of_string_opt s with
-      | Some n when n >= 1 -> Ok n
-      | Some _ -> Error (`Msg "must be at least 1")
-      | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
-    in
-    Arg.conv (parse, Fmt.int)
   in
   let domains_arg =
     let doc = "Worker domains for the fan-out (default: the service default)." in
@@ -381,7 +465,8 @@ let batch_cmd =
     in
     Arg.(value & flag & info [ "lint" ] ~doc)
   in
-  let run manifest domains rounds cap listings lint =
+  let run manifest domains rounds cap listings lint trace =
+    setup_trace trace;
     handle_diag (fun () ->
         let jobs =
           Service.parse_manifest ~file:manifest ~load:read_file
@@ -404,6 +489,13 @@ let batch_cmd =
                   Fmt.pr "ok    %-28s %4d words, %4d ops%s@." id
                     c.Core.Toolkit.c_words c.Core.Toolkit.c_ops
                     (if o.Service.o_cached then "  (cached)" else "");
+                  if c.Core.Toolkit.c_inexact_blocks > 0 then
+                    Fmt.epr
+                      "mslc: warning: %s: %d block%s hit the \
+                       branch-and-bound node budget (raise bb_budget=)@."
+                      id c.Core.Toolkit.c_inexact_blocks
+                      (if c.Core.Toolkit.c_inexact_blocks = 1 then ""
+                       else "s");
                   if listings then print_string listing
               | Error d ->
                   failed := true;
@@ -425,7 +517,128 @@ let batch_cmd =
           compilation service")
     Term.(
       const run $ manifest_arg $ domains_arg $ rounds_arg $ cap_arg
-      $ listings_arg $ lint_arg)
+      $ listings_arg $ lint_arg $ trace_arg)
+
+(* -- stats: summarize a recorded trace --------------------------------- *)
+
+(* Aggregates computed from a parsed trace: span durations by matching
+   B/E per domain (spans nest per tid, so a stack suffices), the final
+   value of each counter, and instant-event counts. *)
+let summarize events =
+  let spans = Hashtbl.create 16 in (* (cat,name) -> count, total_us, max_us *)
+  let stacks = Hashtbl.create 8 in (* tid -> ((cat,name) * ts) stack *)
+  let counters = Hashtbl.create 16 in (* (cat,name) -> last value *)
+  let instants = Hashtbl.create 16 in (* (cat,name) -> count *)
+  List.iter
+    (fun (e : Trace.event) ->
+      let key = (e.Trace.ev_cat, e.Trace.ev_name) in
+      match e.Trace.ev_ph with
+      | "B" ->
+          let st =
+            Option.value ~default:[] (Hashtbl.find_opt stacks e.Trace.ev_tid)
+          in
+          Hashtbl.replace stacks e.Trace.ev_tid ((key, e.Trace.ev_ts) :: st)
+      | "E" -> (
+          match Hashtbl.find_opt stacks e.Trace.ev_tid with
+          | Some ((k, t0) :: rest) ->
+              Hashtbl.replace stacks e.Trace.ev_tid rest;
+              let dur = e.Trace.ev_ts -. t0 in
+              let c, tot, mx =
+                Option.value ~default:(0, 0., 0.) (Hashtbl.find_opt spans k)
+              in
+              Hashtbl.replace spans k (c + 1, tot +. dur, Float.max mx dur)
+          | _ -> () (* unbalanced end: count nothing, the checker flags it *))
+      | "C" ->
+          let v =
+            match List.assoc_opt "value" e.Trace.ev_args with
+            | Some (Trace.J_num v) -> v
+            | _ -> 0.
+          in
+          Hashtbl.replace counters key v
+      | _ ->
+          Hashtbl.replace instants key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt instants key)))
+    events;
+  let sorted h f =
+    Hashtbl.fold (fun k v acc -> f k v :: acc) h [] |> List.sort compare
+  in
+  ( sorted spans (fun (c, n) (cnt, tot, mx) -> (c, n, cnt, tot, mx)),
+    sorted counters (fun (c, n) v -> (c, n, v)),
+    sorted instants (fun (c, n) cnt -> (c, n, cnt)) )
+
+let stats_cmd =
+  let trace_file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE")
+  in
+  let format_arg =
+    let doc = "Report format: human or json." in
+    Arg.(
+      value
+      & opt (enum [ ("human", `Human); ("json", `Json) ]) `Human
+      & info [ "format" ] ~docv:"FORMAT" ~doc)
+  in
+  let run file format =
+    match Trace.read_events file with
+    | Error msg ->
+        Fmt.epr "mslc: %s@." msg;
+        exit 2
+    | Ok events -> (
+        let spans, counters, instants = summarize events in
+        match format with
+        | `Human ->
+            Fmt.pr "%s: %d events@." file (List.length events);
+            if spans <> [] then Fmt.pr "spans:@.";
+            List.iter
+              (fun (cat, name, cnt, tot, mx) ->
+                Fmt.pr "  %-32s %6d  total %10.1f us  max %10.1f us@."
+                  (cat ^ "/" ^ name) cnt tot mx)
+              spans;
+            if counters <> [] then Fmt.pr "counters (final values):@.";
+            List.iter
+              (fun (cat, name, v) ->
+                Fmt.pr "  %-32s %.0f@." (cat ^ "/" ^ name) v)
+              counters;
+            if instants <> [] then Fmt.pr "instants:@.";
+            List.iter
+              (fun (cat, name, cnt) ->
+                Fmt.pr "  %-32s %6d@." (cat ^ "/" ^ name) cnt)
+              instants
+        | `Json ->
+            let buf = Buffer.create 1024 in
+            let item first fmt =
+              if not first then Buffer.add_char buf ',';
+              Printf.ksprintf (Buffer.add_string buf) fmt
+            in
+            Printf.ksprintf (Buffer.add_string buf) "{\"events\":%d"
+              (List.length events);
+            Buffer.add_string buf ",\"spans\":[";
+            List.iteri
+              (fun i (cat, name, cnt, tot, mx) ->
+                item (i = 0)
+                  "{\"cat\":%S,\"name\":%S,\"count\":%d,\"total_us\":%.1f,\"max_us\":%.1f}"
+                  cat name cnt tot mx)
+              spans;
+            Buffer.add_string buf "],\"counters\":[";
+            List.iteri
+              (fun i (cat, name, v) ->
+                item (i = 0) "{\"cat\":%S,\"name\":%S,\"value\":%.0f}" cat
+                  name v)
+              counters;
+            Buffer.add_string buf "],\"instants\":[";
+            List.iteri
+              (fun i (cat, name, cnt) ->
+                item (i = 0) "{\"cat\":%S,\"name\":%S,\"count\":%d}" cat name
+                  cnt)
+              instants;
+            Buffer.add_string buf "]}";
+            print_endline (Buffer.contents buf))
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Summarize a JSONL trace recorded with --trace (span totals, \
+          final counter values, instant-event counts)")
+    Term.(const run $ trace_file_arg $ format_arg)
 
 let () =
   let info =
@@ -436,4 +649,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ compile_cmd; run_cmd; encode_cmd; lint_cmd; verify_cmd;
-            machines_cmd; matrix_cmd; experiments_cmd; batch_cmd ]))
+            machines_cmd; matrix_cmd; experiments_cmd; batch_cmd;
+            stats_cmd ]))

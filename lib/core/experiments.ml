@@ -926,7 +926,15 @@ let l1 () =
     (l1_rows ());
   t
 
+(* Each generator runs as an "experiment" span, so a traced regeneration
+   shows where the time goes table by table. *)
+let table name f = Msl_util.Trace.with_span ~cat:"experiment" name f
+
 let all_tables () =
-  t1 () @ [ t2 (); t3 (); t4 (); t5 (); t6 (); t7 (); t8 (); f1 () ]
-  @ f2 ()
-  @ [ a1 (); o1 (); l1 () ]
+  table "t1" t1
+  @ [
+      table "t2" t2; table "t3" t3; table "t4" t4; table "t5" t5;
+      table "t6" t6; table "t7" t7; table "t8" t8; table "f1" f1;
+    ]
+  @ table "f2" f2
+  @ [ table "a1" a1; table "o1" o1; table "l1" l1 ]

@@ -8,6 +8,7 @@ module Regalloc = Msl_mir.Regalloc
 module Diag = Msl_util.Diag
 module Fingerprint = Msl_util.Fingerprint
 module Safe_queue = Msl_util.Safe_queue
+module Trace = Msl_util.Trace
 
 type job = {
   j_id : string;
@@ -98,16 +99,12 @@ let clear t =
 
 (* -- cache keys ---------------------------------------------------------------- *)
 
-let options_id (o : Pipeline.options) =
-  Printf.sprintf
-    "algo=%s;chain=%b;strategy=%s;pool=%s;poll=%b;trap_safe=%b;opt=%d"
-    (Compaction.algo_name o.Pipeline.algo)
-    o.Pipeline.chain
-    (Regalloc.strategy_name o.Pipeline.strategy)
-    (match o.Pipeline.pool_limit with
-    | None -> "all"
-    | Some n -> string_of_int n)
-    o.Pipeline.poll o.Pipeline.trap_safe o.Pipeline.opt_level
+(* The option half of the key is Pipeline.options_id: an exhaustive
+   record-to-string defined next to the type, so a future options field
+   cannot silently produce stale cache hits (it used to be a hand-copied
+   field list here — the exact bug the exhaustive pattern now rules
+   out). *)
+let options_id = Pipeline.options_id
 
 let key_of ~kind ~language ~machine ~options ~use_microops ~source =
   Fingerprint.of_parts
@@ -142,15 +139,23 @@ let job ?id ?(options = Pipeline.default_options) ?(use_microops = false)
 
 (* -- the cache proper ----------------------------------------------------------- *)
 
+(* Cache counters are emitted inside the service lock, right where the
+   counted state changes: the trace then carries them in the same total
+   order the cache saw, which is what lets the test suite assert they
+   are monotone even under a domain fan-out. *)
 let probe t key =
   locked t (fun () ->
       t.jobs <- t.jobs + 1;
       match Hashtbl.find_opt t.table key with
       | Some e ->
           t.hits <- t.hits + 1;
+          if Trace.enabled () then
+            Trace.counter ~cat:"service" "cache_hits" t.hits;
           Some e
       | None ->
           t.misses <- t.misses + 1;
+          if Trace.enabled () then
+            Trace.counter ~cat:"service" "cache_misses" t.misses;
           None)
 
 (* Insert after a miss.  Two domains racing on the same key both compile
@@ -164,7 +169,9 @@ let insert t key e =
         while Hashtbl.length t.table > t.capacity do
           let oldest = Queue.pop t.order in
           Hashtbl.remove t.table oldest;
-          t.evictions <- t.evictions + 1
+          t.evictions <- t.evictions + 1;
+          if Trace.enabled () then
+            Trace.counter ~cat:"service" "cache_evictions" t.evictions
         done
       end)
 
@@ -243,8 +250,37 @@ let run_batch ?domains t jobs =
   in
   let jobs = Array.of_list jobs in
   let results = Array.make (Array.length jobs) None in
+  (* Per-job spans carry the queue wait (time between batch submission and
+     the moment a worker picked the job up) so a trace shows pool
+     contention, not just compile time.  The tid on each event is the
+     worker's domain id — Trace stamps it. *)
+  let tracing = Trace.enabled () in
+  let t_submit = if tracing then Unix.gettimeofday () else 0.0 in
+  let traced i j run =
+    if not tracing then run ()
+    else begin
+      let queue_wait_us = (Unix.gettimeofday () -. t_submit) *. 1e6 in
+      Trace.span_begin ~cat:"service" "job"
+        ~args:
+          [
+            ("id", Trace.A_string j.j_id);
+            ("index", Trace.A_int i);
+            ("queue_wait_us", Trace.A_float queue_wait_us);
+          ];
+      let o = run () in
+      Trace.span_end ~cat:"service" "job"
+        ~args:
+          [
+            ("cached", Trace.A_bool o.o_cached);
+            ("ok", Trace.A_bool (Result.is_ok o.o_result));
+          ];
+      o
+    end
+  in
   if n_workers = 1 || Array.length jobs <= 1 then
-    Array.iteri (fun i j -> results.(i) <- Some (compile_job t j)) jobs
+    Array.iteri
+      (fun i j -> results.(i) <- Some (traced i j (fun () -> compile_job t j)))
+      jobs
   else begin
     let queue = Safe_queue.create () in
     Array.iteri (fun i j -> Safe_queue.push queue (i, j)) jobs;
@@ -255,7 +291,7 @@ let run_batch ?domains t jobs =
         | None -> ()
         | Some (i, j) ->
             (* distinct slots per worker; Domain.join publishes the writes *)
-            results.(i) <- Some (compile_job t j);
+            results.(i) <- Some (traced i j (fun () -> compile_job t j));
             loop ()
       in
       loop ()
@@ -366,6 +402,12 @@ let parse_option loc (j : job) spec =
           | _ ->
               manifest_error loc
                 "opt expects a non-negative integer, got %S" v)
+      | "bb_budget" | "bb-budget" -> (
+          match int_of_string_opt v with
+          | Some n when n > 0 -> set { opts with Pipeline.bb_budget = n }
+          | _ ->
+              manifest_error loc "bb_budget expects a positive integer, got %S"
+                v)
       | "microops" ->
           { j with j_use_microops = parse_bool loc "microops" v }
       | "lint" -> { j with j_lint = parse_bool loc "lint" v }

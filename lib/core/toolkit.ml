@@ -4,6 +4,7 @@
 open Msl_machine
 module Pipeline = Msl_mir.Pipeline
 module Diag = Msl_util.Diag
+module Trace = Msl_util.Trace
 
 type language = Simpl | Empl | Sstar | Yalll
 
@@ -30,10 +31,12 @@ type compiled = {
   c_ops : int;  (* microoperations *)
   c_bits : int;  (* control-store bits *)
   c_alloc : Msl_mir.Regalloc.stats option;
+  c_inexact_blocks : int;  (* B&B schedules that hit the node budget *)
   c_timings : Msl_mir.Passmgr.timing list;
 }
 
-let of_insts ?(timings = []) language d insts labels alloc =
+let of_insts ?(timings = []) ?(inexact_blocks = 0) language d insts labels
+    alloc =
   {
     c_language = language;
     c_machine = d;
@@ -43,25 +46,35 @@ let of_insts ?(timings = []) language d insts labels alloc =
     c_ops = List.fold_left (fun acc i -> acc + List.length i.Inst.ops) 0 insts;
     c_bits = Encode.program_bits d insts;
     c_alloc = alloc;
+    c_inexact_blocks = inexact_blocks;
     c_timings = timings;
   }
 
 let compile ?options ?use_microops ?observe (language : language) (d : Desc.t)
     src =
-  let through_pipeline p =
-    let insts, labels, m = Pipeline.compile ?options ?observe d p in
-    of_insts ~timings:m.Pipeline.m_timings language d insts labels
-      m.Pipeline.m_alloc
-  in
-  match language with
-  | Simpl -> through_pipeline (Msl_simpl.Compile.parse_compile d src)
-  | Empl -> through_pipeline (Msl_empl.Compile.parse_compile ?use_microops d src)
-  | Yalll -> through_pipeline (Msl_yalll.Compile.parse_compile d src)
-  | Sstar ->
-      (* the S* programmer composes the microinstructions: no MIR
-         pipeline, so no passes to time or observe *)
-      let insts, labels = Msl_sstar.Compile.parse_compile d src in
-      of_insts language d insts labels None
+  Trace.with_span ~cat:"toolkit" "compile"
+    ~args:
+      [
+        ("language", Trace.A_string (language_name language));
+        ("machine", Trace.A_string d.Desc.d_name);
+      ]
+    (fun () ->
+      let through_pipeline p =
+        let insts, labels, m = Pipeline.compile ?options ?observe d p in
+        of_insts ~timings:m.Pipeline.m_timings
+          ~inexact_blocks:m.Pipeline.m_inexact_blocks language d insts labels
+          m.Pipeline.m_alloc
+      in
+      match language with
+      | Simpl -> through_pipeline (Msl_simpl.Compile.parse_compile d src)
+      | Empl ->
+          through_pipeline (Msl_empl.Compile.parse_compile ?use_microops d src)
+      | Yalll -> through_pipeline (Msl_yalll.Compile.parse_compile d src)
+      | Sstar ->
+          (* the S* programmer composes the microinstructions: no MIR
+             pipeline, so no passes to time or observe *)
+          let insts, labels = Msl_sstar.Compile.parse_compile d src in
+          of_insts language d insts labels None)
 
 (* Assemble a hand-written microprogram, with the same metrics. *)
 let assemble (d : Desc.t) src =
@@ -74,9 +87,18 @@ let load ?(mem_words = 4096) ?trap_mode (c : compiled) =
   Sim.load_store sim c.c_insts;
   sim
 
-let run ?fuel ?(setup = fun _ -> ()) (c : compiled) =
+let run_status ?(fuel = 2_000_000) ?(setup = fun _ -> ()) (c : compiled) =
   let sim = load c in
   setup sim;
-  match Sim.run ?fuel sim with
-  | Sim.Halted -> sim
-  | Sim.Out_of_fuel -> Diag.error Diag.Execution "program did not halt"
+  (sim, Sim.run ~fuel sim)
+
+let run ?(fuel = 2_000_000) ?setup (c : compiled) =
+  match run_status ~fuel ?setup c with
+  | sim, Sim.Halted -> sim
+  | sim, Sim.Out_of_fuel ->
+      (* report where the program stood: a bare "did not halt" hides
+         exactly the state a non-terminating microprogram needs shown *)
+      Diag.error Diag.Execution
+        "program did not halt within %d steps (pc=%d, %d cycles, %d \
+         instructions executed)"
+        fuel (Sim.pc sim) (Sim.cycles sim) (Sim.insts_executed sim)

@@ -22,6 +22,10 @@ type compiled = {
   c_alloc : Msl_mir.Regalloc.stats option;
       (** present when the register allocator ran (symbolic-variable
           programs) *)
+  c_inexact_blocks : int;
+      (** blocks whose branch-and-bound compaction hit the node budget
+          and fell back to the heuristic schedule (0 unless
+          [algo = Optimal]; drivers warn when nonzero) *)
   c_timings : Msl_mir.Passmgr.timing list;
       (** per-pass wall clock of the pipeline run; empty for S* and
           assembled programs (no pass pipeline) *)
@@ -46,6 +50,14 @@ val assemble : Desc.t -> string -> compiled
 
 val load : ?mem_words:int -> ?trap_mode:Sim.trap_mode -> compiled -> Sim.t
 
+val run_status : ?fuel:int -> ?setup:(Sim.t -> unit) -> compiled -> Sim.t * Sim.status
+(** Load, apply [setup], and run for at most [fuel] steps (default
+    2,000,000).  Never raises on non-termination: the simulator state is
+    returned with the status so drivers can report pc/cycles and apply
+    their own exit-code discipline. *)
+
 val run : ?fuel:int -> ?setup:(Sim.t -> unit) -> compiled -> Sim.t
 (** Load, apply [setup], and run to halt.
-    @raise Msl_util.Diag.Error when the program does not halt in [fuel]. *)
+    @raise Msl_util.Diag.Error when the program does not halt in [fuel];
+    the diagnostic reports the fuel, final pc, cycles and instruction
+    count. *)

@@ -18,6 +18,7 @@
 
 open Msl_bitvec
 module Diag = Msl_util.Diag
+module Trace = Msl_util.Trace
 
 type trap_mode =
   | Restart  (* service the fault, restart the microprogram *)
@@ -40,6 +41,7 @@ type t = {
   mutable int_schedule : int list;  (* sorted cycle numbers, not yet arrived *)
   mutable int_pending : bool;
   mutable int_pending_since : int;
+  mutable int_polls : int;  (* C_int_pending condition evaluations *)
   mutable int_serviced : int;
   mutable int_latency_total : int;
   mutable int_latency_max : int;
@@ -70,6 +72,7 @@ let create ?(mem_words = 4096) ?(trap_mode = Fault_is_error)
     int_schedule = [];
     int_pending = false;
     int_pending_since = 0;
+    int_polls = 0;
     int_serviced = 0;
     int_latency_total = 0;
     int_latency_max = 0;
@@ -82,9 +85,11 @@ let create ?(mem_words = 4096) ?(trap_mode = Fault_is_error)
 
 let desc t = t.desc
 let memory t = t.mem
+let pc t = t.mpc
 let cycles t = t.cycles
 let insts_executed t = t.insts_executed
 let traps_taken t = t.traps_taken
+let interrupt_polls t = t.int_polls
 let interrupts_serviced t = t.int_serviced
 
 let interrupt_latency_stats t =
@@ -233,7 +238,14 @@ let exec_phase t snap ops =
     t.int_serviced <- t.int_serviced + 1;
     let lat = t.cycles - t.int_pending_since in
     t.int_latency_total <- t.int_latency_total + lat;
-    t.int_latency_max <- max t.int_latency_max lat
+    t.int_latency_max <- max t.int_latency_max lat;
+    if Trace.enabled () then
+      Trace.instant ~cat:"sim" "interrupt_acked"
+        ~args:
+          [
+            ("latency_cycles", Trace.A_int lat);
+            ("cycle", Trace.A_int t.cycles);
+          ]
   end
 
 let eval_cond t = function
@@ -251,7 +263,9 @@ let eval_cond t = function
           | Desc.Mf -> (not (Bitvec.bit v i)) && loop (i + 1)
       in
       loop 0
-  | Desc.C_int_pending -> t.int_pending
+  | Desc.C_int_pending ->
+      t.int_polls <- t.int_polls + 1;
+      t.int_pending
 
 let deliver_interrupts t =
   match t.int_schedule with
@@ -259,7 +273,10 @@ let deliver_interrupts t =
       t.int_schedule <- rest;
       if not t.int_pending then begin
         t.int_pending <- true;
-        t.int_pending_since <- t.cycles
+        t.int_pending_since <- t.cycles;
+        if Trace.enabled () then
+          Trace.instant ~cat:"sim" "interrupt_delivered"
+            ~args:[ ("cycle", Trace.A_int t.cycles) ]
       end
   | _ :: _ | [] -> ()
 
@@ -315,18 +332,55 @@ let step t =
               them), which is precisely the survey's incread hazard. *)
            t.traps_taken <- t.traps_taken + 1;
            t.cycles <- t.cycles + t.fault_penalty;
+           if Trace.enabled () then
+             Trace.instant ~cat:"sim" "microtrap"
+               ~args:
+                 [
+                   ("addr", Trace.A_int addr);
+                   ("pc", Trace.A_int t.mpc);
+                   ("cycle", Trace.A_int t.cycles);
+                 ];
            Memory.mark_present t.mem ~page:(Memory.page_of t.mem addr);
            t.mpc <- t.restart_pc;
            t.call_stack <- []))
   end
 
+let emit_counters t =
+  Trace.counter ~cat:"sim" "cycles" t.cycles;
+  Trace.counter ~cat:"sim" "insts_executed" t.insts_executed;
+  Trace.counter ~cat:"sim" "interrupt_polls" t.int_polls;
+  if t.traps_taken > 0 then
+    Trace.counter ~cat:"sim" "microtraps" t.traps_taken
+
 let run ?(fuel = 2_000_000) t =
-  let rec loop fuel =
+  let tracing = Trace.enabled () in
+  if tracing then
+    Trace.span_begin ~cat:"sim" "run"
+      ~args:
+        [
+          ("machine", Trace.A_string t.desc.Desc.d_name);
+          ("fuel", Trace.A_int fuel);
+        ];
+  let rec loop fuel steps =
     if t.halted then Halted
     else if fuel <= 0 then Out_of_fuel
     else begin
       step t;
-      loop (fuel - 1)
+      (* periodic progress counters; steps are counted here, not in
+         [step], so the disabled path costs exactly one branch *)
+      if tracing && steps land 4095 = 0 then emit_counters t;
+      loop (fuel - 1) (steps + 1)
     end
   in
-  loop fuel
+  let status = loop fuel 1 in
+  if tracing then begin
+    emit_counters t;
+    Trace.span_end ~cat:"sim" "run"
+      ~args:
+        [
+          ("halted", Trace.A_bool (status = Halted));
+          ("cycles", Trace.A_int t.cycles);
+          ("pc", Trace.A_int t.mpc);
+        ]
+  end;
+  status

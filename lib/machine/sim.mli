@@ -44,7 +44,10 @@ val step : t -> unit
 (** Execute one microinstruction (no-op once halted). *)
 
 val run : ?fuel:int -> t -> status
-(** Step until [Halt] or [fuel] instructions (default 2,000,000). *)
+(** Step until [Halt] or [fuel] instructions (default 2,000,000).  When
+    {!Msl_util.Trace} is enabled, the run is a ["sim"/"run"] span with
+    periodic cycle/instruction/poll counters and instant events for
+    microtraps and interrupt delivery/acknowledgement. *)
 
 (** {1 State access} *)
 
@@ -60,9 +63,16 @@ val set_trace : t -> bool -> unit
 
 (** {1 Metrics} *)
 
+val pc : t -> int
+(** The current micro program counter (where a stopped run stood). *)
+
 val cycles : t -> int
 val insts_executed : t -> int
 val traps_taken : t -> int
+
+val interrupt_polls : t -> int
+(** How many times a [C_int_pending] condition was evaluated — the
+    poll-point activity §2.1.5's latency story is about. *)
 
 (** {1 Interrupts and traps} *)
 

@@ -20,6 +20,7 @@
 
 open Msl_machine
 module Diag = Msl_util.Diag
+module Trace = Msl_util.Trace
 
 type algo = Sequential | Fcfs | Critical_path | Optimal
 
@@ -178,9 +179,9 @@ let critical_path ~chain d ops =
 
 (* -- branch and bound ----------------------------------------------------- *)
 
-let node_budget = 300_000
+let default_node_budget = 300_000
 
-let optimal ~chain d ops =
+let optimal ~chain ~node_budget d ops =
   let arr = Array.of_list ops in
   let n = Array.length arr in
   if n = 0 then ([], 0, true)
@@ -254,17 +255,37 @@ let optimal ~chain d ops =
 
 (* -- entry point ---------------------------------------------------------- *)
 
-let compact ?(chain = true) ~algo (d : Desc.t) (ops : Inst.op list) =
+let compact ?(chain = true) ?(node_budget = default_node_budget) ~algo
+    (d : Desc.t) (ops : Inst.op list) =
   let algo = if d.Desc.d_vertical then Sequential else algo in
   let groups, nodes, exact =
     match algo with
     | Sequential -> (sequential ops, 0, true)
     | Fcfs -> (fcfs ~chain d ops, 0, true)
     | Critical_path -> (critical_path ~chain d ops, 0, true)
-    | Optimal -> optimal ~chain d ops
+    | Optimal -> optimal ~chain ~node_budget d ops
   in
   let groups = List.filter (fun g -> g <> []) groups in
   if not (check ~chain d ops groups) then
     Diag.error Diag.Compaction "%s produced an invalid schedule"
       (algo_name algo);
+  if Trace.enabled () then begin
+    Trace.instant ~cat:"compaction" "block"
+      ~args:
+        [
+          ("algo", Trace.A_string (algo_name algo));
+          ("ops", Trace.A_int (List.length ops));
+          ("words", Trace.A_int (List.length groups));
+          ("nodes", Trace.A_int nodes);
+          ("exact", Trace.A_bool exact);
+        ];
+    if not exact then
+      Trace.instant ~cat:"compaction" "bb_budget_exhausted"
+        ~args:
+          [
+            ("nodes", Trace.A_int nodes);
+            ("budget", Trace.A_int node_budget);
+            ("ops", Trace.A_int (List.length ops));
+          ]
+  end;
   { groups; r_algo = algo; nodes; exact }

@@ -26,16 +26,23 @@ type result = {
   exact : bool;  (** [Optimal] finished within its node budget *)
 }
 
-val node_budget : int
+val default_node_budget : int
+(** 300_000 — the default branch-and-bound search budget, carried as
+    [Pipeline.options.bb_budget] (the CLI's [--bb-budget]). *)
 
 val check : chain:bool -> Desc.t -> Inst.op list -> Inst.op list list -> bool
 (** Is the grouping a valid schedule of the ops: every dependence delta
     respected and every word conflict-free?  Run internally on every
     result; exposed for the property tests. *)
 
-val compact : ?chain:bool -> algo:algo -> Desc.t -> Inst.op list -> result
+val compact :
+  ?chain:bool -> ?node_budget:int -> algo:algo -> Desc.t -> Inst.op list ->
+  result
 (** [chain] (default true) allows transport chaining on polyphase
     machines: a dependent op may share a word with its producer when the
-    producer's phase strictly precedes.
+    producer's phase strictly precedes.  [node_budget] (default
+    {!default_node_budget}) caps the [Optimal] search; when exhausted the
+    result carries [exact = false] and an [i]-phase
+    ["bb_budget_exhausted"] trace event is emitted.
     @raise Msl_util.Diag.Error if the produced schedule fails [check]
     (an internal invariant). *)

@@ -21,6 +21,9 @@ let make ?(enabled = fun _ -> true) ~descr name transform =
 
 type timing = { t_pass : string; t_ms : float }
 
+(* Per-pass wall clock comes from Trace.timed, which doubles as the
+   span emitter: one measurement feeds both `--time-passes` and the
+   `--trace` sink (the timing code the runner used to own privately). *)
 let run ?(observe = fun _ _ -> ()) passes p =
   let p, rev_timings =
     List.fold_left
@@ -29,9 +32,10 @@ let run ?(observe = fun _ _ -> ()) passes p =
            enabled by the vregs a preceding pass may have introduced *)
         if not (pass.p_enabled p) then (p, acc)
         else
-          let t0 = Unix.gettimeofday () in
-          let p' = pass.p_transform p in
-          let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+          let p', ms =
+            Msl_util.Trace.timed ~cat:"pass" pass.p_name (fun () ->
+                pass.p_transform p)
+          in
           observe pass.p_name p';
           (p', { t_pass = pass.p_name; t_ms = ms } :: acc))
       (p, []) passes

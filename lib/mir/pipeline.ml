@@ -16,6 +16,7 @@
 
 open Msl_machine
 module Diag = Msl_util.Diag
+module Trace = Msl_util.Trace
 
 type options = {
   algo : Compaction.algo;
@@ -25,6 +26,7 @@ type options = {
   poll : bool;  (* insert interrupt poll points on back edges *)
   trap_safe : bool;  (* restart-safe recompilation (survey §2.1.5) *)
   opt_level : int;  (* 0: survey-faithful, no optimizer; >= 1: Opt passes *)
+  bb_budget : int;  (* branch-and-bound node budget (Optimal only) *)
 }
 
 let default_options =
@@ -36,7 +38,25 @@ let default_options =
     poll = false;
     trap_safe = false;
     opt_level = 1;
+    bb_budget = Compaction.default_node_budget;
   }
+
+(* The canonical textual identity of an option record, sitting next to
+   the type on purpose: the record pattern below names every field, so
+   adding a field without extending the id is a compile error (warning 9
+   is fatal in the dev profile) — the service's cache keys can never go
+   stale against the type again. *)
+let options_id (o : options) =
+  let { algo; chain; strategy; pool_limit; poll; trap_safe; opt_level;
+        bb_budget } =
+    o
+  in
+  Printf.sprintf
+    "algo=%s;chain=%b;strategy=%s;pool=%s;poll=%b;trap_safe=%b;opt=%d;bb=%d"
+    (Compaction.algo_name algo) chain
+    (Regalloc.strategy_name strategy)
+    (match pool_limit with None -> "all" | Some n -> string_of_int n)
+    poll trap_safe opt_level bb_budget
 
 type metrics = {
   m_instructions : int;  (* control-store words used *)
@@ -45,6 +65,7 @@ type metrics = {
   m_blocks : int;
   m_alloc : Regalloc.stats option;
   m_search_nodes : int;  (* B&B nodes, when the Optimal algo ran *)
+  m_inexact_blocks : int;  (* blocks whose B&B search hit the budget *)
   m_timings : Passmgr.timing list;  (* per-pass wall clock, execution order *)
 }
 
@@ -220,12 +241,15 @@ let link ?(aliases = []) (_d : Desc.t) (blocks : linked_block list) :
 
 (* -- per-block code generation ---------------------------------------------- *)
 
-let lower_block ~options ctx d nodes_acc (b : Mir.block) : linked_block =
+let lower_block ~options ctx d nodes_acc inexact_acc (b : Mir.block) :
+    linked_block =
   let lb = Select.select_block ctx b in
   let result =
-    Compaction.compact ~chain:options.chain ~algo:options.algo d lb.Select.lb_body
+    Compaction.compact ~chain:options.chain ~node_budget:options.bb_budget
+      ~algo:options.algo d lb.Select.lb_body
   in
   nodes_acc := !nodes_acc + result.Compaction.nodes;
+  if not result.Compaction.exact then incr inexact_acc;
   let body_mis = List.map (fun g -> (g, Select.L_next)) result.Compaction.groups in
   let mis =
     match lb.Select.lb_tail with
@@ -308,15 +332,22 @@ let compile ?(options = default_options) ?observe (d : Desc.t)
     (p : Mir.program) =
   let alloc_stats = ref None in
   let p, timings =
-    Passmgr.run ?observe (mir_passes ~options d ~alloc_stats) p
+    Trace.with_span ~cat:"pipeline" "middle-end"
+      ~args:[ ("machine", Trace.A_string d.Desc.d_name) ]
+      (fun () -> Passmgr.run ?observe (mir_passes ~options d ~alloc_stats) p)
   in
   let ctx = Select.make_ctx d in
   let nodes_acc = ref 0 in
-  let t0 = Unix.gettimeofday () in
-  let blocks =
-    List.map (lower_block ~options ctx d nodes_acc) (Mir.all_blocks p)
+  let inexact_acc = ref 0 in
+  (* the back-end pseudo-passes time themselves through the same
+     Trace.timed the pass manager uses, so --time-passes and --trace
+     report them identically *)
+  let blocks, select_ms =
+    Trace.timed ~cat:"pipeline" "select+compact" (fun () ->
+        List.map
+          (lower_block ~options ctx d nodes_acc inexact_acc)
+          (Mir.all_blocks p))
   in
-  let t1 = Unix.gettimeofday () in
   let aliases =
     List.filter_map
       (fun pr ->
@@ -325,15 +356,21 @@ let compile ?(options = default_options) ?observe (d : Desc.t)
         | [] -> None)
       p.Mir.procs
   in
-  let insts, label_map = link ~aliases d blocks in
-  let t2 = Unix.gettimeofday () in
+  let (insts, label_map), link_ms =
+    Trace.timed ~cat:"pipeline" "link" (fun () -> link ~aliases d blocks)
+  in
   let timings =
     timings
     @ [
-        { Passmgr.t_pass = "select+compact"; t_ms = (t1 -. t0) *. 1000. };
-        { Passmgr.t_pass = "link"; t_ms = (t2 -. t1) *. 1000. };
+        { Passmgr.t_pass = "select+compact"; t_ms = select_ms };
+        { Passmgr.t_pass = "link"; t_ms = link_ms };
       ]
   in
+  if Trace.enabled () then begin
+    Trace.counter ~cat:"compaction" "search_nodes" !nodes_acc;
+    if !inexact_acc > 0 then
+      Trace.counter ~cat:"compaction" "inexact_blocks" !inexact_acc
+  end;
   let metrics =
     {
       m_instructions = List.length insts;
@@ -343,6 +380,7 @@ let compile ?(options = default_options) ?observe (d : Desc.t)
       m_blocks = List.length blocks;
       m_alloc = !alloc_stats;
       m_search_nodes = !nodes_acc;
+      m_inexact_blocks = !inexact_acc;
       m_timings = timings;
     }
   in

@@ -24,11 +24,23 @@ type options = {
       (** 0: survey-faithful pipeline with no machine-independent
           optimizer (§2.1.4); 1 (the default): the {!Opt} passes run
           before lowering *)
+  bb_budget : int;
+      (** search-node budget for [Optimal] compaction (the CLI's
+          [--bb-budget]; default {!Compaction.default_node_budget}).
+          Past it the block falls back to the critical-path schedule and
+          is counted in [m_inexact_blocks]. *)
 }
 
 val default_options : options
 (** Critical-path compaction, chaining on, priority allocation, full pool,
-    no poll points, optimization level 1. *)
+    no poll points, optimization level 1, default B&B budget. *)
+
+val options_id : options -> string
+(** The canonical textual identity of an option record — every field,
+    rendered deterministically.  This is the string the service
+    fingerprints into cache keys; it is defined by an exhaustive record
+    pattern so a new [options] field cannot silently produce stale
+    cache hits. *)
 
 type metrics = {
   m_instructions : int;  (** control-store words *)
@@ -37,6 +49,9 @@ type metrics = {
   m_blocks : int;
   m_alloc : Regalloc.stats option;  (** when the allocator ran *)
   m_search_nodes : int;  (** B&B nodes, when [Optimal] ran *)
+  m_inexact_blocks : int;
+      (** blocks whose [Optimal] search hit [bb_budget] and fell back to
+          the heuristic schedule (0 unless [algo = Optimal]) *)
   m_timings : Passmgr.timing list;
       (** wall clock of every executed pass, in execution order, ending
           with the [select+compact] and [link] back-end pseudo-passes *)

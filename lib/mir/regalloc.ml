@@ -18,6 +18,7 @@
 
 open Msl_machine
 module Diag = Msl_util.Diag
+module Trace = Msl_util.Trace
 
 type strategy = First_fit | Priority
 
@@ -178,8 +179,18 @@ let allocate_intervals ~strategy ~pool ivs =
         taken := (r, it) :: !taken;
         (it.v, Reg r)
     | None ->
+        (* the pool is exhausted over this interval: the decision the
+           survey's "insight in the use of variables" line is about *)
         let s = !slots in
         incr slots;
+        if Trace.enabled () then
+          Trace.instant ~cat:"regalloc" "spill"
+            ~args:
+              [
+                ("vreg", Trace.A_int it.v);
+                ("uses", Trace.A_int it.uses);
+                ("slot", Trace.A_int s);
+              ];
         (it.v, Spill s)
   in
   List.map assign order
@@ -397,4 +408,16 @@ let run ?(strategy = Priority) ?pool_limit (d : Desc.t) (p : Mir.program) =
       registers_available = List.length pool;
     }
   in
+  if Trace.enabled () then
+    Trace.instant ~cat:"regalloc" "alloc"
+      ~args:
+        [
+          ("strategy", Trace.A_string (strategy_name strategy));
+          ("vregs", Trace.A_int stats.vregs);
+          ("assigned", Trace.A_int stats.assigned);
+          ("spilled", Trace.A_int stats.spilled);
+          ("spill_loads", Trace.A_int stats.spill_loads);
+          ("spill_stores", Trace.A_int stats.spill_stores);
+          ("pool", Trace.A_int stats.registers_available);
+        ];
   (p', stats)

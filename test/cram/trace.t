@@ -1,0 +1,51 @@
+Exit-code discipline around the simulator: a program that compiles but
+never halts is a failed check — exit 1, with the stopped machine state
+reported — not an unprocessable input.
+
+  $ cat > loop.yll <<'EOF'
+  > reg a = r1
+  > set a, 1
+  > loop:
+  >   jump loop
+  > EOF
+  $ ../../bin/mslc.exe run -l yalll -m hp3 loop.yll --fuel 1000
+  mslc: program did not halt within 1000 steps (pc=1, 1000 cycles, 1000 microinstructions executed)
+  [1]
+
+Unprocessable input stays exit 2.
+
+  $ printf 'bogus!\n' > bad.yll
+  $ ../../bin/mslc.exe run -l yalll -m hp3 bad.yll
+  error[parse] <yalll>:1.6-6: unknown mnemonic "bogus"
+  [2]
+
+A branch-and-bound compaction that exhausts its node budget warns (the
+schedule is still correct) and succeeds.
+
+  $ ../../bin/mslc.exe compile -l yalll -m hp3 ../../examples/gcd.yll --algo optimal --bb-budget 1 > /dev/null
+  mslc: warning: 1 block hit the branch-and-bound node budget; the schedule may be wider than optimal (raise --bb-budget)
+
+A traced run emits Chrome-trace JSONL the independent checker accepts.
+(-j 1 keeps the per-job cached flags deterministic.)
+
+  $ ../../bin/mslc.exe run -l yalll -m hp3 ../../examples/gcd.yll --trace run.jsonl > /dev/null
+  $ ../check_trace.exe run.jsonl && echo TRACE-OK
+  TRACE-OK
+
+  $ cat > trace.manifest <<'EOF'
+  > yalll hp3 ../../examples/gcd.yll
+  > yalll b17 ../../examples/gcd.yll
+  > yalll hp3 ../../examples/sum_loop.yll
+  > yalll hp3 ../../examples/gcd.yll id=dup
+  > EOF
+  $ ../../bin/mslc.exe batch trace.manifest -j 1 --rounds 2 --trace batch.jsonl > /dev/null
+  $ ../check_trace.exe batch.jsonl && echo TRACE-OK
+  TRACE-OK
+
+mslc stats summarizes the trace; with -j 1 and two rounds the cache
+counters are deterministic (4 jobs with one duplicate, so round one is
+3 misses and 1 hit, round two all hits).
+
+  $ ../../bin/mslc.exe stats batch.jsonl | grep 'service/cache_'
+    service/cache_hits               5
+    service/cache_misses             3

@@ -229,6 +229,43 @@ let test_cache_key_sensitivity () =
     (Msl_util.Fingerprint.equal k
        (Service.cache_key { base with Service.j_id = "renamed" }))
 
+(* The options half of the key is Pipeline.options_id, an exhaustive
+   record-to-string: vary every single field of Pipeline.options and
+   check no two of the resulting records share a cache key.  This is
+   the regression test for the hand-enumerated id that silently dropped
+   newly added fields. *)
+let test_options_key_exhaustive () =
+  let base = Pipeline.default_options in
+  let variants =
+    [
+      ("default", base);
+      ("algo", { base with Pipeline.algo = Compaction.Optimal });
+      ("chain", { base with Pipeline.chain = false });
+      ("strategy", { base with Pipeline.strategy = Msl_mir.Regalloc.First_fit });
+      ("pool_limit", { base with Pipeline.pool_limit = Some 4 });
+      ("poll", { base with Pipeline.poll = true });
+      ("trap_safe", { base with Pipeline.trap_safe = true });
+      ("opt_level", { base with Pipeline.opt_level = 0 });
+      ("bb_budget", { base with Pipeline.bb_budget = 7 });
+    ]
+  in
+  let key options =
+    Service.cache_key
+      (Service.job ~options Toolkit.Yalll ~machine:"hp3"
+         ~source:"reg a\nexit\n")
+  in
+  List.iteri
+    (fun i (ni, oi) ->
+      List.iteri
+        (fun j (nj, oj) ->
+          if i < j then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s and %s share no key" ni nj)
+              false
+              (Msl_util.Fingerprint.equal (key oi) (key oj)))
+        variants)
+    variants
+
 (* -- manifests ----------------------------------------------------------------- *)
 
 let mem_load = function
@@ -242,10 +279,11 @@ let test_manifest_parse () =
      \n\
      yalll hp3 a.yll\n\
      simpl b17 b.simpl algo=fcfs chain=off id=renamed pool=4\n\
-     empl hp3 a.yll strategy=first-fit trap_safe=on microops=on  # trailing\n"
+     empl hp3 a.yll strategy=first-fit trap_safe=on microops=on  # trailing\n\
+     yalll hp3 a.yll algo=optimal bb_budget=123\n"
   in
   let js = Service.parse_manifest ~load:mem_load text in
-  Alcotest.(check int) "three jobs" 3 (List.length js);
+  Alcotest.(check int) "four jobs" 4 (List.length js);
   let j1 = List.nth js 0 and j2 = List.nth js 1 and j3 = List.nth js 2 in
   Alcotest.(check string) "default id" "a.yll@hp3" j1.Service.j_id;
   Alcotest.(check string) "machine canonicalised" "B17" j2.Service.j_machine;
@@ -259,7 +297,10 @@ let test_manifest_parse () =
     (j3.Service.j_options.Pipeline.strategy = Msl_mir.Regalloc.First_fit);
   Alcotest.(check bool) "trap_safe parsed" true
     j3.Service.j_options.Pipeline.trap_safe;
-  Alcotest.(check bool) "microops parsed" true j3.Service.j_use_microops
+  Alcotest.(check bool) "microops parsed" true j3.Service.j_use_microops;
+  let j4 = List.nth js 3 in
+  Alcotest.(check int) "bb_budget parsed" 123
+    j4.Service.j_options.Pipeline.bb_budget
 
 let test_manifest_errors () =
   let rejects what text =
@@ -278,7 +319,8 @@ let test_manifest_errors () =
   rejects "unknown option key" "yalll hp3 a.yll colour=red\n";
   rejects "bad boolean" "yalll hp3 a.yll chain=maybe\n";
   rejects "bad pool" "yalll hp3 a.yll pool=-3\n";
-  rejects "bad algo" "yalll hp3 a.yll algo=magic\n"
+  rejects "bad algo" "yalll hp3 a.yll algo=magic\n";
+  rejects "bad bb_budget" "yalll hp3 a.yll bb_budget=0\n"
 
 (* batch over a parsed manifest equals sequential compiles of the same *)
 let test_manifest_end_to_end () =
@@ -311,6 +353,8 @@ let () =
           Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
           Alcotest.test_case "bounded capacity evicts" `Quick test_eviction;
           Alcotest.test_case "key sensitivity" `Quick test_cache_key_sensitivity;
+          Alcotest.test_case "every options field keys distinctly" `Quick
+            test_options_key_exhaustive;
           Alcotest.test_case "errors surface and are not cached" `Quick
             test_error_outcome;
         ] );
