@@ -134,7 +134,26 @@ let print_service_comparison () =
   Fmt.pr "warm cache             %8.2f ms@." (warm *. 1e3);
   Fmt.pr "warm %s cold (%.0fx)@.@."
     (if warm < cold1 then "beats" else "does NOT beat")
-    (if warm > 0.0 then cold1 /. warm else Float.infinity)
+    (if warm > 0.0 then cold1 /. warm else Float.infinity);
+  (* The persistent layer: a cold run that also writes the disk cache,
+     then a fresh service (empty memory cache, same directory) standing
+     in for a process restart. *)
+  let dir = Filename.temp_dir "msl_bench_cache" "" in
+  Fmt.pr "== S1b: the same corpus through the on-disk cache ==@.";
+  let s_cold = Core.Service.create ~domains:1 ~cache_dir:dir () in
+  let disk_cold = wall (fun () -> ignore (Core.Service.run_batch s_cold corpus)) in
+  let s_warm = Core.Service.create ~domains:1 ~cache_dir:dir () in
+  let disk_warm = wall (fun () -> ignore (Core.Service.run_batch s_warm corpus)) in
+  let st = Core.Service.stats s_warm in
+  Fmt.pr "cold run + disk stores %8.2f ms  (%d stores)@." (disk_cold *. 1e3)
+    (Core.Service.stats s_cold).Core.Service.st_disk_stores;
+  Fmt.pr "restart, disk-warm     %8.2f ms  (%d/%d jobs from disk)@."
+    (disk_warm *. 1e3) st.Core.Service.st_disk_hits st.Core.Service.st_jobs;
+  Fmt.pr "disk-warm %s recompiling (%.0fx)@.@."
+    (if disk_warm < cold1 then "beats" else "does NOT beat")
+    (if disk_warm > 0.0 then cold1 /. disk_warm else Float.infinity);
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir
 
 (* L1: static-analyzer throughput — the full validate_machine re-check
    (races + encoding + reachability) over a precompiled mixed corpus,

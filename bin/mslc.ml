@@ -35,11 +35,16 @@ let read_file path =
 
 (* Every compiler failure prints as a structured, source-located finding
    and exits 2: exit 1 is reserved for "the program was processed and the
-   requested check failed". *)
+   requested check failed".  The firewall in [Toolkit.capture] extends
+   the same discipline to unexpected exceptions — a driver bug or a
+   pathological input renders as an error[internal] finding instead of
+   an uncaught-exception dump. *)
 let handle_diag f =
-  try f () with Diag.Error d ->
-    Fmt.epr "%a@." Msl_mir.Diag.pp_compiler_error d;
-    exit 2
+  match Core.Toolkit.capture f with
+  | Ok v -> v
+  | Error d ->
+      Fmt.epr "%a@." Msl_mir.Diag.pp_compiler_error d;
+      exit 2
 
 (* A per-job batch line already leads with an "error" tag, so the
    finding is rendered without repeating the severity. *)
@@ -412,7 +417,8 @@ let experiments_cmd =
             ("f2", fun () -> Core.Experiments.f2 ());
             ("a1", fun () -> [ Core.Experiments.a1 () ]);
             ("o1", fun () -> [ Core.Experiments.o1 () ]);
-            ("l1", fun () -> [ Core.Experiments.l1 () ]) ]
+            ("l1", fun () -> [ Core.Experiments.l1 () ]);
+            ("r1", fun () -> [ Core.Experiments.r1 () ]) ]
         in
         let wanted =
           if names = [] then List.map fst all
@@ -465,7 +471,75 @@ let batch_cmd =
     in
     Arg.(value & flag & info [ "lint" ] ~doc)
   in
-  let run manifest domains rounds cap listings lint trace =
+  let cache_dir_arg =
+    let doc =
+      "Layer a persistent content-addressed result cache under the in-memory \
+       one: entries are written atomically to $(docv) (created if missing) \
+       and survive process restarts; corrupt or incompatible files fall back \
+       to recompilation."
+    in
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let nonneg_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 0 -> Ok n
+      | Some _ -> Error (`Msg "must be non-negative")
+      | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
+    in
+    Arg.conv (parse, Fmt.int)
+  in
+  let retries_arg =
+    let doc =
+      "Retry a job up to $(docv) times after a worker crash (unexpected \
+       raise), with exponential backoff and deterministic jitter.  \
+       Structured compile errors are never retried."
+    in
+    Arg.(value & opt nonneg_int 0 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let backoff_arg =
+    let doc = "Nominal first retry backoff in milliseconds (doubles per retry)." in
+    Arg.(value & opt float 2.0 & info [ "backoff-ms" ] ~docv:"MS" ~doc)
+  in
+  let deadline_arg =
+    let doc =
+      "Per-job wall deadline in milliseconds across all attempts; an \
+       overrunning job fails with an internal-error diagnostic (overrun is \
+       detected between steps, not preempted)."
+    in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"MS" ~doc)
+  in
+  let keep_going_arg =
+    let doc =
+      "Whether to keep compiling after a job fails (default true).  \
+       $(b,--keep-going=false) is fail-fast: jobs not yet started when the \
+       first failure lands are canceled."
+    in
+    Arg.(value & opt bool true & info [ "keep-going" ] ~docv:"BOOL" ~doc)
+  in
+  let inject_raise_arg =
+    let doc =
+      "Fault injection: probability in [0,1] that a compile attempt raises \
+       (deterministic in --inject-seed, the cache key and the attempt \
+       number).  For the R1 experiment and the CI fault gate."
+    in
+    Arg.(value & opt float 0.0 & info [ "inject-raise" ] ~docv:"P" ~doc)
+  in
+  let inject_delay_arg =
+    let doc = "Fault injection: probability that an attempt sleeps first." in
+    Arg.(value & opt float 0.0 & info [ "inject-delay" ] ~docv:"P" ~doc)
+  in
+  let inject_delay_ms_arg =
+    let doc = "Length of an injected delay in milliseconds." in
+    Arg.(value & opt float 5.0 & info [ "inject-delay-ms" ] ~docv:"MS" ~doc)
+  in
+  let inject_seed_arg =
+    let doc = "Seed for the deterministic fault-injection draws." in
+    Arg.(value & opt int 1 & info [ "inject-seed" ] ~docv:"N" ~doc)
+  in
+  let run manifest domains rounds cap listings lint cache_dir retries
+      backoff_ms deadline keep_going inject_raise inject_delay inject_delay_ms
+      inject_seed trace =
     setup_trace trace;
     handle_diag (fun () ->
         let jobs =
@@ -476,11 +550,27 @@ let batch_cmd =
           if lint then List.map (fun j -> { j with Service.j_lint = true }) jobs
           else jobs
         in
-        let service = Service.create ?domains ~capacity:cap () in
+        let policy =
+          {
+            Service.p_retries = retries;
+            p_backoff_ms = backoff_ms;
+            p_deadline_ms = deadline;
+            p_keep_going = keep_going;
+          }
+        in
+        let faults =
+          {
+            Service.f_seed = inject_seed;
+            f_raise = inject_raise;
+            f_delay = inject_delay;
+            f_delay_ms = inject_delay_ms;
+          }
+        in
+        let service = Service.create ?domains ~capacity:cap ?cache_dir () in
         let failed = ref false in
         for round = 1 to rounds do
           if rounds > 1 then Fmt.pr "== round %d@." round;
-          let outcomes = Service.run_batch service jobs in
+          let outcomes = Service.run_batch ~policy ~faults service jobs in
           Array.iter
             (fun (o : Service.outcome) ->
               let id = o.Service.o_job.Service.j_id in
@@ -508,6 +598,20 @@ let batch_cmd =
            entries cached@."
           s.Service.st_jobs s.Service.st_hits s.Service.st_misses
           s.Service.st_evictions s.Service.st_errors s.Service.st_entries;
+        (* extra summary lines only where the new machinery is in play,
+           so the default batch output stays byte-identical *)
+        if cache_dir <> None then
+          Fmt.pr "-- disk cache: %d hits, %d stores@." s.Service.st_disk_hits
+            s.Service.st_disk_stores;
+        if
+          s.Service.st_retries > 0 || s.Service.st_internal > 0
+          || s.Service.st_deadline > 0 || s.Service.st_canceled > 0
+        then
+          Fmt.pr
+            "-- faults: %d internal errors, %d retries, %d deadline \
+             failures, %d canceled@."
+            s.Service.st_internal s.Service.st_retries s.Service.st_deadline
+            s.Service.st_canceled;
         if !failed then exit 1)
   in
   Cmd.v
@@ -517,7 +621,9 @@ let batch_cmd =
           compilation service")
     Term.(
       const run $ manifest_arg $ domains_arg $ rounds_arg $ cap_arg
-      $ listings_arg $ lint_arg $ trace_arg)
+      $ listings_arg $ lint_arg $ cache_dir_arg $ retries_arg $ backoff_arg
+      $ deadline_arg $ keep_going_arg $ inject_raise_arg $ inject_delay_arg
+      $ inject_delay_ms_arg $ inject_seed_arg $ trace_arg)
 
 (* -- stats: summarize a recorded trace --------------------------------- *)
 
@@ -577,11 +683,19 @@ let stats_cmd =
       & opt (enum [ ("human", `Human); ("json", `Json) ]) `Human
       & info [ "format" ] ~docv:"FORMAT" ~doc)
   in
+  (* An unreadable, truncated (mid-write) or empty trace is a failed
+     check on the trace file, reported as a structured diagnostic with
+     exit 1 — never a raw parser exception. *)
+  let trace_error msg =
+    Fmt.epr "%a@."
+      Msl_mir.Diag.pp_compiler_error
+      { Diag.phase = Diag.Parsing; loc = Msl_util.Loc.dummy; message = msg };
+    exit 1
+  in
   let run file format =
     match Trace.read_events file with
-    | Error msg ->
-        Fmt.epr "mslc: %s@." msg;
-        exit 2
+    | Error msg -> trace_error msg
+    | Ok [] -> trace_error (file ^ ": empty trace (no events)")
     | Ok events -> (
         let spans, counters, instants = summarize events in
         match format with

@@ -33,13 +33,48 @@ type stats = {
   st_evictions : int;
   st_errors : int;
   st_entries : int;
+  st_disk_hits : int;
+  st_disk_stores : int;
+  st_retries : int;
+  st_internal : int;
+  st_deadline : int;
+  st_canceled : int;
 }
+
+type policy = {
+  p_retries : int;
+  p_backoff_ms : float;
+  p_deadline_ms : float option;
+  p_keep_going : bool;
+}
+
+let default_policy =
+  { p_retries = 0; p_backoff_ms = 2.0; p_deadline_ms = None; p_keep_going = true }
+
+type faults = {
+  f_seed : int;
+  f_raise : float;
+  f_delay : float;
+  f_delay_ms : float;
+}
+
+let no_faults = { f_seed = 0; f_raise = 0.0; f_delay = 0.0; f_delay_ms = 5.0 }
+
+exception Injected_fault of string
+
+(* Rendered without the constructor so fault-injection output is the
+   configured message alone, stable enough for golden tests. *)
+let () =
+  Printexc.register_printer (function
+      | Injected_fault msg -> Some msg
+      | _ -> None)
 
 type entry = { e_compiled : Toolkit.compiled; e_listing : string }
 
 type t = {
   capacity : int;
   n_domains : int;
+  disk : string option;  (* persistent cache directory *)
   mutex : Mutex.t;
   table : (string, entry) Hashtbl.t;  (* Fingerprint.t -> entry *)
   order : string Queue.t;  (* insertion order, for eviction *)
@@ -48,18 +83,38 @@ type t = {
   mutable misses : int;
   mutable evictions : int;
   mutable errors : int;
+  mutable disk_hits : int;
+  mutable disk_stores : int;
+  mutable retries : int;
+  mutable internal : int;
+  mutable deadline : int;
+  mutable canceled : int;
 }
 
 let default_domains () =
   max 1 (min 4 (Domain.recommended_domain_count ()))
 
-let create ?domains ?(capacity = 4096) () =
+let create ?domains ?(capacity = 4096) ?cache_dir () =
   let n_domains = match domains with Some n -> n | None -> default_domains () in
   if n_domains < 1 then invalid_arg "Service.create: domains must be positive";
   if capacity < 1 then invalid_arg "Service.create: capacity must be positive";
+  (match cache_dir with
+  | None -> ()
+  | Some dir -> (
+      try Unix.mkdir dir 0o755
+      with
+      | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+      | Unix.Unix_error (e, _, _) ->
+          invalid_arg
+            (Printf.sprintf "Service.create: cannot create cache dir %s: %s"
+               dir (Unix.error_message e))));
+  (* the firewall turns worker crashes into diagnostics; record
+     backtraces so those diagnostics say where the crash came from *)
+  Printexc.record_backtrace true;
   {
     capacity;
     n_domains;
+    disk = cache_dir;
     mutex = Mutex.create ();
     table = Hashtbl.create 64;
     order = Queue.create ();
@@ -68,6 +123,12 @@ let create ?domains ?(capacity = 4096) () =
     misses = 0;
     evictions = 0;
     errors = 0;
+    disk_hits = 0;
+    disk_stores = 0;
+    retries = 0;
+    internal = 0;
+    deadline = 0;
+    canceled = 0;
   }
 
 let domains t = t.n_domains
@@ -85,6 +146,12 @@ let stats t =
         st_evictions = t.evictions;
         st_errors = t.errors;
         st_entries = Hashtbl.length t.table;
+        st_disk_hits = t.disk_hits;
+        st_disk_stores = t.disk_stores;
+        st_retries = t.retries;
+        st_internal = t.internal;
+        st_deadline = t.deadline;
+        st_canceled = t.canceled;
       })
 
 let clear t =
@@ -95,7 +162,13 @@ let clear t =
       t.hits <- 0;
       t.misses <- 0;
       t.evictions <- 0;
-      t.errors <- 0)
+      t.errors <- 0;
+      t.disk_hits <- 0;
+      t.disk_stores <- 0;
+      t.retries <- 0;
+      t.internal <- 0;
+      t.deadline <- 0;
+      t.canceled <- 0)
 
 (* -- cache keys ---------------------------------------------------------------- *)
 
@@ -137,59 +210,294 @@ let job ?id ?(options = Pipeline.default_options) ?(use_microops = false)
     j_lint = lint;
   }
 
+(* -- the on-disk cache layer ---------------------------------------------------- *)
+
+(* One file per fingerprint under the cache directory: a one-line
+   versioned text header followed by the marshalled entry.  The header
+   pins the format version, the OCaml version (Marshal is not stable
+   across compilers) and the job's [Pipeline.options_id], so an entry
+   written by an incompatible build or under a different option scheme
+   reads as a miss, never as a wrong answer.  Writes go to a tmp file in
+   the same directory and are published with [Sys.rename], so a reader —
+   or a crash mid-write — can only ever see a complete file.  All disk
+   I/O happens outside the service lock. *)
+
+let disk_format_version = 1
+
+let disk_header ~opts_id =
+  Printf.sprintf "msl-cache %d %s %s" disk_format_version Sys.ocaml_version
+    opts_id
+
+let disk_file dir key = Filename.concat dir (Digest.to_hex key ^ ".mslc")
+
+(* Corruption-tolerant by construction: any failure — missing file, bad
+   header, truncated or garbage payload — is a miss and the job simply
+   recompiles (the fresh result then overwrites the bad file). *)
+let disk_load t ~opts_id key =
+  match t.disk with
+  | None -> None
+  | Some dir -> (
+      match open_in_bin (disk_file dir key) with
+      | exception Sys_error _ -> None
+      | ic ->
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              try
+                if input_line ic <> disk_header ~opts_id then None
+                else Some (Marshal.from_channel ic : entry)
+              with _ -> None))
+
+let disk_store t ~opts_id key e =
+  match t.disk with
+  | None -> ()
+  | Some dir -> (
+      let path = disk_file dir key in
+      let tmp =
+        Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+          (Domain.self () :> int)
+      in
+      match open_out_bin tmp with
+      | exception Sys_error _ -> ()  (* read-only/vanished dir: keep serving *)
+      | oc ->
+          let written =
+            try
+              output_string oc (disk_header ~opts_id);
+              output_char oc '\n';
+              Marshal.to_channel oc e [];
+              true
+            with _ -> false
+          in
+          close_out_noerr oc;
+          if written then (
+            try
+              Sys.rename tmp path;
+              locked t (fun () ->
+                  t.disk_stores <- t.disk_stores + 1;
+                  if Trace.enabled () then
+                    Trace.counter ~cat:"service" "disk_stores" t.disk_stores)
+            with Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ()))
+          else try Sys.remove tmp with Sys_error _ -> ())
+
 (* -- the cache proper ----------------------------------------------------------- *)
 
-(* Cache counters are emitted inside the service lock, right where the
-   counted state changes: the trace then carries them in the same total
-   order the cache saw, which is what lets the test suite assert they
-   are monotone even under a domain fan-out. *)
-let probe t key =
-  locked t (fun () ->
-      t.jobs <- t.jobs + 1;
-      match Hashtbl.find_opt t.table key with
-      | Some e ->
-          t.hits <- t.hits + 1;
-          if Trace.enabled () then
-            Trace.counter ~cat:"service" "cache_hits" t.hits;
-          Some e
-      | None ->
-          t.misses <- t.misses + 1;
-          if Trace.enabled () then
-            Trace.counter ~cat:"service" "cache_misses" t.misses;
-          None)
-
-(* Insert after a miss.  Two domains racing on the same key both compile
+(* Memory-layer insert.  Two domains racing on the same key both compile
    (the value is identical — compilation is deterministic); only the
-   first insertion is kept so the eviction queue stays consistent. *)
-let insert t key e =
+   first insertion is kept so the eviction queue stays consistent.
+   Eviction validates membership on pop: a stale queue entry (its key
+   already removed, or double-pushed by a historical re-insert) must not
+   evict a live entry or inflate the eviction count. *)
+let insert_mem t key e =
   locked t (fun () ->
       if not (Hashtbl.mem t.table key) then begin
         Hashtbl.replace t.table key e;
         Queue.push key t.order;
-        while Hashtbl.length t.table > t.capacity do
-          let oldest = Queue.pop t.order in
-          Hashtbl.remove t.table oldest;
-          t.evictions <- t.evictions + 1;
-          if Trace.enabled () then
-            Trace.counter ~cat:"service" "cache_evictions" t.evictions
-        done
+        let rec evict () =
+          if Hashtbl.length t.table > t.capacity then
+            match Queue.take_opt t.order with
+            | None -> ()  (* defensive: order exhausted before capacity met *)
+            | Some oldest ->
+                if Hashtbl.mem t.table oldest then begin
+                  Hashtbl.remove t.table oldest;
+                  t.evictions <- t.evictions + 1;
+                  if Trace.enabled () then
+                    Trace.counter ~cat:"service" "cache_evictions" t.evictions
+                end;
+                evict ()
+        in
+        evict ()
       end)
+
+(* Insert after a genuine miss: memory plus the persistent layer. *)
+let insert t ~opts_id key e =
+  insert_mem t key e;
+  disk_store t ~opts_id key e
+
+(* Cache counters are emitted inside the service lock, right where the
+   counted state changes: the trace then carries them in the same total
+   order the cache saw, which is what lets the test suite assert they
+   are monotone even under a domain fan-out.  [jobs] is bumped once per
+   probe and exactly one of [hits]/[misses] follows — whichever layer
+   answered — so [hits + misses = jobs] holds with or without a disk. *)
+let probe t ~opts_id key =
+  let from_memory =
+    locked t (fun () ->
+        t.jobs <- t.jobs + 1;
+        Hashtbl.find_opt t.table key)
+  in
+  let note_hit ~disk =
+    locked t (fun () ->
+        t.hits <- t.hits + 1;
+        if disk then t.disk_hits <- t.disk_hits + 1;
+        if Trace.enabled () then begin
+          Trace.counter ~cat:"service" "cache_hits" t.hits;
+          if disk then begin
+            Trace.counter ~cat:"service" "disk_hits" t.disk_hits;
+            Trace.instant ~cat:"service" "disk_hit"
+          end
+        end)
+  in
+  match from_memory with
+  | Some e ->
+      note_hit ~disk:false;
+      Some e
+  | None -> (
+      match disk_load t ~opts_id key with
+      | Some e ->
+          (* promote to the memory layer; no write-back needed *)
+          insert_mem t key e;
+          note_hit ~disk:true;
+          Some e
+      | None ->
+          locked t (fun () ->
+              t.misses <- t.misses + 1;
+              if Trace.enabled () then
+                Trace.counter ~cat:"service" "cache_misses" t.misses);
+          None)
 
 let note_error t = locked t (fun () -> t.errors <- t.errors + 1)
 
+(* -- fault injection ------------------------------------------------------------- *)
+
+(* Deterministic [0,1) draw from the fault seed, the cache key and the
+   attempt number.  Injection and backoff jitter are thus reproducible
+   across runs and domain schedules — which is what lets CI and the cram
+   suite gate on exact fault-injection outcomes. *)
+let draw ~seed key attempt tag =
+  let d =
+    Digest.string (Printf.sprintf "%d\x00%s\x00%d\x00%s" seed key attempt tag)
+  in
+  float_of_int
+    (Char.code d.[0] lor (Char.code d.[1] lsl 8) lor (Char.code d.[2] lsl 16))
+  /. 16_777_216.0
+
+let inject faults key attempt =
+  if
+    faults.f_delay > 0.0
+    && draw ~seed:faults.f_seed key attempt "delay" < faults.f_delay
+  then Unix.sleepf (faults.f_delay_ms /. 1000.0);
+  if
+    faults.f_raise > 0.0
+    && draw ~seed:faults.f_seed key attempt "raise" < faults.f_raise
+  then raise (Injected_fault (Printf.sprintf "injected fault (attempt %d)" attempt))
+
 (* -- compiling one job ----------------------------------------------------------- *)
 
-let compile_fresh (j : job) =
-  Diag.protect (fun () ->
-      let d =
-        try Machines.get j.j_machine
-        with Invalid_argument msg -> Diag.error Diag.Semantic "%s" msg
-      in
-      let c =
-        Toolkit.compile ~options:j.j_options ~use_microops:j.j_use_microops
-          j.j_language d j.j_source
-      in
-      (c, Masm.print d c.Toolkit.c_insts))
+(* Raises: a structured [Diag.Error] on any front- or back-end failure,
+   and possibly anything at all on a pathological job — the caller's
+   firewall sorts the two apart. *)
+let compile_raw (j : job) =
+  let d =
+    try Machines.get j.j_machine
+    with Invalid_argument msg -> Diag.error Diag.Semantic "%s" msg
+  in
+  let c =
+    Toolkit.compile ~options:j.j_options ~use_microops:j.j_use_microops
+      j.j_language d j.j_source
+  in
+  (c, Masm.print d c.Toolkit.c_insts)
+
+(* One attempt behind the exception firewall.  A structured diagnostic
+   is deterministic — the same source fails the same way every time — so
+   it is never retried; anything else that escapes the compiler is an
+   internal fault (a worker crash, an injected raise) and is fair game
+   for a retry. *)
+type attempt =
+  | A_ok of entry
+  | A_diag of Diag.t  (* deterministic compile failure *)
+  | A_crash of Diag.t  (* unexpected raise, converted; retryable *)
+
+let one_attempt ~faults j key n =
+  try
+    inject faults key n;
+    let c, listing = compile_raw j in
+    A_ok { e_compiled = c; e_listing = listing }
+  with
+  | Diag.Error d -> A_diag d
+  | Injected_fault msg ->
+      (* injected by configuration: deliberately backtrace-free so
+         fault-injection output stays byte-stable *)
+      A_crash { Diag.phase = Diag.Internal; loc = Msl_util.Loc.dummy; message = msg }
+  | (Stdlib.Exit | Sys.Break) as e -> raise e
+  | e ->
+      let bt = String.trim (Printexc.get_backtrace ()) in
+      let msg = Printexc.to_string e in
+      A_crash
+        {
+          Diag.phase = Diag.Internal;
+          loc = Msl_util.Loc.dummy;
+          message = (if bt = "" then msg else msg ^ "\n" ^ bt);
+        }
+
+(* The retry/deadline loop around the firewall.  The deadline is a wall
+   budget for the whole job across attempts, checked between steps (a
+   domain cannot be preempted, so overrun is detected, not interrupted);
+   a job that finishes past its budget is reported as a deadline
+   failure and its result discarded rather than cached late. *)
+let compile_uncached t ~policy ~faults ~opts_id (j : job) key =
+  let started = Unix.gettimeofday () in
+  let overrun () =
+    match policy.p_deadline_ms with
+    | None -> None
+    | Some budget ->
+        let elapsed = (Unix.gettimeofday () -. started) *. 1000.0 in
+        if elapsed > budget then Some (elapsed, budget) else None
+  in
+  let deadline_diag (elapsed, budget) attempts =
+    locked t (fun () -> t.deadline <- t.deadline + 1);
+    if Trace.enabled () then
+      Trace.instant ~cat:"service" "deadline_exceeded"
+        ~args:
+          [ ("id", Trace.A_string j.j_id); ("elapsed_ms", Trace.A_float elapsed) ];
+    {
+      Diag.phase = Diag.Internal;
+      loc = Msl_util.Loc.dummy;
+      message =
+        Printf.sprintf
+          "deadline exceeded: %.1f ms elapsed over a %.1f ms budget (%d \
+           attempt%s)"
+          elapsed budget attempts
+          (if attempts = 1 then "" else "s");
+    }
+  in
+  let rec go attempt =
+    match one_attempt ~faults j key attempt with
+    | A_ok e -> (
+        match overrun () with
+        | Some over -> Error (deadline_diag over attempt)
+        | None ->
+            insert t ~opts_id key e;
+            Ok e)
+    | A_diag d -> Error d
+    | A_crash d -> (
+        locked t (fun () -> t.internal <- t.internal + 1);
+        if attempt > policy.p_retries then Error d
+        else
+          match overrun () with
+          | Some over -> Error (deadline_diag over attempt)
+          | None ->
+              (* exponential backoff with deterministic jitter in
+                 [0.5, 1.0) of the nominal step, capped at 5 s *)
+              let nominal =
+                policy.p_backoff_ms *. (2.0 ** float_of_int (attempt - 1))
+              in
+              let jitter =
+                0.5 +. (0.5 *. draw ~seed:faults.f_seed key attempt "jitter")
+              in
+              let backoff_ms = Float.min 5000.0 (nominal *. jitter) in
+              locked t (fun () -> t.retries <- t.retries + 1);
+              if Trace.enabled () then
+                Trace.instant ~cat:"service" "retry"
+                  ~args:
+                    [
+                      ("id", Trace.A_string j.j_id);
+                      ("attempt", Trace.A_int attempt);
+                      ("backoff_ms", Trace.A_float backoff_ms);
+                    ];
+              if backoff_ms > 0.0 then Unix.sleepf (backoff_ms /. 1000.0);
+              go (attempt + 1))
+  in
+  go 1
 
 (* The post-compile lint gate.  Runs outside the cache: the cached value
    is always the pure compilation (j_lint is not in the key), and a
@@ -213,17 +521,17 @@ let lint_gate (c : Toolkit.compiled) =
       in
       Some { Diag.phase = Diag.Lint; loc = Msl_util.Loc.dummy; message }
 
-let compile_job t (j : job) =
+let compile_job ?(policy = default_policy) ?(faults = no_faults) t (j : job) =
   let key = (cache_key j :> string) in
+  let opts_id = options_id j.j_options in
   let outcome =
-    match probe t key with
+    match probe t ~opts_id key with
     | Some e ->
         { o_job = j; o_result = Ok (e.e_compiled, e.e_listing); o_cached = true }
     | None -> (
-        match compile_fresh j with
-        | Ok (c, listing) ->
-            insert t key { e_compiled = c; e_listing = listing };
-            { o_job = j; o_result = Ok (c, listing); o_cached = false }
+        match compile_uncached t ~policy ~faults ~opts_id j key with
+        | Ok e ->
+            { o_job = j; o_result = Ok (e.e_compiled, e.e_listing); o_cached = false }
         | Error d ->
             note_error t;
             { o_job = j; o_result = Error d; o_cached = false })
@@ -241,7 +549,14 @@ let compile_job t (j : job) =
 
 (* -- the worker pool -------------------------------------------------------------- *)
 
-let run_batch ?domains t jobs =
+let canceled_diag =
+  {
+    Diag.phase = Diag.Internal;
+    loc = Msl_util.Loc.dummy;
+    message = "canceled: an earlier job failed and the batch is fail-fast";
+  }
+
+let run_batch ?domains ?(policy = default_policy) ?(faults = no_faults) t jobs =
   let n_workers =
     match domains with
     | Some n when n < 1 -> invalid_arg "Service.run_batch: domains must be positive"
@@ -277,13 +592,34 @@ let run_batch ?domains t jobs =
       o
     end
   in
+  (* Fail-fast: once any job fails, later pickups are canceled instead of
+     run.  Jobs already inside a worker still finish — a domain cannot be
+     interrupted — so the flag bounds new work, not in-flight work.
+     Every job still gets an outcome either way. *)
+  let aborted = Atomic.make false in
+  let one i j =
+    if (not policy.p_keep_going) && Atomic.get aborted then begin
+      note_error t;
+      locked t (fun () -> t.canceled <- t.canceled + 1);
+      { o_job = j; o_result = Error canceled_diag; o_cached = false }
+    end
+    else begin
+      let o = traced i j (fun () -> compile_job ~policy ~faults t j) in
+      if (not policy.p_keep_going) && Result.is_error o.o_result then
+        Atomic.set aborted true;
+      o
+    end
+  in
   if n_workers = 1 || Array.length jobs <= 1 then
-    Array.iteri
-      (fun i j -> results.(i) <- Some (traced i j (fun () -> compile_job t j)))
-      jobs
+    Array.iteri (fun i j -> results.(i) <- Some (one i j)) jobs
   else begin
     let queue = Safe_queue.create () in
-    Array.iteri (fun i j -> Safe_queue.push queue (i, j)) jobs;
+    Array.iteri
+      (fun i j ->
+        (* the queue is not closed until after the loop: push accepted *)
+        let (_ : bool) = Safe_queue.push queue (i, j) in
+        ())
+      jobs;
     Safe_queue.close queue;
     let worker () =
       let rec loop () =
@@ -291,7 +627,7 @@ let run_batch ?domains t jobs =
         | None -> ()
         | Some (i, j) ->
             (* distinct slots per worker; Domain.join publishes the writes *)
-            results.(i) <- Some (traced i j (fun () -> compile_job t j));
+            results.(i) <- Some (one i j);
             loop ()
       in
       loop ()
@@ -311,24 +647,24 @@ let run_batch ?domains t jobs =
 
 (* -- in-process cached entry points ------------------------------------------------ *)
 
-let cached_value t key compute =
-  match probe t key with
+let cached_value t ~opts_id key compute =
+  match probe t ~opts_id key with
   | Some e -> e
   | None ->
       let e = compute () in
-      insert t key e;
+      insert t ~opts_id key e;
       e
 
 let compile_cached t ?(options = Pipeline.default_options)
     ?(use_microops = false) language (d : Desc.t) source =
+  let opts_id = options_id options in
   let key =
     (key_of ~kind:"compile"
        ~language:(Toolkit.language_name language)
-       ~machine:d.Desc.d_name ~options:(options_id options) ~use_microops
-       ~source
+       ~machine:d.Desc.d_name ~options:opts_id ~use_microops ~source
       :> string)
   in
-  (cached_value t key (fun () ->
+  (cached_value t ~opts_id key (fun () ->
        let c = Toolkit.compile ~options ~use_microops language d source in
        { e_compiled = c; e_listing = Masm.print d c.Toolkit.c_insts }))
     .e_compiled
@@ -339,7 +675,7 @@ let assemble_cached t (d : Desc.t) source =
        ~use_microops:false ~source
       :> string)
   in
-  (cached_value t key (fun () ->
+  (cached_value t ~opts_id:"-" key (fun () ->
        let c = Toolkit.assemble d source in
        { e_compiled = c; e_listing = Masm.print d c.Toolkit.c_insts }))
     .e_compiled

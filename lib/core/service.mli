@@ -42,21 +42,76 @@ type outcome = {
 
 type stats = {
   st_jobs : int;  (** jobs submitted (cache probes) *)
-  st_hits : int;
+  st_hits : int;  (** served from cache — memory or disk *)
   st_misses : int;
   st_evictions : int;
-  st_errors : int;  (** jobs that raised a diagnostic *)
-  st_entries : int;  (** entries currently cached *)
+  st_errors : int;  (** jobs whose outcome is an error (canceled included) *)
+  st_entries : int;  (** entries currently in the memory cache *)
+  st_disk_hits : int;  (** hits answered by the persistent layer *)
+  st_disk_stores : int;  (** entries written to the persistent layer *)
+  st_retries : int;  (** retry attempts performed after worker crashes *)
+  st_internal : int;
+      (** unexpected raises converted to internal-error diagnostics by
+          the firewall, counted per attempt (retried crashes included) *)
+  st_deadline : int;  (** jobs failed on their wall deadline *)
+  st_canceled : int;  (** jobs canceled by a fail-fast batch *)
 }
+
+(** Per-job fault-handling policy for {!compile_job} / {!run_batch}.
+    The default — no retries, no deadline, keep going — reproduces the
+    historical behaviour exactly. *)
+type policy = {
+  p_retries : int;  (** retry attempts after a worker crash (not after a
+                        structured compile diagnostic, which is
+                        deterministic and would fail identically) *)
+  p_backoff_ms : float;
+      (** nominal first backoff; doubles per retry, scaled by a
+          deterministic jitter in [0.5, 1.0), capped at 5 s *)
+  p_deadline_ms : float option;
+      (** per-job wall budget across all attempts.  Checked between
+          steps — a running domain cannot be preempted — so an overrun
+          is detected and reported, not interrupted; a result that
+          arrives past the budget is discarded, not cached. *)
+  p_keep_going : bool;
+      (** [false] = fail-fast: after the first failed job, jobs not yet
+          started are canceled (outcome: an internal "canceled"
+          diagnostic).  Jobs already in a worker still finish. *)
+}
+
+val default_policy : policy
+
+(** Deterministic fault injection, for the R1 experiment, tests and the
+    CI gate.  Each probability is evaluated against a pure hash of
+    [f_seed], the job's cache key and the attempt number, so a given
+    configuration produces the same faults on every run and any domain
+    schedule.  Faults strike compile attempts only — cache hits are
+    served without injection. *)
+type faults = {
+  f_seed : int;
+  f_raise : float;  (** probability an attempt raises before compiling *)
+  f_delay : float;  (** probability an attempt sleeps first *)
+  f_delay_ms : float;  (** length of that sleep *)
+}
+
+val no_faults : faults
+(** Zero probabilities: injection fully disabled. *)
 
 type t
 
-val create : ?domains:int -> ?capacity:int -> unit -> t
+val create : ?domains:int -> ?capacity:int -> ?cache_dir:string -> unit -> t
 (** [domains] is the default worker-pool size for {!run_batch}
     (default: the smaller of 4 and the recommended domain count);
-    [capacity] bounds the cache, evicting oldest-inserted entries
-    (default 4096).
-    @raise Invalid_argument when either is not positive. *)
+    [capacity] bounds the in-memory cache, evicting oldest-inserted
+    entries (default 4096).  [cache_dir] adds a persistent
+    content-addressed layer under the memory cache: one file per
+    fingerprint (versioned header + marshalled entry, written atomically
+    via tmp+rename), read on a memory miss and written on a fresh
+    compile.  The directory is created if missing, shared safely between
+    domains and processes, unbounded (eviction applies to the memory
+    layer only), and survives restarts; corrupt or incompatible files
+    are treated as misses and rewritten.  {!clear} does not touch it.
+    @raise Invalid_argument when a count is not positive or the
+    directory cannot be created. *)
 
 val domains : t -> int
 val stats : t -> stats
@@ -76,16 +131,24 @@ val job :
 
 val cache_key : job -> Msl_util.Fingerprint.t
 
-val compile_job : t -> job -> outcome
+val compile_job : ?policy:policy -> ?faults:faults -> t -> job -> outcome
 (** Compile one job through the cache.  Never raises: front- and
-    back-end diagnostics are captured in [o_result]; an unknown machine
-    name is reported the same way. *)
+    back-end diagnostics are captured in [o_result], an unknown machine
+    name is reported the same way, and {e any} other exception a worker
+    raises is stopped at the per-job firewall and converted into an
+    [Internal] diagnostic (with a backtrace when available) — subject to
+    [policy]'s retry/backoff and deadline rules. *)
 
-val run_batch : ?domains:int -> t -> job list -> outcome array
+val run_batch :
+  ?domains:int -> ?policy:policy -> ?faults:faults -> t -> job list ->
+  outcome array
 (** Fan the jobs out over a worker pool ([domains] overrides the
     service default; 1 runs everything on the calling domain) and
-    return the outcomes in job order.  Deterministic: the outcome
-    values do not depend on the pool size. *)
+    return the outcomes in job order — always one outcome per job: a
+    crashing job fails alone behind its firewall and cannot abort the
+    batch.  Deterministic: the outcome values do not depend on the pool
+    size (under fail-fast, {e which} jobs are canceled does depend on
+    pickup order). *)
 
 val compile_cached :
   t ->

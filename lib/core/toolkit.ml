@@ -22,6 +22,22 @@ let language_of_string s =
   | "yalll" -> Yalll
   | other -> invalid_arg (Printf.sprintf "unknown language %S" other)
 
+(* Exception firewall: any raise — not just a structured [Diag.Error] —
+   becomes a diagnostic.  The batch service wraps every worker attempt in
+   this so a pathological job (a [Desc]/[Encode]/[Bitvec] invariant
+   failure, a stack overflow) is reported against that one job instead of
+   propagating through [Domain.join] and killing the whole batch. *)
+let capture f =
+  try Ok (f ())
+  with
+  | Diag.Error d -> Error d
+  | Stdlib.Exit | Sys.Break as e -> raise e  (* driver control flow, not a fault *)
+  | e ->
+      let bt = String.trim (Printexc.get_backtrace ()) in
+      let msg = Printexc.to_string e in
+      let message = if bt = "" then msg else msg ^ "\n" ^ bt in
+      Error { Diag.phase = Diag.Internal; loc = Msl_util.Loc.dummy; message }
+
 type compiled = {
   c_language : language;
   c_machine : Desc.t;

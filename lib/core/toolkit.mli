@@ -11,6 +11,14 @@ val language_name : language -> string
 val language_of_string : string -> language
 (** @raise Invalid_argument on unknown names. *)
 
+val capture : (unit -> 'a) -> ('a, Msl_util.Diag.t) result
+(** Exception firewall.  Run a thunk and convert {e any} raise into a
+    structured diagnostic: a {!Msl_util.Diag.Error} is captured as-is,
+    while every other exception becomes an [Internal] finding carrying
+    the exception text (and backtrace, when recording is on — see
+    [Printexc.record_backtrace]).  [Stdlib.Exit] and [Sys.Break] are
+    re-raised: they are driver control flow, not faults. *)
+
 type compiled = {
   c_language : language;
   c_machine : Desc.t;

@@ -152,6 +152,7 @@ let phase_code (p : Msl_util.Diag.phase) =
   | Assembly -> "assemble"
   | Execution -> "execute"
   | Lint -> "lint"
+  | Internal -> "internal"
 
 (* The code already names the phase, so the message is carried as-is. *)
 let of_compiler_error (d : Msl_util.Diag.t) =

@@ -16,6 +16,7 @@ type phase =
   | Assembly
   | Execution      (* simulator-level faults surfaced as diagnostics *)
   | Lint           (* post-compile static-analysis findings promoted to failures *)
+  | Internal       (* unexpected exceptions converted to structured findings *)
 
 let phase_name = function
   | Lexing -> "lexical error"
@@ -29,6 +30,7 @@ let phase_name = function
   | Assembly -> "assembly error"
   | Execution -> "execution error"
   | Lint -> "lint failure"
+  | Internal -> "internal error"
 
 type t = {
   phase : phase;

@@ -16,6 +16,9 @@ type phase =
   | Assembly
   | Execution  (** simulator-level faults surfaced as diagnostics *)
   | Lint  (** post-compile static-analysis findings promoted to failures *)
+  | Internal
+      (** an unexpected exception caught at a fault boundary (worker
+          firewall, CLI driver) and converted into a structured finding *)
 
 val phase_name : phase -> string
 

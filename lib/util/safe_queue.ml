@@ -17,9 +17,12 @@ let with_lock t f =
 
 let push t x =
   with_lock t (fun () ->
-      if t.closed then invalid_arg "Safe_queue.push: closed";
-      Queue.push x t.q;
-      Condition.signal t.nonempty)
+      if t.closed then false
+      else begin
+        Queue.push x t.q;
+        Condition.signal t.nonempty;
+        true
+      end)
 
 let close t =
   with_lock t (fun () ->

@@ -9,8 +9,11 @@ type 'a t
 
 val create : unit -> 'a t
 
-val push : 'a t -> 'a -> unit
-(** @raise Invalid_argument if the queue is closed. *)
+val push : 'a t -> 'a -> bool
+(** [true] if the job was enqueued, [false] if the queue was already
+    closed (the job is dropped).  A producer racing {!close} therefore
+    observes a rejected push instead of an exception that would kill
+    its domain. *)
 
 val close : 'a t -> unit
 (** Idempotent.  Wakes every blocked consumer. *)

@@ -374,14 +374,18 @@ let parse_event line =
   | Ok _ -> Error "event line is not a JSON object"
 
 let read_events path =
-  let ic = open_in path in
-  let rec go lineno acc =
-    match input_line ic with
-    | exception End_of_file -> Ok (List.rev acc)
-    | "" -> go (lineno + 1) acc
-    | line -> (
-        match parse_event line with
-        | Ok e -> go (lineno + 1) (e :: acc)
-        | Error msg -> Error (Printf.sprintf "%s:%d: %s" path lineno msg))
-  in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> go 1 [])
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let rec go lineno acc =
+        match input_line ic with
+        | exception End_of_file -> Ok (List.rev acc)
+        | exception Sys_error msg ->
+            Error (Printf.sprintf "%s:%d: %s" path lineno msg)
+        | "" -> go (lineno + 1) acc
+        | line -> (
+            match parse_event line with
+            | Ok e -> go (lineno + 1) (e :: acc)
+            | Error msg -> Error (Printf.sprintf "%s:%d: %s" path lineno msg))
+      in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () -> go 1 [])

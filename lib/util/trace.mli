@@ -97,4 +97,6 @@ val parse_event : string -> (event, string) result
 
 val read_events : string -> (event list, string) result
 (** Parse a whole trace file (blank lines ignored); [Error] names the
-    first offending line. *)
+    first offending line.  Never raises: I/O failures ([Sys_error] on
+    open or mid-read) are returned as [Error] too, so a mid-write or
+    truncated trace degrades to a diagnostic rather than an exception. *)

@@ -68,3 +68,55 @@ itself was processed, so this is exit 1.
   error broken.yll@hp3               [parse] <yalll>:1.1-1: unexpected character '&'
   -- 1 jobs: 0 hits, 1 misses, 0 evictions, 1 errors; 0 entries cached
   [1]
+
+The persistent disk cache: a cold run populates --cache-dir, and a
+fresh process over the same manifest is served back from it.  36 jobs
+over 33 distinct keys — the three manifest duplicates hit in memory, so
+the restarted run reports 33 of its 36 hits from disk.
+
+  $ mkdir disk
+  $ (cd ../.. && bin/mslc.exe batch examples/batch.manifest --domains 1 --cache-dir "$OLDPWD/disk") | tail -n 2
+  -- 36 jobs: 3 hits, 33 misses, 0 evictions, 0 errors; 33 entries cached
+  -- disk cache: 0 hits, 33 stores
+
+  $ (cd ../.. && bin/mslc.exe batch examples/batch.manifest --domains 1 --cache-dir "$OLDPWD/disk") | tail -n 2
+  -- 36 jobs: 36 hits, 0 misses, 0 evictions, 0 errors; 33 entries cached
+  -- disk cache: 33 hits, 0 stores
+
+Deterministic fault injection: with every attempt raising and no
+retries, each job fails alone behind its per-job firewall — the batch
+still completes every job and exits 1, it never aborts.
+
+  $ cat > faults.manifest <<'EOF'
+  > yalll hp3 ../../examples/gcd.yll
+  > yalll b17 ../../examples/gcd.yll
+  > yalll hp3 ../../examples/sum_loop.yll
+  > EOF
+  $ ../../bin/mslc.exe batch faults.manifest -j 1 --inject-raise 1.0
+  error ../../examples/gcd.yll@hp3   [internal] injected fault (attempt 1)
+  error ../../examples/gcd.yll@b17   [internal] injected fault (attempt 1)
+  error ../../examples/sum_loop.yll@hp3 [internal] injected fault (attempt 1)
+  -- 3 jobs: 0 hits, 3 misses, 0 evictions, 3 errors; 0 entries cached
+  -- faults: 3 internal errors, 0 retries, 0 deadline failures, 0 canceled
+  [1]
+
+The same injection rate with retries recovers every job (the draws are
+deterministic in the seed, so the retry tally is pinned too).
+
+  $ ../../bin/mslc.exe batch faults.manifest -j 1 --inject-raise 0.5 --retries 8 --backoff-ms 0.1 | tail -n 2
+  -- 3 jobs: 0 hits, 3 misses, 0 evictions, 0 errors; 3 entries cached
+  -- faults: 6 internal errors, 6 retries, 0 deadline failures, 0 canceled
+
+Fail-fast: --keep-going=false cancels jobs not yet started once the
+first failure lands (with -j 1 the pickup order is the manifest order).
+
+  $ cat > ff.manifest <<'EOF'
+  > yalll hp3 broken.yll
+  > yalll hp3 ../../examples/gcd.yll
+  > EOF
+  $ ../../bin/mslc.exe batch ff.manifest -j 1 --keep-going=false
+  error broken.yll@hp3               [parse] <yalll>:1.1-1: unexpected character '&'
+  error ../../examples/gcd.yll@hp3   [internal] canceled: an earlier job failed and the batch is fail-fast
+  -- 1 jobs: 0 hits, 1 misses, 0 evictions, 2 errors; 0 entries cached
+  -- faults: 0 internal errors, 0 retries, 0 deadline failures, 1 canceled
+  [1]

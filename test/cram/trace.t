@@ -49,3 +49,20 @@ counters are deterministic (4 jobs with one duplicate, so round one is
   $ ../../bin/mslc.exe stats batch.jsonl | grep 'service/cache_'
     service/cache_hits               5
     service/cache_misses             3
+
+An empty trace is a failed check on the trace file: a structured
+diagnostic and exit 1, not a zero-event report and not an exception.
+
+  $ touch empty.jsonl
+  $ ../../bin/mslc.exe stats empty.jsonl
+  error[parse]: empty.jsonl: empty trace (no events)
+  [1]
+
+A mid-write-truncated trace (the writer died inside a line) gets the
+same discipline, naming the offending line — the hand-rolled JSON
+parser must degrade to a diagnostic, never raise.
+
+  $ printf '{"seq":1,"ts":0.5,"ph":"C","pid":1,"tid":0,"cat":"a","name":"b","args":{"value":1}}\n{"seq":2,"ts":' > truncated.jsonl
+  $ ../../bin/mslc.exe stats truncated.jsonl
+  error[parse]: truncated.jsonl:2: unexpected end of input at offset 14
+  [1]

@@ -198,6 +198,317 @@ let test_error_outcome () =
   Alcotest.(check bool) "error retried, not served warm" false
     again.(0).Service.o_cached
 
+(* -- the exception firewall, retries, deadlines, fail-fast ------------------- *)
+
+let small_jobs n =
+  List.init n (fun i ->
+      Service.job
+        ~id:(Printf.sprintf "fw%d" i)
+        Toolkit.Yalll ~machine:"hp3"
+        ~source:(Core.Workloads.yalll_program ~seed:(200 + i) ~len:6))
+
+let test_capture_firewall () =
+  (match Toolkit.capture (fun () -> 42) with
+  | Ok v -> Alcotest.(check int) "value through" 42 v
+  | Error _ -> Alcotest.fail "no error expected");
+  (match Toolkit.capture (fun () -> failwith "boom") with
+  | Error d ->
+      Alcotest.(check bool) "internal phase" true (d.Diag.phase = Diag.Internal);
+      Alcotest.(check bool) "exception text carried" true
+        (String.length d.Diag.message >= 4)
+  | Ok _ -> Alcotest.fail "raise must be captured");
+  match Toolkit.capture (fun () -> Diag.error Diag.Parsing "structured") with
+  | Error d ->
+      Alcotest.(check bool) "diag passed through" true
+        (d.Diag.phase = Diag.Parsing)
+  | Ok _ -> Alcotest.fail "diagnostic must be captured"
+
+(* Every attempt raises and there are no retries: the batch must still
+   produce one outcome per job — each a structured internal-error
+   diagnostic — instead of dying through Domain.join. *)
+let test_firewall_confines_crashes () =
+  let js = small_jobs 6 in
+  let s = Service.create () in
+  let faults =
+    { Service.f_seed = 1; f_raise = 1.0; f_delay = 0.0; f_delay_ms = 0.0 }
+  in
+  let out = Service.run_batch ~domains:3 ~faults s js in
+  Alcotest.(check int) "one outcome per job" 6 (Array.length out);
+  Array.iter
+    (fun (o : Service.outcome) ->
+      match o.Service.o_result with
+      | Error d ->
+          Alcotest.(check bool) "internal finding" true
+            (d.Diag.phase = Diag.Internal)
+      | Ok _ -> Alcotest.fail "every attempt was made to raise")
+    out;
+  let st = Service.stats s in
+  Alcotest.(check int) "every job an error" 6 st.Service.st_errors;
+  Alcotest.(check int) "every crash counted" 6 st.Service.st_internal;
+  Alcotest.(check int) "no retries without a policy" 0 st.Service.st_retries
+
+(* Crashes at p=0.5 with retries enabled: the whole batch must recover,
+   producing results byte-identical to fault-free sequential compiles. *)
+let test_retries_recover () =
+  let js = small_jobs 8 in
+  let expected = reference_listings js in
+  let s = Service.create () in
+  let policy =
+    { Service.default_policy with Service.p_retries = 12; p_backoff_ms = 0.1 }
+  in
+  let faults =
+    { Service.f_seed = 7; f_raise = 0.5; f_delay = 0.0; f_delay_ms = 0.0 }
+  in
+  let out = Service.run_batch ~domains:3 ~policy ~faults s js in
+  check_identical "recovered results" expected (outcome_listings out);
+  let st = Service.stats s in
+  Alcotest.(check bool) "some attempts crashed" true (st.Service.st_internal > 0);
+  Alcotest.(check bool) "crashes were retried" true (st.Service.st_retries > 0);
+  Alcotest.(check int) "no job left failed" 0 st.Service.st_errors
+
+(* A structured compile error is deterministic: retrying it would fail
+   identically, so the policy must not burn attempts on it. *)
+let test_diagnostics_not_retried () =
+  let s = Service.create ~domains:1 () in
+  let policy = { Service.default_policy with Service.p_retries = 5 } in
+  let out =
+    Service.run_batch ~policy s
+      [ Service.job ~id:"bad" Toolkit.Yalll ~machine:"hp3" ~source:"&&&\n" ]
+  in
+  (match out.(0).Service.o_result with
+  | Error d ->
+      Alcotest.(check bool) "still the parse diagnostic" true
+        (d.Diag.phase = Diag.Parsing)
+  | Ok _ -> Alcotest.fail "bad source must fail");
+  let st = Service.stats s in
+  Alcotest.(check int) "no retries" 0 st.Service.st_retries;
+  Alcotest.(check int) "no internal errors" 0 st.Service.st_internal
+
+let test_deadline_overrun () =
+  let s = Service.create ~domains:1 () in
+  let policy =
+    { Service.default_policy with Service.p_deadline_ms = Some 5.0 }
+  in
+  let faults =
+    { Service.f_seed = 1; f_raise = 0.0; f_delay = 1.0; f_delay_ms = 30.0 }
+  in
+  let out = Service.run_batch ~policy ~faults s (small_jobs 2) in
+  Array.iter
+    (fun (o : Service.outcome) ->
+      match o.Service.o_result with
+      | Error d ->
+          Alcotest.(check bool) "internal finding" true
+            (d.Diag.phase = Diag.Internal);
+          Alcotest.(check bool) "says deadline" true
+            (String.length d.Diag.message >= 8
+            && String.sub d.Diag.message 0 8 = "deadline")
+      | Ok _ -> Alcotest.fail "30 ms of injected delay over a 5 ms budget")
+    out;
+  let st = Service.stats s in
+  Alcotest.(check int) "deadline failures counted" 2 st.Service.st_deadline;
+  (* overrun results are discarded, never cached late *)
+  Alcotest.(check int) "nothing cached" 0 st.Service.st_entries
+
+let test_fail_fast () =
+  let good i =
+    Service.job
+      ~id:(Printf.sprintf "g%d" i)
+      Toolkit.Yalll ~machine:"hp3"
+      ~source:(Core.Workloads.yalll_program ~seed:(300 + i) ~len:4)
+  in
+  let js =
+    [ Service.job ~id:"bad" Toolkit.Yalll ~machine:"hp3" ~source:"&&&\n";
+      good 1; good 2 ]
+  in
+  (* keep-going (the default): the failure does not stop the others *)
+  let s = Service.create ~domains:1 () in
+  let out = Service.run_batch s js in
+  Alcotest.(check bool) "job 1 ran" true (Result.is_ok out.(1).Service.o_result);
+  Alcotest.(check bool) "job 2 ran" true (Result.is_ok out.(2).Service.o_result);
+  (* fail-fast: with one domain the pickup order is the job order, so
+     both later jobs are deterministically canceled *)
+  let s = Service.create ~domains:1 () in
+  let policy = { Service.default_policy with Service.p_keep_going = false } in
+  let out = Service.run_batch ~policy s js in
+  (match out.(0).Service.o_result with
+  | Error d ->
+      Alcotest.(check bool) "original failure kept" true
+        (d.Diag.phase = Diag.Parsing)
+  | Ok _ -> Alcotest.fail "bad source must fail");
+  Array.iter
+    (fun i ->
+      match out.(i).Service.o_result with
+      | Error d ->
+          Alcotest.(check bool)
+            (Printf.sprintf "job %d canceled" i)
+            true
+            (d.Diag.phase = Diag.Internal
+            && String.length d.Diag.message >= 8
+            && String.sub d.Diag.message 0 8 = "canceled")
+      | Ok _ -> Alcotest.failf "job %d must be canceled" i)
+    [| 1; 2 |];
+  let st = Service.stats s in
+  Alcotest.(check int) "canceled counted" 2 st.Service.st_canceled;
+  Alcotest.(check int) "all three errors" 3 st.Service.st_errors;
+  Alcotest.(check int) "canceled jobs never probed" 1 st.Service.st_jobs
+
+(* -- the persistent disk layer ----------------------------------------------- *)
+
+let with_cache_dir f =
+  let dir = Filename.temp_dir "msl-service-test" "" in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun name ->
+          try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+(* distinct sources only, so the disk-hit accounting below is exact *)
+let disk_jobs () =
+  List.init 6 (fun i ->
+      Service.job
+        ~id:(Printf.sprintf "d%d" i)
+        Toolkit.Yalll ~machine:"hp3"
+        ~source:(Core.Workloads.yalll_program ~seed:(400 + i) ~len:8))
+
+let test_disk_survives_restart () =
+  with_cache_dir (fun dir ->
+      let js = disk_jobs () in
+      let expected = reference_listings js in
+      let s1 = Service.create ~domains:1 ~cache_dir:dir () in
+      check_identical "cold populate" expected
+        (outcome_listings (Service.run_batch s1 js));
+      let st1 = Service.stats s1 in
+      Alcotest.(check int) "every miss stored" 6 st1.Service.st_disk_stores;
+      Alcotest.(check int) "no disk hits cold" 0 st1.Service.st_disk_hits;
+      (* a brand-new service on the same directory models a process
+         restart: everything must come back from disk, byte-identical *)
+      let s2 = Service.create ~domains:1 ~cache_dir:dir () in
+      let out = Service.run_batch s2 js in
+      check_identical "served from disk" expected (outcome_listings out);
+      Array.iter
+        (fun (o : Service.outcome) ->
+          Alcotest.(check bool) "reported cached" true o.Service.o_cached)
+        out;
+      let st2 = Service.stats s2 in
+      Alcotest.(check int) "all from disk" 6 st2.Service.st_disk_hits;
+      Alcotest.(check int) "disk hits are hits" 6 st2.Service.st_hits;
+      Alcotest.(check int) "no recompiles" 0 st2.Service.st_misses;
+      Alcotest.(check int) "no rewrites" 0 st2.Service.st_disk_stores)
+
+(* Corrupt entries — truncation, garbage, a stale or foreign header —
+   must read as misses that recompile and heal the file, never as wrong
+   results or exceptions. *)
+let test_disk_corruption_tolerated () =
+  with_cache_dir (fun dir ->
+      let js = disk_jobs () in
+      let expected = reference_listings js in
+      let s1 = Service.create ~domains:1 ~cache_dir:dir () in
+      ignore (Service.run_batch s1 js);
+      let files =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".mslc")
+        |> List.sort compare
+      in
+      Alcotest.(check int) "one file per entry" 6 (List.length files);
+      let clobber i content =
+        let oc = open_out_bin (Filename.concat dir (List.nth files i)) in
+        output_string oc content;
+        close_out oc
+      in
+      clobber 0 "";  (* empty file *)
+      clobber 1 "total garbage, not even a header\n\xff\xfe";
+      clobber 2 "msl-cache 999 future-version -\ngarbage";  (* wrong header *)
+      (let path = Filename.concat dir (List.nth files 3) in
+       (* keep a valid header but truncate the marshalled payload *)
+       let ic = open_in_bin path in
+       let header = input_line ic in
+       close_in ic;
+       let oc = open_out_bin path in
+       output_string oc (header ^ "\n\000\000");
+       close_out oc);
+      let s2 = Service.create ~domains:1 ~cache_dir:dir () in
+      let out = Service.run_batch s2 js in
+      check_identical "corruption never changes results" expected
+        (outcome_listings out);
+      let st = Service.stats s2 in
+      Alcotest.(check int) "intact entries hit" 2 st.Service.st_disk_hits;
+      Alcotest.(check int) "corrupt entries recompiled" 4 st.Service.st_misses;
+      Alcotest.(check int) "corrupt entries healed" 4 st.Service.st_disk_stores;
+      (* healed: one more restart now hits everything *)
+      let s3 = Service.create ~domains:1 ~cache_dir:dir () in
+      ignore (Service.run_batch s3 js);
+      Alcotest.(check int) "all healed" 6 (Service.stats s3).Service.st_disk_hits)
+
+(* Satellite: N domains hammering a small key set, with the persistent
+   layer in play and a memory cache far smaller than the key set — the
+   stats invariants must hold under eviction/promote/store races. *)
+let test_multidomain_disk_stress () =
+  with_cache_dir (fun dir ->
+      let sources =
+        List.init 4 (fun i -> Core.Workloads.yalll_program ~seed:(i + 1) ~len:8)
+      in
+      let js =
+        List.init 96 (fun i ->
+            Service.job
+              ~id:(Printf.sprintf "sd%02d" i)
+              Toolkit.Yalll ~machine:"hp3"
+              ~source:(List.nth sources (i mod 4)))
+      in
+      let expected = reference_listings js in
+      let s = Service.create ~capacity:2 ~cache_dir:dir () in
+      let out = Service.run_batch ~domains:6 s js in
+      check_identical "stressed results" expected (outcome_listings out);
+      let st = Service.stats s in
+      Alcotest.(check int) "no probe lost" 96 st.Service.st_jobs;
+      Alcotest.(check int) "hits + misses = jobs" 96
+        (st.Service.st_hits + st.Service.st_misses);
+      Alcotest.(check bool) "entries bounded by capacity" true
+        (st.Service.st_entries <= 2);
+      Alcotest.(check bool) "evictions bounded by insertions" true
+        (st.Service.st_entries + st.Service.st_evictions
+        <= st.Service.st_misses + st.Service.st_disk_hits);
+      Alcotest.(check int) "no errors under stress" 0 st.Service.st_errors)
+
+(* -- eviction accounting (FIFO re-insert regression) -------------------------- *)
+
+(* Re-proving the FIFO queue bookkeeping: keys re-inserted after probes,
+   hits and evictions must neither inflate the eviction count nor evict
+   a live entry early.  Deterministic with one domain, so the counts are
+   pinned exactly. *)
+let test_eviction_accounting_exact () =
+  let key i =
+    Service.job
+      ~id:(Printf.sprintf "k%d" i)
+      Toolkit.Yalll ~machine:"hp3"
+      ~source:(Core.Workloads.yalll_program ~seed:(500 + i) ~len:6)
+  in
+  let a = key 0 and b = key 1 and c = key 2 and d = key 3 in
+  let round = [ a; a; b; b; c; c; d; d ] in
+  let s = Service.create ~domains:1 ~capacity:3 () in
+  ignore (Service.run_batch s round);
+  let st = Service.stats s in
+  (* A B C fill the cache; D evicts A; each duplicate hits *)
+  Alcotest.(check int) "round 1: one eviction" 1 st.Service.st_evictions;
+  Alcotest.(check int) "round 1: four hits" 4 st.Service.st_hits;
+  Alcotest.(check int) "round 1: full" 3 st.Service.st_entries;
+  ignore (Service.run_batch s round);
+  let st = Service.stats s in
+  (* every key comes back around: 4 more misses, 4 more evictions *)
+  Alcotest.(check int) "round 2: five total" 5 st.Service.st_evictions;
+  Alcotest.(check int) "round 2: eight hits" 8 st.Service.st_hits;
+  Alcotest.(check int) "round 2: still full" 3 st.Service.st_entries;
+  (* the survivors are exactly the last three inserted: B C D live *)
+  let out = Service.run_batch s [ b; c; d ] in
+  Array.iter
+    (fun (o : Service.outcome) ->
+      Alcotest.(check bool)
+        (o.Service.o_job.Service.j_id ^ " survived")
+        true o.Service.o_cached)
+    out
+
 (* -- cache keys ------------------------------------------------------------- *)
 
 let test_cache_key_sensitivity () =
@@ -352,16 +663,39 @@ let () =
         [
           Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
           Alcotest.test_case "bounded capacity evicts" `Quick test_eviction;
+          Alcotest.test_case "eviction accounting is exact" `Quick
+            test_eviction_accounting_exact;
           Alcotest.test_case "key sensitivity" `Quick test_cache_key_sensitivity;
           Alcotest.test_case "every options field keys distinctly" `Quick
             test_options_key_exhaustive;
           Alcotest.test_case "errors surface and are not cached" `Quick
             test_error_outcome;
         ] );
+      ( "faults",
+        [
+          Alcotest.test_case "capture firewall" `Quick test_capture_firewall;
+          Alcotest.test_case "crashes confined to their job" `Quick
+            test_firewall_confines_crashes;
+          Alcotest.test_case "retries recover the batch" `Quick
+            test_retries_recover;
+          Alcotest.test_case "diagnostics are not retried" `Quick
+            test_diagnostics_not_retried;
+          Alcotest.test_case "deadline overrun" `Quick test_deadline_overrun;
+          Alcotest.test_case "fail-fast cancels the tail" `Quick test_fail_fast;
+        ] );
+      ( "disk",
+        [
+          Alcotest.test_case "cache survives a restart" `Quick
+            test_disk_survives_restart;
+          Alcotest.test_case "corruption tolerated and healed" `Quick
+            test_disk_corruption_tolerated;
+        ] );
       ( "concurrency",
         [
           Alcotest.test_case "4-domain hammer on overlapping keys" `Quick
             test_concurrent_hammer;
+          Alcotest.test_case "6-domain hammer with disk and eviction" `Quick
+            test_multidomain_disk_stress;
         ] );
       ( "manifest",
         [

@@ -5,6 +5,7 @@ module Loc = Msl_util.Loc
 module Diag = Msl_util.Diag
 module Scanner = Msl_util.Scanner
 module Tbl = Msl_util.Tbl
+module Safe_queue = Msl_util.Safe_queue
 
 let check_str = Alcotest.(check string)
 let check_int = Alcotest.(check int)
@@ -85,6 +86,39 @@ let test_tbl () =
   check_str "pct n/a" "n/a" (Tbl.cell_pct 9 0);
   check_str "ratio" "1.50x" (Tbl.cell_ratio 9 6)
 
+(* -- the work queue -------------------------------------------------------- *)
+
+let test_queue_fifo () =
+  let q = Safe_queue.create () in
+  check_bool "push 1" true (Safe_queue.push q 1);
+  check_bool "push 2" true (Safe_queue.push q 2);
+  check_int "length" 2 (Safe_queue.length q);
+  Safe_queue.close q;
+  let p1 = Safe_queue.pop q in
+  let p2 = Safe_queue.pop q in
+  let p3 = Safe_queue.pop q in
+  Alcotest.(check (list (option int)))
+    "drained in order"
+    [ Some 1; Some 2; None ]
+    [ p1; p2; p3 ]
+
+(* The push-after-close race: a producer racing close must see a
+   rejected push, not an exception that would kill its domain. *)
+let test_queue_push_after_close () =
+  let q = Safe_queue.create () in
+  check_bool "open push accepted" true (Safe_queue.push q 1);
+  Safe_queue.close q;
+  check_bool "closed push rejected" false (Safe_queue.push q 2);
+  check_int "rejected push dropped" 1 (Safe_queue.length q);
+  (* the already-enqueued job still drains; the dropped one never shows *)
+  let p1 = Safe_queue.pop q in
+  let p2 = Safe_queue.pop q in
+  Alcotest.(check (list (option int))) "drain after close" [ Some 1; None ]
+    [ p1; p2 ];
+  (* close is idempotent and pushes stay rejected *)
+  Safe_queue.close q;
+  check_bool "still rejected" false (Safe_queue.push q 3)
+
 let () =
   Alcotest.run "util"
     [
@@ -95,5 +129,8 @@ let () =
           Alcotest.test_case "scanner" `Quick test_scanner;
           Alcotest.test_case "scanner hspaces" `Quick test_scanner_hspaces;
           Alcotest.test_case "tables" `Quick test_tbl;
+          Alcotest.test_case "queue fifo" `Quick test_queue_fifo;
+          Alcotest.test_case "queue push after close" `Quick
+            test_queue_push_after_close;
         ] );
     ]
