@@ -329,11 +329,85 @@ let print_bench () =
       else Fmt.pr "%-28s %10.0f ns@." name t)
     (List.sort compare !rows)
 
+(* -- the S4 engine gate: bench --json [--s4-floor F] -------------------------- *)
+
+(* Machine-readable record of the compiled-engine speedup claim, written
+   to BENCH_<date>.json so a regression is a diff, not a memory.  The
+   floor is a hard gate: any kernel x machine row below it exits 1 (CI
+   runs this with --s4-floor 3.0 — a deliberately conservative bound for
+   shared runners and dev-profile builds; release builds on quiet
+   hardware measure ~10x, see EXPERIMENTS.md). *)
+let s4_gate ~floor =
+  let rows = Experiments.s4_rows () in
+  let min_speedup =
+    List.fold_left
+      (fun acc (r : Experiments.s4_row) -> Float.min acc r.Experiments.s4_speedup)
+      infinity rows
+  in
+  let pass = min_speedup >= floor in
+  let date =
+    let t = Unix.localtime (Unix.time ()) in
+    Printf.sprintf "%04d-%02d-%02d" (t.Unix.tm_year + 1900) (t.Unix.tm_mon + 1)
+      t.Unix.tm_mday
+  in
+  let file = Printf.sprintf "BENCH_%s.json" date in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"experiment\": \"S4\",\n  \"date\": \"%s\",\n  \"floor\": %g,\n"
+       date floor);
+  Buffer.add_string buf "  \"rows\": [\n";
+  List.iteri
+    (fun i (r : Experiments.s4_row) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"kernel\": \"%s\", \"machine\": \"%s\", \
+            \"cycles_per_run\": %d, \"interp_cps\": %.0f, \
+            \"compiled_cps\": %.0f, \"speedup\": %.2f}%s\n"
+           r.Experiments.s4_kernel r.Experiments.s4_machine
+           r.Experiments.s4_cycles r.Experiments.s4_interp_cps
+           r.Experiments.s4_compiled_cps r.Experiments.s4_speedup
+           (if i < List.length rows - 1 then "," else "")))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"min_speedup\": %.2f,\n  \"pass\": %b\n}\n"
+       min_speedup pass);
+  let oc = open_out file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  List.iter
+    (fun (r : Experiments.s4_row) ->
+      Fmt.pr "%-22s %-4s %10.0f c/s -> %11.0f c/s  %5.1fx@."
+        r.Experiments.s4_kernel r.Experiments.s4_machine
+        r.Experiments.s4_interp_cps r.Experiments.s4_compiled_cps
+        r.Experiments.s4_speedup)
+    rows;
+  Fmt.pr "wrote %s (min speedup %.1fx, floor %.1fx): %s@." file min_speedup
+    floor
+    (if pass then "PASS" else "FAIL");
+  if not pass then exit 1
+
 let () =
-  (* --smoke (CI): tables and the service comparison, no Bechamel suite *)
-  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
-  print_tables ();
-  print_service_comparison ();
-  print_pass_breakdown ();
-  print_trace_overhead ();
-  if not smoke then print_bench ()
+  (* --json: the S4 engine gate only (CI's engine-gate job).
+     --smoke (CI): tables and the service comparison, no Bechamel suite. *)
+  let has f = Array.exists (( = ) f) Sys.argv in
+  let floor =
+    let v = ref 3.0 in
+    Array.iteri
+      (fun i a ->
+        if a = "--s4-floor" && i + 1 < Array.length Sys.argv then
+          v := float_of_string Sys.argv.(i + 1))
+      Sys.argv;
+    !v
+  in
+  if has "--json" then s4_gate ~floor
+  else begin
+    let smoke = has "--smoke" in
+    print_tables ();
+    print_service_comparison ();
+    print_pass_breakdown ();
+    print_trace_overhead ();
+    if not smoke then print_bench ()
+  end

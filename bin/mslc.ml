@@ -218,8 +218,24 @@ let fuel_arg =
   in
   Arg.(value & opt positive_int 2_000_000 & info [ "fuel" ] ~docv:"STEPS" ~doc)
 
+let engine_arg =
+  let doc =
+    "Simulation engine: compiled (the default — translate the control \
+     store to closures once, then execute) or interp (the cycle-accurate \
+     reference interpreter).  Both produce identical architectural \
+     state; the differential test oracle holds them to it."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("compiled", Core.Toolkit.Compiled);
+             ("interp", Core.Toolkit.Interp) ])
+        Core.Toolkit.Compiled
+    & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
 let run_cmd =
-  let run lang machine file opt algo bb_budget trace fuel =
+  let run lang machine file opt algo bb_budget trace fuel engine =
     setup_trace trace;
     handle_diag (fun () ->
         let d = Machines.get machine in
@@ -228,7 +244,7 @@ let run_cmd =
             (read_file file)
         in
         warn_inexact c;
-        match Core.Toolkit.run_status ~fuel c with
+        match Core.Toolkit.run_status ~engine ~fuel c with
         | sim, Sim.Out_of_fuel ->
             (* the program compiled fine but failed the termination check:
                that is exit 1 territory, with the state a non-terminating
@@ -251,7 +267,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Compile and execute a program")
     Term.(
       const run $ lang_arg $ machine_arg $ file_arg $ opt_arg $ algo_arg
-      $ bb_budget_arg $ trace_arg $ fuel_arg)
+      $ bb_budget_arg $ trace_arg $ fuel_arg $ engine_arg)
 
 let lint_cmd =
   let format_arg =
@@ -418,7 +434,8 @@ let experiments_cmd =
             ("a1", fun () -> [ Core.Experiments.a1 () ]);
             ("o1", fun () -> [ Core.Experiments.o1 () ]);
             ("l1", fun () -> [ Core.Experiments.l1 () ]);
-            ("r1", fun () -> [ Core.Experiments.r1 () ]) ]
+            ("r1", fun () -> [ Core.Experiments.r1 () ]);
+            ("s4", fun () -> [ Core.Experiments.s4 () ]) ]
         in
         let wanted =
           if names = [] then List.map fst all
@@ -470,6 +487,15 @@ let batch_cmd =
        error findings (equivalent to lint=on on every manifest line)."
     in
     Arg.(value & flag & info [ "lint" ] ~doc)
+  in
+  let diff_arg =
+    let doc =
+      "Execute every compiled job on both simulation engines and fail \
+       jobs whose architectural state diverges (equivalent to diff=on on \
+       every manifest line).  The corpus-wide engine gate in CI is this \
+       flag over examples/."
+    in
+    Arg.(value & flag & info [ "diff" ] ~doc)
   in
   let cache_dir_arg =
     let doc =
@@ -537,7 +563,7 @@ let batch_cmd =
     let doc = "Seed for the deterministic fault-injection draws." in
     Arg.(value & opt int 1 & info [ "inject-seed" ] ~docv:"N" ~doc)
   in
-  let run manifest domains rounds cap listings lint cache_dir retries
+  let run manifest domains rounds cap listings lint diff cache_dir retries
       backoff_ms deadline keep_going inject_raise inject_delay inject_delay_ms
       inject_seed trace =
     setup_trace trace;
@@ -548,6 +574,10 @@ let batch_cmd =
         in
         let jobs =
           if lint then List.map (fun j -> { j with Service.j_lint = true }) jobs
+          else jobs
+        in
+        let jobs =
+          if diff then List.map (fun j -> { j with Service.j_diff = true }) jobs
           else jobs
         in
         let policy =
@@ -621,7 +651,8 @@ let batch_cmd =
           compilation service")
     Term.(
       const run $ manifest_arg $ domains_arg $ rounds_arg $ cap_arg
-      $ listings_arg $ lint_arg $ cache_dir_arg $ retries_arg $ backoff_arg
+      $ listings_arg $ lint_arg $ diff_arg $ cache_dir_arg $ retries_arg
+      $ backoff_arg
       $ deadline_arg $ keep_going_arg $ inject_raise_arg $ inject_delay_arg
       $ inject_delay_ms_arg $ inject_seed_arg $ trace_arg)
 

@@ -18,6 +18,7 @@ type job = {
   j_options : Pipeline.options;
   j_use_microops : bool;
   j_lint : bool;
+  j_diff : bool;
 }
 
 type outcome = {
@@ -191,7 +192,7 @@ let cache_key (j : job) =
     ~use_microops:j.j_use_microops ~source:j.j_source
 
 let job ?id ?(options = Pipeline.default_options) ?(use_microops = false)
-    ?(lint = false) language ~machine ~source =
+    ?(lint = false) ?(diff = false) language ~machine ~source =
   let id =
     match id with
     | Some id -> id
@@ -208,6 +209,7 @@ let job ?id ?(options = Pipeline.default_options) ?(use_microops = false)
     j_options = options;
     j_use_microops = use_microops;
     j_lint = lint;
+    j_diff = diff;
   }
 
 (* -- the on-disk cache layer ---------------------------------------------------- *)
@@ -521,6 +523,56 @@ let lint_gate (c : Toolkit.compiled) =
       in
       Some { Diag.phase = Diag.Lint; loc = Msl_util.Loc.dummy; message }
 
+(* The differential-engine gate.  Like the lint gate it runs outside the
+   cache (j_diff is not in the key): the cached value is the pure
+   compilation, and the gate re-executes on every probe.  Two fresh
+   simulators are loaded from the same compilation; one runs under the
+   reference interpreter, the other under the compiled closure engine,
+   and any difference in halt status or architectural state digest fails
+   the job.  The fuel is deliberately modest: the gate is a semantic
+   cross-check, not a termination proof, and a program still running on
+   both engines with byte-identical state has passed it. *)
+let diff_fuel = 200_000
+
+let diff_gate (c : Toolkit.compiled) =
+  let run engine =
+    Toolkit.capture (fun () ->
+        let sim = Toolkit.load c in
+        let status = Toolkit.exec ~fuel:diff_fuel ~engine sim in
+        (status, Sim.state_digest sim))
+  in
+  let describe = function
+    | Ok (Sim.Halted, _) -> "halted"
+    | Ok (Sim.Out_of_fuel, _) -> "out of fuel"
+    | Error (d : Diag.t) -> "error: " ^ d.Diag.message
+  in
+  let a = run Toolkit.Interp and b = run Toolkit.Compiled in
+  if a = b then None
+  else
+    let message =
+      match (a, b) with
+      | Ok (sa, da), Ok (sb, db) when sa = sb ->
+          (* same verdict, different machine state: show the first
+             digest line that disagrees — the actionable bit *)
+          let la = String.split_on_char '\n' da
+          and lb = String.split_on_char '\n' db in
+          let rec first_diff = function
+            | x :: xs, y :: ys ->
+                if String.equal x y then first_diff (xs, ys)
+                else Printf.sprintf "interp %S vs compiled %S" x y
+            | x :: _, [] -> Printf.sprintf "interp %S vs compiled <end>" x
+            | [], y :: _ -> Printf.sprintf "interp <end> vs compiled %S" y
+            | [], [] -> "<identical digests>"
+          in
+          Printf.sprintf "engine divergence after %d steps: %s" diff_fuel
+            (first_diff (la, lb))
+      | _ ->
+          Printf.sprintf
+            "engine divergence after %d steps: interp %s, compiled %s"
+            diff_fuel (describe a) (describe b)
+    in
+    Some { Diag.phase = Diag.Execution; loc = Msl_util.Loc.dummy; message }
+
 let compile_job ?(policy = default_policy) ?(faults = no_faults) t (j : job) =
   let key = (cache_key j :> string) in
   let opts_id = options_id j.j_options in
@@ -536,16 +588,21 @@ let compile_job ?(policy = default_policy) ?(faults = no_faults) t (j : job) =
             note_error t;
             { o_job = j; o_result = Error d; o_cached = false })
   in
-  if not j.j_lint then outcome
-  else
-    match outcome.o_result with
-    | Error _ -> outcome
-    | Ok (c, _) -> (
-        match lint_gate c with
-        | None -> outcome
-        | Some d ->
-            note_error t;
-            { outcome with o_result = Error d })
+  (* the post-compile gates compose: lint first (static), then the
+     engine differential (dynamic); the first failure wins *)
+  let apply_gate enabled gate outcome =
+    if not enabled then outcome
+    else
+      match outcome.o_result with
+      | Error _ -> outcome
+      | Ok (c, _) -> (
+          match gate c with
+          | None -> outcome
+          | Some d ->
+              note_error t;
+              { outcome with o_result = Error d })
+  in
+  outcome |> apply_gate j.j_lint lint_gate |> apply_gate j.j_diff diff_gate
 
 (* -- the worker pool -------------------------------------------------------------- *)
 
@@ -747,6 +804,7 @@ let parse_option loc (j : job) spec =
       | "microops" ->
           { j with j_use_microops = parse_bool loc "microops" v }
       | "lint" -> { j with j_lint = parse_bool loc "lint" v }
+      | "diff" -> { j with j_diff = parse_bool loc "diff" v }
       | k -> manifest_error loc "unknown manifest option %S" k)
 
 let parse_manifest ?(file = "<manifest>") ~load text =

@@ -31,6 +31,14 @@ type job = {
           compiled program and fail the job on any error finding.  Runs
           outside the cache — the cached value is always the pure
           compilation, and [j_lint] is not part of the cache key. *)
+  j_diff : bool;
+      (** post-compile gate: execute the compiled program on both
+          simulation engines (the {!Msl_machine.Sim} interpreter and the
+          {!Msl_machine.Simc} closure engine, 200,000 steps of fuel
+          each) and fail the job unless the halt status and the full
+          architectural state digest agree byte-for-byte.  Like
+          [j_lint], runs outside the cache and is not part of the
+          key. *)
 }
 
 type outcome = {
@@ -124,6 +132,7 @@ val job :
   ?options:Msl_mir.Pipeline.options ->
   ?use_microops:bool ->
   ?lint:bool ->
+  ?diff:bool ->
   Toolkit.language ->
   machine:string ->
   source:string ->
@@ -176,7 +185,7 @@ val assemble_cached : t -> Desc.t -> string -> Toolkit.compiled
     v}
 
     with option keys [algo], [chain], [strategy], [pool], [poll],
-    [trap_safe], [microops], [lint] and [id]. *)
+    [trap_safe], [microops], [lint], [diff] and [id]. *)
 
 val parse_manifest :
   ?file:string -> load:(string -> string) -> string -> job list

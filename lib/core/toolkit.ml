@@ -22,6 +22,23 @@ let language_of_string s =
   | "yalll" -> Yalll
   | other -> invalid_arg (Printf.sprintf "unknown language %S" other)
 
+(* Which simulation engine executes a program: the cycle-accurate
+   interpreter, or the compiled (closure-translated) engine, which is
+   observationally identical — the differential oracle holds it to
+   byte-equal state digests — but roughly an order of magnitude
+   faster.  The library default stays [Interp]: it is the reference
+   semantics, and translation is wasted work for one short run.  The
+   [mslc run] driver defaults to [Compiled]. *)
+type engine = Interp | Compiled
+
+let engine_name = function Interp -> "interp" | Compiled -> "compiled"
+
+let engine_of_string s =
+  match String.lowercase_ascii s with
+  | "interp" | "interpreter" | "interpreted" -> Interp
+  | "compiled" | "compile" | "simc" -> Compiled
+  | other -> invalid_arg (Printf.sprintf "unknown engine %S" other)
+
 (* Exception firewall: any raise — not just a structured [Diag.Error] —
    becomes a diagnostic.  The batch service wraps every worker attempt in
    this so a pathological job (a [Desc]/[Encode]/[Bitvec] invariant
@@ -103,13 +120,19 @@ let load ?(mem_words = 4096) ?trap_mode (c : compiled) =
   Sim.load_store sim c.c_insts;
   sim
 
-let run_status ?(fuel = 2_000_000) ?(setup = fun _ -> ()) (c : compiled) =
+let exec ?(fuel = 2_000_000) ~engine sim =
+  match engine with
+  | Interp -> Sim.run ~fuel sim
+  | Compiled -> Simc.run ~fuel (Simc.translate sim)
+
+let run_status ?(engine = Interp) ?(fuel = 2_000_000) ?(setup = fun _ -> ())
+    (c : compiled) =
   let sim = load c in
   setup sim;
-  (sim, Sim.run ~fuel sim)
+  (sim, exec ~fuel ~engine sim)
 
-let run ?(fuel = 2_000_000) ?setup (c : compiled) =
-  match run_status ~fuel ?setup c with
+let run ?engine ?(fuel = 2_000_000) ?setup (c : compiled) =
+  match run_status ?engine ~fuel ?setup c with
   | sim, Sim.Halted -> sim
   | sim, Sim.Out_of_fuel ->
       (* report where the program stood: a bare "did not halt" hides

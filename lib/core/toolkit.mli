@@ -11,6 +11,24 @@ val language_name : language -> string
 val language_of_string : string -> language
 (** @raise Invalid_argument on unknown names. *)
 
+type engine = Interp | Compiled
+(** Which simulation engine executes a program: the cycle-accurate
+    interpreter ({!Msl_machine.Sim}), or the compiled closure engine
+    ({!Msl_machine.Simc}) — observationally identical and roughly an
+    order of magnitude faster.  Library entry points default to
+    [Interp] (the reference semantics); the [mslc run] driver defaults
+    to [Compiled]. *)
+
+val engine_name : engine -> string
+
+val engine_of_string : string -> engine
+(** Accepts "interp"/"interpreter" and "compiled"/"simc".
+    @raise Invalid_argument on unknown names. *)
+
+val exec : ?fuel:int -> engine:engine -> Sim.t -> Sim.status
+(** Run an already-loaded simulator on the chosen engine (translating
+    first when [engine = Compiled]). *)
+
 val capture : (unit -> 'a) -> ('a, Msl_util.Diag.t) result
 (** Exception firewall.  Run a thunk and convert {e any} raise into a
     structured diagnostic: a {!Msl_util.Diag.Error} is captured as-is,
@@ -58,13 +76,16 @@ val assemble : Desc.t -> string -> compiled
 
 val load : ?mem_words:int -> ?trap_mode:Sim.trap_mode -> compiled -> Sim.t
 
-val run_status : ?fuel:int -> ?setup:(Sim.t -> unit) -> compiled -> Sim.t * Sim.status
+val run_status :
+  ?engine:engine -> ?fuel:int -> ?setup:(Sim.t -> unit) -> compiled ->
+  Sim.t * Sim.status
 (** Load, apply [setup], and run for at most [fuel] steps (default
-    2,000,000).  Never raises on non-termination: the simulator state is
-    returned with the status so drivers can report pc/cycles and apply
-    their own exit-code discipline. *)
+    2,000,000) on [engine] (default [Interp]).  Never raises on
+    non-termination: the simulator state is returned with the status so
+    drivers can report pc/cycles and apply their own exit-code
+    discipline. *)
 
-val run : ?fuel:int -> ?setup:(Sim.t -> unit) -> compiled -> Sim.t
+val run : ?engine:engine -> ?fuel:int -> ?setup:(Sim.t -> unit) -> compiled -> Sim.t
 (** Load, apply [setup], and run to halt.
     @raise Msl_util.Diag.Error when the program does not halt in [fuel];
     the diagnostic reports the fuel, final pc, cycles and instruction

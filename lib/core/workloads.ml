@@ -23,6 +23,53 @@ let next r =
 
 let pick r n = next r mod n
 
+(* -- source mutators (robustness fuzzing, engine oracle) ----------------------- *)
+
+(* Shared by test_fuzz (crash-freedom) and test_engine_diff (the
+   compiled-vs-interpreted oracle): the same mutation corpus should
+   exercise both properties.  These take a [Random.State.t] rather than
+   the xorshift above so QCheck-driven tests can feed their own seeds. *)
+
+let printable rng =
+  let chars =
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 \n\t\
+     ()[]{};:,.#&|^~<>=+-*/!@'\"\\_"
+  in
+  chars.[Random.State.int rng (String.length chars)]
+
+let noise rng n = String.init n (fun _ -> printable rng)
+
+let mutate rng src =
+  let b = Bytes.of_string src in
+  let n = Bytes.length b in
+  if n = 0 then src
+  else begin
+    for _ = 0 to Random.State.int rng 6 do
+      let i = Random.State.int rng n in
+      match Random.State.int rng 3 with
+      | 0 -> Bytes.set b i (printable rng)
+      | 1 -> Bytes.set b i ' '
+      | _ -> Bytes.set b i (Bytes.get b (Random.State.int rng n))
+    done;
+    Bytes.to_string b
+  end
+
+(* -- interrupt schedules (engine oracle, F2) ------------------------------------ *)
+
+(* [n] strictly increasing arrival cycles in [0, max_cycle], clustered
+   enough that some arrive while one is already pending (the
+   one-pending-at-a-time queueing path). *)
+let interrupt_schedule ~seed ~n ~max_cycle =
+  let r = rng seed in
+  let step = max 1 (max_cycle / max 1 n) in
+  let rec go cycle acc k =
+    if k = 0 || cycle > max_cycle then List.rev acc
+    else
+      let cycle = cycle + 1 + pick r step in
+      go cycle (cycle :: acc) (k - 1)
+  in
+  go 0 [] n
+
 (* -- straight-line microoperation blocks (T4 compaction) ---------------------- *)
 
 (* Generate a block of [n] microoperations for machine [d] with a

@@ -1,6 +1,19 @@
 (** Deterministic, seeded workload generators for the experiments: the
     same seed always regenerates the same workload. *)
 
+val noise : Random.State.t -> int -> string
+(** [n] characters of printable noise (hostile-input fuzzing). *)
+
+val mutate : Random.State.t -> string -> string
+(** Up to seven byte-level mutations of a source text: random printable
+    substitutions, blanking, and copies from elsewhere in the text.
+    Shared by the robustness fuzzer and the engine differential oracle
+    so both run the same mutation corpus. *)
+
+val interrupt_schedule : seed:int -> n:int -> max_cycle:int -> int list
+(** Up to [n] strictly increasing interrupt arrival cycles within
+    [0, max_cycle], for {!Msl_machine.Sim.schedule_interrupts}. *)
+
 val compaction_block :
   Msl_machine.Desc.t -> seed:int -> n:int -> p_dep:int ->
   Msl_machine.Inst.op list

@@ -36,24 +36,36 @@ let word_width t = t.word_width
 
 let page_of t addr = addr / t.page_size
 
-let check t addr =
-  if addr < 0 || addr >= Array.length t.words then
-    raise
-      (Msl_util.Diag.Error
-         {
-           phase = Msl_util.Diag.Execution;
-           loc = Msl_util.Loc.dummy;
-           message = Printf.sprintf "memory address %d out of range" addr;
-         });
-  if not t.present.(page_of t addr) then begin
-    t.faults <- t.faults + 1;
-    raise (Page_fault addr)
-  end
+(* The raising paths are outlined so [check] stays small enough for the
+   compiler to inline into the simulators' per-word memory accesses. *)
+let[@inline never] out_of_range addr =
+  raise
+    (Msl_util.Diag.Error
+       {
+         phase = Msl_util.Diag.Execution;
+         loc = Msl_util.Loc.dummy;
+         message = Printf.sprintf "memory address %d out of range" addr;
+       })
+
+let[@inline never] fault t addr =
+  t.faults <- t.faults + 1;
+  raise (Page_fault addr)
+
+let[@inline] check t addr =
+  if addr < 0 || addr >= Array.length t.words then out_of_range addr;
+  if not t.present.(addr / t.page_size) then fault t addr
 
 let read t addr =
   check t addr;
   t.reads <- t.reads + 1;
   t.words.(addr)
+
+(* Unboxed fast path for the compiled engine: the stored word's bits,
+   with the same bounds/fault discipline and read accounting. *)
+let[@inline] read_int64 t addr =
+  check t addr;
+  t.reads <- t.reads + 1;
+  Bitvec.to_int64 t.words.(addr)
 
 let write t addr v =
   check t addr;
@@ -90,3 +102,11 @@ let reset_counters t =
   t.reads <- 0;
   t.writes <- 0;
   t.faults <- 0
+
+(* In place, because the simulator (and the compiled engine's closures)
+   capture the [t] itself: a reset must not swap the arrays out from
+   under them. *)
+let reset t =
+  Array.fill t.words 0 (Array.length t.words) (Bitvec.zero t.word_width);
+  Array.fill t.present 0 (Array.length t.present) true;
+  reset_counters t

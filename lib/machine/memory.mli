@@ -21,6 +21,11 @@ val read : t -> int -> Msl_bitvec.Bitvec.t
     @raise Page_fault on an absent page.
     @raise Msl_util.Diag.Error on an out-of-range address. *)
 
+val read_int64 : t -> int -> int64
+(** [read t addr]'s bits without the bitvector box: same bounds check,
+    page-fault discipline and read accounting.  The compiled engine's
+    fast path. *)
+
 val write : t -> int -> Msl_bitvec.Bitvec.t -> unit
 
 val peek : t -> int -> Msl_bitvec.Bitvec.t
@@ -38,3 +43,8 @@ val reads : t -> int
 val writes : t -> int
 val faults : t -> int
 val reset_counters : t -> unit
+
+val reset : t -> unit
+(** Back to the post-{!create} state, in place: all words zero, all pages
+    present, counters cleared.  In place matters — the simulator and the
+    compiled engine hold on to this [t]. *)

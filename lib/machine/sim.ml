@@ -134,6 +134,32 @@ let schedule_interrupts t cycles_list =
 
 let set_restart_pc t pc = t.restart_pc <- pc
 
+(* Back to the post-[create]+[load_store] state without re-decoding the
+   program: the store survives, and every piece of mutable state is reset
+   in place (the compiled engine's closures capture the register, flag
+   and memory arrays, so swapping them out would silently detach it).
+   Configuration — trap mode, fault penalty, restart pc, debug trace —
+   is kept: it describes the machine and harness, not the run. *)
+let reset t =
+  Array.iteri
+    (fun i (r : Desc.reg) -> t.regs.(i) <- Bitvec.zero r.Desc.r_width)
+    t.desc.Desc.d_regs;
+  Array.fill t.flags 0 (Array.length t.flags) false;
+  Memory.reset t.mem;
+  t.mpc <- 0;
+  t.call_stack <- [];
+  t.halted <- false;
+  t.cycles <- 0;
+  t.insts_executed <- 0;
+  t.int_schedule <- [];
+  t.int_pending <- false;
+  t.int_pending_since <- 0;
+  t.int_polls <- 0;
+  t.int_serviced <- 0;
+  t.int_latency_total <- 0;
+  t.int_latency_max <- 0;
+  t.traps_taken <- 0
+
 (* -- expression evaluation ---------------------------------------------- *)
 
 (* Values of operands and named registers are sampled from [snap], the
@@ -280,6 +306,34 @@ let deliver_interrupts t =
       end
   | _ :: _ | [] -> ()
 
+(* Shared between the interpreter's step and the compiled engine: what
+   happens when a memory access hits an absent page.  In [Restart] mode
+   the faulting word has already discarded (or never committed) its
+   current phase's writes; earlier phases stay committed — the survey's
+   incread hazard. *)
+let service_page_fault t addr =
+  match t.trap_mode with
+  | Fault_is_error ->
+      Diag.error Diag.Execution "page fault at address %d (cycle %d)" addr
+        t.cycles
+  | Restart ->
+      (* Service the fault and restart the microprogram.  Register
+         values survive (the macroarchitecture saves and restores
+         them), which is precisely the survey's incread hazard. *)
+      t.traps_taken <- t.traps_taken + 1;
+      t.cycles <- t.cycles + t.fault_penalty;
+      if Trace.enabled () then
+        Trace.instant ~cat:"sim" "microtrap"
+          ~args:
+            [
+              ("addr", Trace.A_int addr);
+              ("pc", Trace.A_int t.mpc);
+              ("cycle", Trace.A_int t.cycles);
+            ];
+      Memory.mark_present t.mem ~page:(Memory.page_of t.mem addr);
+      t.mpc <- t.restart_pc;
+      t.call_stack <- []
+
 let step t =
   if t.halted then ()
   else begin
@@ -321,28 +375,7 @@ let step t =
                t.mpc <- pc
            | [] -> Diag.error Diag.Execution "return with empty microstack")
        | Inst.Halt -> t.halted <- true)
-     with Memory.Page_fault addr -> (
-       match t.trap_mode with
-       | Fault_is_error ->
-           Diag.error Diag.Execution "page fault at address %d (cycle %d)" addr
-             t.cycles
-       | Restart ->
-           (* Service the fault and restart the microprogram.  Register
-              values survive (the macroarchitecture saves and restores
-              them), which is precisely the survey's incread hazard. *)
-           t.traps_taken <- t.traps_taken + 1;
-           t.cycles <- t.cycles + t.fault_penalty;
-           if Trace.enabled () then
-             Trace.instant ~cat:"sim" "microtrap"
-               ~args:
-                 [
-                   ("addr", Trace.A_int addr);
-                   ("pc", Trace.A_int t.mpc);
-                   ("cycle", Trace.A_int t.cycles);
-                 ];
-           Memory.mark_present t.mem ~page:(Memory.page_of t.mem addr);
-           t.mpc <- t.restart_pc;
-           t.call_stack <- []))
+     with Memory.Page_fault addr -> service_page_fault t addr)
   end
 
 let emit_counters t =
@@ -384,3 +417,75 @@ let run ?(fuel = 2_000_000) t =
         ]
   end;
   status
+
+(* -- state digest -------------------------------------------------------- *)
+
+(* One line per observable fact, so a differential failure diffs cleanly.
+   Everything an engine could get wrong is here: architectural state,
+   timing, the interrupt latency accounting, trap and memory traffic
+   counters.  Memory is listed sparsely (nonzero words only). *)
+let state_digest t =
+  let b = Buffer.create 512 in
+  Printf.bprintf b "pc=%d halted=%b cycles=%d insts=%d\n" t.mpc t.halted
+    t.cycles t.insts_executed;
+  Printf.bprintf b "traps=%d polls=%d serviced=%d latency=%d/%d pending=%b\n"
+    t.traps_taken t.int_polls t.int_serviced t.int_latency_total
+    t.int_latency_max t.int_pending;
+  Printf.bprintf b "mem reads=%d writes=%d faults=%d\n" (Memory.reads t.mem)
+    (Memory.writes t.mem) (Memory.faults t.mem);
+  Printf.bprintf b "stack=%s\n"
+    (String.concat "," (List.map string_of_int t.call_stack));
+  Array.iteri
+    (fun i v ->
+      Printf.bprintf b "%s=%s\n" (Desc.reg_name t.desc i) (Bitvec.to_string v))
+    t.regs;
+  Printf.bprintf b "flags=%s\n"
+    (String.concat ""
+       (List.map
+          (fun f ->
+            if t.flags.(flag_index f) then Rtl.flag_name f else "-")
+          Rtl.all_flags));
+  for a = 0 to Memory.size t.mem - 1 do
+    let v = Memory.peek t.mem a in
+    if not (Bitvec.is_zero v) then
+      Printf.bprintf b "m[%d]=%s\n" a (Bitvec.to_string v)
+  done;
+  Buffer.contents b
+
+(* -- engine access ------------------------------------------------------- *)
+
+(* The doorway for the compiled engine (Simc): it executes pre-decoded
+   closures against this same state record, falls back to [step] at
+   interrupt-service boundaries, and shares the trap servicing above, so
+   the two engines are observationally identical by construction
+   everywhere except the dispatch loop. *)
+module Engine = struct
+  let regs t = t.regs
+  let flags t = t.flags
+  let store t = t.store
+  let halted t = t.halted
+  let set_halted t b = t.halted <- b
+  let set_pc t pc = t.mpc <- pc
+  let push_call t pc = t.call_stack <- pc :: t.call_stack
+
+  let pop_call t =
+    match t.call_stack with
+    | [] -> None
+    | pc :: rest ->
+        t.call_stack <- rest;
+        Some pc
+
+  let add_cycles t n = t.cycles <- t.cycles + n
+  let bump_insts t = t.insts_executed <- t.insts_executed + 1
+  let debug_trace t = t.trace
+
+  let has_interrupt_work t = t.int_schedule <> []
+  let deliver_interrupts = deliver_interrupts
+
+  let poll_int_pending t =
+    t.int_polls <- t.int_polls + 1;
+    t.int_pending
+
+  let service_page_fault = service_page_fault
+  let emit_counters = emit_counters
+end

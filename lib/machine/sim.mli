@@ -38,6 +38,14 @@ val load_store : t -> Inst.t list -> unit
 (** Install a program and reset the micro PC.
     @raise Msl_util.Diag.Error when it exceeds the control store. *)
 
+val reset : t -> unit
+(** Back to the freshly-loaded state {e without} touching the store:
+    registers, flags and memory zeroed in place, counters and interrupt
+    state cleared, micro PC at 0.  Configuration (trap mode, fault
+    penalty, restart pc, debug trace) survives.  Because the reset is in
+    place, a {!Simc} translation of this simulator stays valid — that is
+    the point: re-run a program without re-paying decode. *)
+
 (** {1 Execution} *)
 
 val step : t -> unit
@@ -87,3 +95,46 @@ val interrupt_latency_stats : t -> float * int
 
 val set_restart_pc : t -> int -> unit
 (** Where [Restart]-mode trap servicing resumes (default 0). *)
+
+(** {1 Differential observation} *)
+
+val state_digest : t -> string
+(** Every observable fact about the machine, one per line: pc, halt
+    flag, cycle and instruction counts, trap/interrupt accounting,
+    memory traffic counters, the microstack, all registers, the flags,
+    and every nonzero memory word.  Two engines that executed the same
+    program correctly produce byte-identical digests — the contract the
+    differential oracle checks. *)
+
+(** {1 Engine internals}
+
+    Mutable-state access for {!Simc}, the compiled engine.  Not a stable
+    API for anything else: these bypass the width checks and invariants
+    the public setters maintain. *)
+
+module Engine : sig
+  val regs : t -> Msl_bitvec.Bitvec.t array
+  val flags : t -> bool array
+  val store : t -> Inst.t array
+  val halted : t -> bool
+  val set_halted : t -> bool -> unit
+  val set_pc : t -> int -> unit
+  val push_call : t -> int -> unit
+  val pop_call : t -> int option
+  val add_cycles : t -> int -> unit
+  val bump_insts : t -> unit
+  val debug_trace : t -> bool
+
+  val has_interrupt_work : t -> bool
+  (** Whether interrupt delivery can still occur (schedule nonempty). *)
+
+  val deliver_interrupts : t -> unit
+  val poll_int_pending : t -> bool
+  (** Counted [C_int_pending] evaluation, exactly as the interpreter's. *)
+
+  val service_page_fault : t -> int -> unit
+  (** The shared microtrap path: raises in [Fault_is_error] mode,
+      services and redirects to the restart pc in [Restart] mode. *)
+
+  val emit_counters : t -> unit
+end

@@ -1,0 +1,71 @@
+The two simulation engines are user-visible twins: mslc run defaults to
+the compiled closure engine, --engine=interp selects the cycle-accurate
+interpreter, and the printed architectural state is identical.
+
+  $ ../../bin/mslc.exe run -l yalll -m hp3 ../../examples/gcd.yll
+  halted after 29 cycles (29 microinstructions executed)
+    R0     = 16'd21
+    R1     = 16'd21
+    R2     = 16'd21
+  $ ../../bin/mslc.exe run -l yalll -m hp3 ../../examples/gcd.yll --engine=interp
+  halted after 29 cycles (29 microinstructions executed)
+    R0     = 16'd21
+    R1     = 16'd21
+    R2     = 16'd21
+  $ ../../bin/mslc.exe run -l yalll -m hp3 ../../examples/gcd.yll --engine=compiled
+  halted after 29 cycles (29 microinstructions executed)
+    R0     = 16'd21
+    R1     = 16'd21
+    R2     = 16'd21
+
+Same parity on a vertical machine and another frontend.
+
+  $ ../../bin/mslc.exe run -l simpl -m b17 ../../examples/sum_while.simpl > compiled.out
+  $ ../../bin/mslc.exe run -l simpl -m b17 ../../examples/sum_while.simpl --engine=interp > interp.out
+  $ diff compiled.out interp.out && echo ENGINES-AGREE
+  ENGINES-AGREE
+
+The exit-code discipline survives the engine swap: out of fuel under the
+compiled engine is still a failed check (exit 1) with the same stopped
+state the interpreter reports — fuel counts microinstructions in both.
+
+  $ cat > loop.yll <<'EOF'
+  > reg a = r1
+  > set a, 1
+  > loop:
+  >   jump loop
+  > EOF
+  $ ../../bin/mslc.exe run -l yalll -m hp3 loop.yll --fuel 500
+  mslc: program did not halt within 500 steps (pc=1, 500 cycles, 500 microinstructions executed)
+  [1]
+  $ ../../bin/mslc.exe run -l yalll -m hp3 loop.yll --fuel 500 --engine=interp
+  mslc: program did not halt within 500 steps (pc=1, 500 cycles, 500 microinstructions executed)
+  [1]
+
+A traced compiled run records the engine's own spans — one "translate"
+(paid once per program) and one "execute" — alongside the usual pipeline
+spans, and the independent checker accepts the file.
+
+  $ ../../bin/mslc.exe run -l yalll -m hp3 ../../examples/gcd.yll --trace engine.jsonl > /dev/null
+  $ ../check_trace.exe engine.jsonl && echo TRACE-OK
+  TRACE-OK
+  $ ../../bin/mslc.exe stats engine.jsonl | grep -o 'simc/[a-z]*'
+  simc/execute
+  simc/translate
+
+The corpus-wide gate: batch --diff runs every job on both engines and
+fails any divergence, so a green run is the oracle's claim over the
+manifest.
+
+  $ cat > diff.manifest <<'EOF'
+  > yalll hp3 ../../examples/gcd.yll
+  > yalll b17 ../../examples/gcd.yll
+  > simpl hp3 ../../examples/sum_while.simpl
+  > empl hp3 ../../examples/fold.empl
+  > EOF
+  $ ../../bin/mslc.exe batch diff.manifest -j 1 --diff
+  ok    ../../examples/gcd.yll@hp3     10 words,    7 ops
+  ok    ../../examples/gcd.yll@b17     14 words,   12 ops
+  ok    ../../examples/sum_while.simpl@hp3    7 words,    5 ops
+  ok    ../../examples/fold.empl@hp3    2 words,    3 ops
+  -- 4 jobs: 0 hits, 4 misses, 0 evictions, 0 errors; 4 entries cached

@@ -7,29 +7,10 @@ open Msl_machine
 module Core = Msl_core
 module Diag = Msl_util.Diag
 
-let printable rng =
-  let chars =
-    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 \n\t\
-     ()[]{};:,.#&|^~<>=+-*/!@'\"\\_"
-  in
-  chars.[Random.State.int rng (String.length chars)]
-
-let noise rng n = String.init n (fun _ -> printable rng)
-
-let mutate rng src =
-  let b = Bytes.of_string src in
-  let n = Bytes.length b in
-  if n = 0 then src
-  else begin
-    for _ = 0 to Random.State.int rng 6 do
-      let i = Random.State.int rng n in
-      match Random.State.int rng 3 with
-      | 0 -> Bytes.set b i (printable rng)
-      | 1 -> Bytes.set b i ' '
-      | _ -> Bytes.set b i (Bytes.get b (Random.State.int rng n))
-    done;
-    Bytes.to_string b
-  end
+(* The mutators live in Workloads so the engine differential oracle
+   (test_engine_diff) runs the same mutation corpus. *)
+let noise = Core.Workloads.noise
+let mutate = Core.Workloads.mutate
 
 (* The compiler under test survives when it succeeds (and its thunk's
    property holds) or raises Diag.Error; anything else is a robustness
