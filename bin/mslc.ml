@@ -94,6 +94,22 @@ let machine_arg =
     & opt string "hp3"
     & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc)
 
+let machine_file_arg =
+  let doc =
+    "Target a user machine: elaborate the .mdesc description at $(docv) \
+     instead of a shipped machine (overrides $(b,--machine))."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "machine-file" ] ~docv:"PATH" ~doc)
+
+(* every command that targets a machine resolves it the same way:
+   --machine-file wins, otherwise the named registry entry *)
+let resolve_machine machine = function
+  | Some path -> Machines.load_file path
+  | None -> Machines.get machine
+
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
 
@@ -191,10 +207,11 @@ let print_timings (c : Core.Toolkit.compiled) =
     c.Core.Toolkit.c_timings
 
 let compile_cmd =
-  let run lang machine file opt algo bb_budget trace time_passes dumps =
+  let run lang machine machine_file file opt algo bb_budget trace time_passes
+      dumps =
     setup_trace trace;
     handle_diag (fun () ->
-        let d = Machines.get machine in
+        let d = resolve_machine machine machine_file in
         let c =
           Core.Toolkit.compile
             ~options:(options_of opt algo bb_budget)
@@ -208,8 +225,9 @@ let compile_cmd =
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a program and print its microcode")
     Term.(
-      const run $ lang_arg $ machine_arg $ file_arg $ opt_arg $ algo_arg
-      $ bb_budget_arg $ trace_arg $ time_passes_arg $ dump_after_arg)
+      const run $ lang_arg $ machine_arg $ machine_file_arg $ file_arg
+      $ opt_arg $ algo_arg $ bb_budget_arg $ trace_arg $ time_passes_arg
+      $ dump_after_arg)
 
 let fuel_arg =
   let doc =
@@ -235,10 +253,10 @@ let engine_arg =
     & info [ "engine" ] ~docv:"ENGINE" ~doc)
 
 let run_cmd =
-  let run lang machine file opt algo bb_budget trace fuel engine =
+  let run lang machine machine_file file opt algo bb_budget trace fuel engine =
     setup_trace trace;
     handle_diag (fun () ->
-        let d = Machines.get machine in
+        let d = resolve_machine machine machine_file in
         let c =
           Core.Toolkit.compile ~options:(options_of opt algo bb_budget) lang d
             (read_file file)
@@ -266,8 +284,9 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile and execute a program")
     Term.(
-      const run $ lang_arg $ machine_arg $ file_arg $ opt_arg $ algo_arg
-      $ bb_budget_arg $ trace_arg $ fuel_arg $ engine_arg)
+      const run $ lang_arg $ machine_arg $ machine_file_arg $ file_arg
+      $ opt_arg $ algo_arg $ bb_budget_arg $ trace_arg $ fuel_arg
+      $ engine_arg)
 
 let lint_cmd =
   let format_arg =
@@ -300,11 +319,11 @@ let lint_cmd =
     in
     Arg.(value & flag & info [ "poll" ] ~doc)
   in
-  let run lang machine file opt algo bb_budget trace format budget pedantic
-      poll =
+  let run lang machine machine_file file opt algo bb_budget trace format
+      budget pedantic poll =
     setup_trace trace;
     handle_diag (fun () ->
-        let d = Machines.get machine in
+        let d = resolve_machine machine machine_file in
         (* the first observed pass is "validate": the frontend's own MIR,
            before any transformation — lint findings point at what the
            programmer wrote.  S* never calls observe (no MIR pipeline). *)
@@ -354,26 +373,26 @@ let lint_cmd =
          "Compile a program and audit the result with the independent \
           static analyzer (exit 1 on any error finding)")
     Term.(
-      const run $ lang_arg $ machine_arg $ file_arg $ opt_arg $ algo_arg
-      $ bb_budget_arg $ trace_arg $ format_arg $ budget_arg $ pedantic_arg
-      $ poll_arg)
+      const run $ lang_arg $ machine_arg $ machine_file_arg $ file_arg
+      $ opt_arg $ algo_arg $ bb_budget_arg $ trace_arg $ format_arg
+      $ budget_arg $ pedantic_arg $ poll_arg)
 
 let verify_cmd =
-  let run machine file =
+  let run machine machine_file file =
     handle_diag (fun () ->
-        let d = Machines.get machine in
+        let d = resolve_machine machine machine_file in
         let prog = Msl_sstar.Parser.parse (read_file file) in
         let report = Msl_sstar.Verify.verify d prog in
         Fmt.pr "%a@." Msl_sstar.Verify.pp_report report;
         if not (Msl_sstar.Verify.ok report) then exit 1)
   in
   Cmd.v (Cmd.info "verify" ~doc:"Discharge the proof obligations of an S* program")
-    Term.(const run $ machine_arg $ file_arg)
+    Term.(const run $ machine_arg $ machine_file_arg $ file_arg)
 
 let encode_cmd =
-  let run lang machine file =
+  let run lang machine machine_file file =
     handle_diag (fun () ->
-        let d = Machines.get machine in
+        let d = resolve_machine machine machine_file in
         let c = Core.Toolkit.compile lang d (read_file file) in
         Fmt.pr "; %s control store, %d-bit words@." d.Msl_machine.Desc.d_name
           (Encode.word_bits d);
@@ -389,7 +408,7 @@ let encode_cmd =
   Cmd.v
     (Cmd.info "encode"
        ~doc:"Compile and print the binary control store (hex + disassembly)")
-    Term.(const run $ lang_arg $ machine_arg $ file_arg)
+    Term.(const run $ lang_arg $ machine_arg $ machine_file_arg $ file_arg)
 
 let machines_cmd =
   let run () =
@@ -434,6 +453,7 @@ let experiments_cmd =
             ("a1", fun () -> [ Core.Experiments.a1 () ]);
             ("o1", fun () -> [ Core.Experiments.o1 () ]);
             ("l1", fun () -> [ Core.Experiments.l1 () ]);
+            ("m1", fun () -> [ Core.Experiments.m1 () ]);
             ("r1", fun () -> [ Core.Experiments.r1 () ]);
             ("s4", fun () -> [ Core.Experiments.s4 () ]) ]
         in

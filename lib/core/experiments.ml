@@ -926,6 +926,116 @@ let l1 () =
     (l1_rows ());
   t
 
+(* -- M1: the machine-space sweep ------------------------------------------------ *)
+
+(* The mdesc tentpole claim, measured: the toolchain is machine-generic,
+   not four-machines-generic.  Each seeded machine (Workloads.gen_machine)
+   is elaborated from its .mdesc text, compiles a small YALLL corpus,
+   must come through Microlint with zero error findings, and must run to
+   the same architectural state on the interpreter and the compiled
+   engine.  The driver asserts the clean-sweep claims directly, so
+   `mslc experiments m1` doubles as the CI gate. *)
+
+type m1_row = {
+  m1_style : string;
+  m1_machines : int;
+  m1_programs : int;
+  m1_words : int;  (* control-store words across the corpus *)
+  m1_lint : int;  (* Microlint error findings; the claim is 0 *)
+  m1_mismatches : int;  (* engine state-digest disagreements; claim 0 *)
+}
+
+let m1_default_machines = 100
+let m1_programs_per_machine = 3
+
+let m1_style (d : Desc.t) =
+  if d.Desc.d_vertical then "vertical 3-op"
+  else if Desc.find_template d "shl1" <> None then "fixed-ACC horizontal"
+  else "3-op horizontal"
+
+let m1_rows ?(n = m1_default_machines) () =
+  let tally = Hashtbl.create 4 in
+  for seed = 1 to n do
+    let src = Workloads.gen_machine ~seed in
+    let d = Mdesc.parse ~file:(Printf.sprintf "gen-%d.mdesc" seed) src in
+    let style = m1_style d in
+    let row =
+      match Hashtbl.find_opt tally style with
+      | Some r -> r
+      | None ->
+          let r =
+            ref
+              { m1_style = style; m1_machines = 0; m1_programs = 0;
+                m1_words = 0; m1_lint = 0; m1_mismatches = 0 }
+          in
+          Hashtbl.add tally style r;
+          r
+    in
+    row := { !row with m1_machines = !row.m1_machines + 1 };
+    for p = 1 to m1_programs_per_machine do
+      let psrc =
+        Workloads.yalll_program ~seed:((seed * 31) + p) ~len:12
+      in
+      (* fresh compiles: generated machines must not pollute (or be
+         served by) the shared experiment cache *)
+      let c = Toolkit.compile Toolkit.Yalll d psrc in
+      let lint =
+        List.length
+          (Msl_mir.Diag.errors
+             (Msl_mir.Lint.validate_machine d c.Toolkit.c_insts))
+      in
+      let digest engine =
+        let sim, status = Toolkit.run_status ~engine c in
+        assert (status = Sim.Halted);
+        Sim.state_digest sim
+      in
+      let mism = if digest Toolkit.Interp = digest Toolkit.Compiled then 0 else 1 in
+      row :=
+        { !row with
+          m1_programs = !row.m1_programs + 1;
+          m1_words = !row.m1_words + c.Toolkit.c_words;
+          m1_lint = !row.m1_lint + lint;
+          m1_mismatches = !row.m1_mismatches + mism }
+    done
+  done;
+  let rows =
+    Hashtbl.fold (fun _ r acc -> !r :: acc) tally []
+    |> List.sort (fun a b -> compare a.m1_style b.m1_style)
+  in
+  (* the sweep's claims, asserted — a dirty machine space must fail the
+     experiment run, not just discolor a table *)
+  assert (List.fold_left (fun acc r -> acc + r.m1_machines) 0 rows = n);
+  List.iter
+    (fun r ->
+      assert (r.m1_lint = 0);
+      assert (r.m1_mismatches = 0))
+    rows;
+  rows
+
+let m1 () =
+  let t =
+    Tbl.make
+      ~title:
+        (Printf.sprintf
+           "M1: machine-space sweep — %d seeded .mdesc machines x %d YALLL \
+            programs, compile + Microlint + interp/compiled engine oracle"
+           m1_default_machines m1_programs_per_machine)
+      ~aligns:
+        [ Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right ]
+      [ "machine style"; "machines"; "programs"; "words"; "lint errors";
+        "engine mismatches" ]
+  in
+  List.iter
+    (fun r ->
+      Tbl.add_row t
+        [
+          r.m1_style; Tbl.cell_int r.m1_machines; Tbl.cell_int r.m1_programs;
+          Tbl.cell_int r.m1_words; Tbl.cell_int r.m1_lint;
+          Tbl.cell_int r.m1_mismatches;
+        ])
+    (m1_rows ());
+  t
+
 (* -- R1: fault injection against the service firewall ---------------------------- *)
 
 (* Each configuration replays the same mixed batch through a fresh,
@@ -1186,5 +1296,5 @@ let all_tables () =
       table "t6" t6; table "t7" t7; table "t8" t8; table "f1" f1;
     ]
   @ table "f2" f2
-  @ [ table "a1" a1; table "o1" o1; table "l1" l1; table "r1" r1;
-      table "s4" s4 ]
+  @ [ table "a1" a1; table "o1" o1; table "l1" l1; table "m1" m1;
+      table "r1" r1; table "s4" s4 ]

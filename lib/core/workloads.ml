@@ -184,6 +184,247 @@ let yalll_program ~seed ~len =
   let body = List.init len (fun _ -> line ()) in
   String.concat "\n" (decls @ setup @ body @ [ "exit" ]) ^ "\n"
 
+(* -- machine-space generator (M1) ---------------------------------------------- *)
+
+(* A random-but-valid 16-bit machine as .mdesc source text.  The
+   inventory is the fixed contract instruction selection needs to
+   compile the YALLL corpus (R1..R5 plus scratch, a constant load whose
+   immediate holds the corpus constants, moves, ALU, shifts, test, nop,
+   intack, memory); everything around that contract is sampled — the
+   datapath style (three-operand vs V11-like fixed-ACC with a
+   single-bit shifter), vertical vs horizontal, phase and unit
+   assignments, register-file size, control-word field order and
+   padding gaps, opcode values, immediate width, control-store size and
+   memory timing.  The same seed always regenerates the same text. *)
+let gen_machine ~seed =
+  let r = rng seed in
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let bits n =
+    let rec go b = if 1 lsl b > n then b else go (b + 1) in
+    go 1
+  in
+  let shuffle l =
+    let a = Array.of_list l in
+    for i = Array.length a - 1 downto 1 do
+      let j = pick r (i + 1) in
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t
+    done;
+    Array.to_list a
+  in
+  let acc_style = pick r 3 = 0 in
+  let vertical = (not acc_style) && pick r 3 = 0 in
+  let phases = if vertical then 1 else 1 + pick r 2 in
+  let ngpr = 6 + pick r 11 in
+  let nmacro = min ngpr (4 + pick r 5) in
+  (* R0..R(ngpr-1), AT, [AT2], ACC, MAR, MBR in a sampled order below *)
+  let has_at2 = (not acc_style) && pick r 2 = 0 in
+  let nregs = ngpr + (if has_at2 then 1 else 0) + 4 in
+  let rw = bits (nregs - 1) in
+  (* full word width: the optimizer folds constants (e.g. a negated
+     register value) into arbitrary 16-bit immediates *)
+  let iw = 16 in
+  let amtw = 3 + pick r 2 in
+  let aw = 8 + pick r 4 in
+  let store = 1 lsl aw in
+  let mem_extra = pick r 5 in
+  let flag_variants = pick r 2 = 0 in
+  let alu_phase = if phases > 1 then 1 else 0 in
+  let bus_unit = if vertical then "exec" else "bus" in
+  let alu_unit = if vertical then "exec" else "alu" in
+  add "# Generated machine (seed %d): one point of the M1 machine space.\n"
+    seed;
+  add "machine GEN%d {\n" seed;
+  add "  note \"Seeded machine-space sample for the M1 sweep.\"\n";
+  add "  word 16\n  addr %d\n  phases %d\n  mem_extra %d\n" aw phases mem_extra;
+  add "  store %d\n  scratch %d\n" store (store * 7 / 8);
+  add "  %s\n" (if vertical then "vertical" else "horizontal");
+  add "  caps [flag%s int]\n" (if pick r 2 = 0 then " reg_zero" else "");
+  add "  units [%s]\n"
+    (if vertical then "exec" else "bus alu");
+  (* control-word fields, in a sampled order with sampled padding gaps *)
+  let op_fields =
+    if acc_style then
+      [ ("port", 3); ("port_d", rw); ("port_s", rw); ("alu_op", 4);
+        ("alu_a", rw); ("alu_b", rw); ("imm", iw); ("misc", 2) ]
+    else [ ("op", 6); ("d", rw); ("a", rw); ("b", rw); ("imm", iw) ]
+  in
+  let fields =
+    shuffle ([ ("seq", 3); ("cond", 4); ("addr", aw); ("breg", rw) ] @ op_fields)
+  in
+  let lo = ref 0 in
+  List.iter
+    (fun (name, width) ->
+      add "  field %-8s %2d %3d\n" name width !lo;
+      lo := !lo + width + pick r 3)
+    fields;
+  (* registers; declaration order fixes ids, so sample where the
+     special registers sit relative to the file *)
+  let specials_first = pick r 2 = 0 in
+  let specials () =
+    add "  reg AT   16 [gpr at]\n";
+    if has_at2 then add "  reg AT2  16 [gpr at2]\n";
+    add "  reg ACC  16 [gpr acc%s]\n" (if acc_style then "" else " alloc");
+    add "  reg MAR  16 [gpr addr]\n";
+    add "  reg MBR  16 [gpr mbr]\n"
+  in
+  if specials_first then specials ();
+  for i = 0 to ngpr - 1 do
+    add "  reg R%-3d 16 [gpr alloc]%s\n" i (if i < nmacro then " macro" else "")
+  done;
+  if not specials_first then specials ();
+  (* opcode values, sampled without repetition *)
+  let opcodes = ref (shuffle (List.init 62 (fun i -> i + 1))) in
+  let opcode () =
+    match !opcodes with
+    | [] -> invalid_arg "gen_machine: opcode space exhausted"
+    | v :: rest ->
+        opcodes := rest;
+        v
+  in
+  let ports = ref (shuffle (List.init 7 (fun i -> i + 1))) in
+  let port () =
+    match !ports with
+    | [] -> invalid_arg "gen_machine: port space exhausted"
+    | v :: rest ->
+        ports := rest;
+        v
+  in
+  let alu_codes = ref (shuffle (List.init 15 (fun i -> i + 1))) in
+  let alu_code () =
+    match !alu_codes with
+    | [] -> invalid_arg "gen_machine: ALU code space exhausted"
+    | v :: rest ->
+        alu_codes := rest;
+        v
+  in
+  if acc_style then begin
+    (* V11-like: bus transfers, a fixed-ACC two-operand ALU, single-bit
+       shifters, MAR/MBR memory *)
+    add "  tmpl mov { sem move phase 0 units [%s]\n" bus_unit;
+    add "    op dst reg gpr write op src reg gpr read result operands\n";
+    add "    enc port %d enc port_d @dst enc port_s @src\n" (port ());
+    add "    act assign @dst, @src }\n";
+    add "  tmpl ldc { sem const phase 0 units [%s]\n" bus_unit;
+    add "    op dst reg gpr write op imm lit %d read result operands\n" iw;
+    add "    enc port %d enc port_d @dst enc imm @imm\n" (port ());
+    add "    act assign @dst, zext(64, @imm) }\n";
+    List.iter
+      (fun name ->
+        add "  tmpl %s { sem binop %s phase %d units [%s]\n" name name
+          alu_phase alu_unit;
+        add "    op a reg gpr read op b reg gpr read result $ACC\n";
+        add "    enc alu_op %d enc alu_a @a enc alu_b @b\n" (alu_code ());
+        add "    act arith %s $ACC, @a, @b }\n" name)
+      [ "add"; "adc"; "sub"; "and"; "or"; "xor" ];
+    add "  tmpl not { sem not phase %d units [%s]\n" alu_phase alu_unit;
+    add "    op a reg gpr read result $ACC\n";
+    add "    enc alu_op %d enc alu_a @a\n" (alu_code ());
+    add "    act assign $ACC, ~@a }\n";
+    List.iter
+      (fun name ->
+        add "  tmpl %s1 { sem special %s1 phase %d units [%s] result $ACC\n"
+          name name alu_phase alu_unit;
+        add "    enc alu_op %d\n" (alu_code ());
+        add "    act arith %s $ACC, $ACC, 0x1:16 }\n" name)
+      [ "shl"; "shr"; "sra"; "rol"; "ror" ];
+    add "  tmpl tst { sem test phase %d units [%s]\n" alu_phase alu_unit;
+    add "    op a reg gpr read result none\n";
+    add "    enc alu_op %d enc alu_a @a\n" (alu_code ());
+    add "    act flags or @a, 0x0:16 }\n";
+    add "  tmpl rd { sem mem_read phase 0 extra %d units [%s] result $MBR\n"
+      mem_extra bus_unit;
+    add "    enc port %d act read $MBR, $MAR }\n" (port ());
+    add "  tmpl wr { sem mem_write phase 0 extra %d units [%s] result none\n"
+      mem_extra bus_unit;
+    add "    enc port %d act write $MAR, $MBR }\n" (port ())
+  end
+  else begin
+    (* B17/HP3-like: three-operand ALU over a general register file *)
+    let three name sem act_kind act_op code =
+      add "  tmpl %s { sem %s phase %d units [%s]\n" name sem alu_phase
+        alu_unit;
+      add "    op dst reg gpr write op a reg gpr read op b reg gpr read \
+           result operands\n";
+      add "    enc op %d enc d @dst enc a @a enc b @b\n" code;
+      add "    act %s %s @dst, @a, @b }\n" act_kind act_op
+    in
+    add "  tmpl mov { sem move phase 0 units [%s]\n" bus_unit;
+    add "    op dst reg gpr write op src reg gpr read result operands\n";
+    add "    enc op %d enc d @dst enc a @src\n" (opcode ());
+    add "    act assign @dst, @src }\n";
+    add "  tmpl ldc { sem const phase 0 units [%s]\n" bus_unit;
+    add "    op dst reg gpr write op imm lit %d read result operands\n" iw;
+    add "    enc op %d enc d @dst enc imm @imm\n" (opcode ());
+    add "    act assign @dst, zext(64, @imm) }\n";
+    List.iter
+      (fun name -> three name ("binop " ^ name) "arithq" name (opcode ()))
+      [ "add"; "sub"; "and"; "or"; "xor" ];
+    three "adc" "binop adc" "arith" "adc" (opcode ());
+    if flag_variants then
+      List.iter
+        (fun name ->
+          three (name ^ "f") ("special " ^ name ^ "f") "arith" name
+            (opcode ()))
+        [ "add"; "sub" ];
+    let two name sem act code =
+      add "  tmpl %s { sem %s phase %d units [%s]\n" name sem alu_phase
+        alu_unit;
+      add "    op dst reg gpr write op src reg gpr read result operands\n";
+      add "    enc op %d enc d @dst enc a @src\n" code;
+      add "    act %s }\n" act
+    in
+    two "not" "not" "arithq xor @dst, ~@src, 0x0:64" (opcode ());
+    two "neg" "neg" "arithq sub @dst, 0x0:64, @src" (opcode ());
+    two "inc" "inc" "arithq add @dst, @src, 0x1:64" (opcode ());
+    two "dec" "dec" "arithq sub @dst, @src, 0x1:64" (opcode ());
+    let shift name set_flags code =
+      let tname = if set_flags then name ^ "f" else name in
+      let sem =
+        if set_flags then "special f" ^ name ^ "f" else "binop " ^ name
+      in
+      add "  tmpl %s { sem %s phase %d units [%s]\n" tname sem alu_phase
+        alu_unit;
+      add "    op dst reg gpr write op src reg gpr read op amount lit %d \
+           read result operands\n"
+        amtw;
+      add "    enc op %d enc d @dst enc a @src enc imm @amount\n" code;
+      add "    act %s %s @dst, @src, @amount }\n"
+        (if set_flags then "arith" else "arithq")
+        name
+    in
+    List.iter
+      (fun name -> shift name false (opcode ()))
+      [ "shl"; "shr"; "sra"; "rol"; "ror" ];
+    if flag_variants then begin
+      shift "shl" true (opcode ());
+      shift "shr" true (opcode ())
+    end;
+    add "  tmpl test { sem test phase %d units [%s]\n" alu_phase alu_unit;
+    add "    op src reg gpr read result none\n";
+    add "    enc op %d enc a @src\n" (opcode ());
+    add "    act flags or @src, 0x0:64 }\n";
+    add "  tmpl rdr { sem mem_read phase 0 extra %d units [%s]\n" mem_extra
+      bus_unit;
+    add "    op dst reg gpr write op addr reg gpr read result operands\n";
+    add "    enc op %d enc d @dst enc a @addr\n" (opcode ());
+    add "    act read @dst, @addr }\n";
+    add "  tmpl wrr { sem mem_write phase 0 extra %d units [%s]\n" mem_extra
+      bus_unit;
+    add "    op addr reg gpr read op src reg gpr read result none\n";
+    add "    enc op %d enc a @addr enc b @src\n" (opcode ());
+    add "    act write @addr, @src }\n"
+  end;
+  add "  tmpl nop { sem nop phase 0 units [] result none }\n";
+  add "  tmpl intack { sem special intack phase 0 units [] result none\n";
+  add "    enc %s %d act intack }\n"
+    (if acc_style then "misc" else "op")
+    (if acc_style then 1 else opcode ());
+  add "}\n";
+  Buffer.contents buf
+
 (* -- SIMPL-style straight-line blocks (F1) ---------------------------------------- *)
 
 (* MIR statement blocks with tunable independence, for the single-identity

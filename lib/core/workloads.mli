@@ -31,6 +31,15 @@ val yalll_program : seed:int -> len:int -> string
     on every 16-bit machine.  Distinct seeds give distinct sources — the
     corpus generator for the batch-compilation service benchmarks. *)
 
+val gen_machine : seed:int -> string
+(** One point of the machine space, as [.mdesc] source text for
+    {!Msl_machine.Mdesc.parse}.  Always a valid 16-bit machine able to
+    compile the {!yalll_program} corpus; the datapath style (three-
+    operand vs fixed-ACC), layout (vertical/horizontal, phases, field
+    order and padding, opcodes), register-file size, immediate width
+    and memory timing are all sampled from the seed.  Experiment M1 and
+    the mdesc fuzzer. *)
+
 val simpl_block :
   Msl_machine.Desc.t -> seed:int -> n:int -> p_dep:int -> Msl_mir.Mir.stmt list
 (** Mixed-kind MIR statement blocks for the single-identity parallelism

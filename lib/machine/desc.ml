@@ -157,10 +157,37 @@ let cond_supported t = function
   | C_reg_mask _ -> has_cap t Cap_reg_mask
   | C_int_pending -> has_cap t Cap_int
 
-(* Validation: catches machine-description mistakes at construction time. *)
+(* Validation: catches machine-description mistakes at construction time.
+   Runs on every description — hand-constructed, shipped .mdesc and
+   user-supplied alike (the Mdesc elaborator re-reports the same
+   invariants with source locations before this backstop fires). *)
 let validate t =
   let fail fmt = Format.kasprintf invalid_arg ("Desc %s: " ^^ fmt) t.d_name in
   if t.d_phases < 1 then fail "phases must be >= 1";
+  (* names must be unique, case-insensitively: lookups are case-folded in
+     several frontends, so "acc"/"ACC" colliding is an authoring bug *)
+  let check_dups what names =
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun n ->
+        let k = String.lowercase_ascii n in
+        if Hashtbl.mem seen k then fail "duplicate %s name %S" what n;
+        Hashtbl.replace seen k ())
+      names
+  in
+  check_dups "register" (List.map (fun r -> r.r_name) (Array.to_list t.d_regs));
+  check_dups "field" (List.map (fun f -> f.f_name) t.d_fields);
+  check_dups "template"
+    (List.map (fun tm -> tm.t_name) (Array.to_list t.d_templates));
+  check_dups "unit" t.d_units;
+  (* every field must fit the control word: sane offset, nonzero width,
+     and no wider than the 62 bits the encoder can range-check *)
+  List.iter
+    (fun f ->
+      if f.f_lo < 0 then fail "field %s at negative offset %d" f.f_name f.f_lo;
+      if f.f_width < 1 || f.f_width > 62 then
+        fail "field %s has width %d (must be 1..62)" f.f_name f.f_width)
+    t.d_fields;
   (* fields must not overlap *)
   let sorted =
     List.sort (fun a b -> compare a.f_lo b.f_lo) t.d_fields
@@ -196,7 +223,14 @@ let validate t =
           | Fv_opnd i when i < 0 || i >= Array.length tm.t_operands ->
               fail "template %s: field %s references operand %d" tm.t_name
                 fs.fs_field i
-          | Fv_opnd _ | Fv_const _ -> ())
+          | Fv_const v ->
+              let f =
+                List.find (fun f -> f.f_name = fs.fs_field) t.d_fields
+              in
+              if v < 0 || (f.f_width < 62 && v lsr f.f_width <> 0) then
+                fail "template %s: value %d does not fit field %s (%d bits)"
+                  tm.t_name v fs.fs_field f.f_width
+          | Fv_opnd _ -> ())
         tm.t_fields;
       Array.iter
         (fun o ->

@@ -127,10 +127,18 @@ val make :
   note:string ->
   unit ->
   t
-(** Builds and validates a description.
-    @raise Invalid_argument on overlapping fields, out-of-range phases,
-    references to unknown units/fields/registers, actions writing
-    read-only operands, and similar authoring mistakes. *)
+(** Builds and validates a description (see {!validate}). *)
+
+val validate : t -> t
+(** The invariant check {!make} ends with, exposed so loaders can
+    re-validate descriptions they did not construct: non-overlapping
+    control-word fields that each fit the word (offset >= 0, width
+    1..62), template field/operand references that resolve, constant
+    field values that fit their field, non-empty register classes
+    behind every register operand, case-insensitively unique
+    register/field/template/unit names, in-range phases, and actions
+    that only write writable operands.  Returns its argument.
+    @raise Invalid_argument naming the violated invariant. *)
 
 (** {1 Lookups} *)
 

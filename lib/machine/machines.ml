@@ -1,11 +1,23 @@
-(* Registry of the machine models shipped with the toolkit. *)
+(* Registry of the machine models shipped with the toolkit.
 
-let h1 = H1.desc
-let hp3 = Hp3.desc
-let v11 = V11.desc
-let b17 = B17.desc
+   The models are data, not code: machines/*.mdesc at the repo root,
+   embedded as strings at build time (see dune) and elaborated here
+   through the same Mdesc parser/validator that handles user-supplied
+   descriptions, so the shipped machines cannot drift from what
+   [mslc --machine-file] would accept. *)
+
+module Diag = Msl_util.Diag
+
+let of_embedded file src = Mdesc.parse ~file:("machines/" ^ file) src
+
+let h1 = of_embedded "h1.mdesc" Mdesc_embedded.h1
+let hp3 = of_embedded "hp3.mdesc" Mdesc_embedded.hp3
+let v11 = of_embedded "v11.mdesc" Mdesc_embedded.v11
+let b17 = of_embedded "b17.mdesc" Mdesc_embedded.b17
 
 let all = [ h1; hp3; v11; b17 ]
+
+let known () = String.concat ", " (List.map (fun d -> d.Desc.d_name) all)
 
 let find name =
   List.find_opt
@@ -16,6 +28,16 @@ let get name =
   match find name with
   | Some d -> d
   | None ->
-      invalid_arg
-        (Printf.sprintf "unknown machine %S (known: %s)" name
-           (String.concat ", " (List.map (fun d -> d.Desc.d_name) all)))
+      Diag.error Diag.Semantic "unknown machine %S (known: %s)" name (known ())
+
+let load_file path =
+  let src =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg ->
+      Diag.error Diag.Semantic "cannot read machine description: %s" msg
+  in
+  Mdesc.parse ~file:path src

@@ -1,5 +1,6 @@
 (** The machine models shipped with the toolkit (see DESIGN.md for what
-    each stands in for). *)
+    each stands in for).  Each is elaborated at load time from its
+    [machines/*.mdesc] source, embedded at build time. *)
 
 val h1 : Desc.t
 (** 64-bit, 3-phase horizontal machine (Tucker–Flynn stand-in). *)
@@ -19,4 +20,11 @@ val find : string -> Desc.t option
 (** Case-insensitive lookup by name. *)
 
 val get : string -> Desc.t
-(** @raise Invalid_argument for unknown names, listing the known ones. *)
+(** @raise Msl_util.Diag.Error (Semantic) for unknown names, listing the
+    known ones — the [mslc] exit-code discipline turns it into a proper
+    diagnostic and exit 2 instead of a backtrace. *)
+
+val load_file : string -> Desc.t
+(** Read and elaborate a user-supplied [.mdesc] file ([mslc
+    --machine-file]).  Unreadable files and all parse/validation
+    failures raise a located {!Msl_util.Diag.Error}. *)

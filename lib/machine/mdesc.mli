@@ -1,0 +1,31 @@
+(** The textual [.mdesc] machine-description format.
+
+    The survey's MPGL thesis (§2.2.5) says the machine is an {e input}
+    to the compiler, not code inside it: the four shipped machines are
+    [machines/*.mdesc] files elaborated by this module, and users bring
+    their own with [mslc --machine-file].
+
+    A description is one [machine NAME { ... }] block.  Scalar
+    parameters ([word], [addr], [phases], [store], [mem_extra],
+    [scratch], [horizontal]/[vertical], [note], [caps], [units]) and the
+    [field]/[reg] declarations must precede the first [tmpl]; template
+    bodies are elaborated against them as they parse, so every error
+    carries the offending token's location.  Declaration order is
+    meaningful: registers take ids from it, and instruction selection
+    prefers earlier templates.
+
+    See DESIGN.md for the grammar and README.md for a worked example. *)
+
+val parse : file:string -> string -> Desc.t
+(** Lex, parse and elaborate a description, ending with the same
+    validation pass the hand-authored models went through
+    ({!Desc.make}).  All failures — lexical, syntactic, semantic — raise
+    a located {!Msl_util.Diag.Error} ([Lexing]/[Parsing]/[Semantic]
+    phase); no other exception escapes, on any input.  [file] names the
+    source in diagnostics. *)
+
+val to_source : Desc.t -> string
+(** The canonical [.mdesc] rendering of a description.  Total and
+    parseable: [parse (to_source d)] reconstructs [d] up to its derived
+    lookup caches, which the mdesc test suite checks by printing the
+    round trip back and comparing sources. *)

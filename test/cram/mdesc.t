@@ -1,0 +1,30 @@
+Machines are .mdesc data.  An unknown registry name is a located
+semantic diagnostic under the standard exit-code discipline (exit 2),
+naming the machines that do exist.
+
+  $ ../../bin/mslc.exe run -l yalll -m z99 ../../examples/gcd.yll
+  error[semantic]: unknown machine "z99" (known: H1, HP3, V11, B17)
+  [2]
+
+--machine-file elaborates a user description instead of a registry
+entry.  The shipped B17 source is itself such a file:
+
+  $ ../../bin/mslc.exe run -l yalll --machine-file ../../machines/b17.mdesc ../../examples/gcd.yll
+  halted after 49 cycles (49 microinstructions executed)
+    R0     = 16'd21
+    R1     = 16'd21
+    R2     = 16'd21
+    R26    = 16'd32768
+    R27    = 16'd32768
+
+A malformed description is answered with a located diagnostic carrying
+the file position, never a crash:
+
+  $ printf 'machine Bad {\n  word 96\n}\n' > bad.mdesc
+  $ ../../bin/mslc.exe run -l yalll --machine-file bad.mdesc ../../examples/gcd.yll
+  error[semantic] bad.mdesc:2.8-10: word 96 outside 1..64
+  [2]
+
+  $ ../../bin/mslc.exe compile -l yalll --machine-file /nonexistent.mdesc ../../examples/gcd.yll
+  error[semantic]: cannot read machine description: /nonexistent.mdesc: No such file or directory
+  [2]

@@ -149,6 +149,44 @@ let fuzz_manifest =
           ignore (Core.Service.parse_manifest ~file:"fuzz.manifest" ~load text);
           true))
 
+(* The .mdesc elaborator is an input surface like any frontend: mutated
+   machine descriptions (seeded from the canonical rendering of each
+   shipped machine, or raw noise) must come back as located diagnostics
+   — or as a valid Desc.t, never as a raw exception.  Generated machines
+   (Workloads.gen_machine) are also mutated, so the fuzz corpus is not
+   limited to the four shipped layouts. *)
+let mdesc_sources =
+  List.map Mdesc.to_source Machines.all
+
+let fuzz_mdesc =
+  QCheck.Test.make ~count:600 ~name:"mdesc elaborator survives hostile input"
+    QCheck.(pair (int_bound 1_000_000) (int_range 0 200))
+    (fun (seed, len) ->
+      let rng = Random.State.make [| seed; len; 41 |] in
+      let src =
+        match Random.State.int rng 6 with
+        | 0 -> noise rng len
+        | 1 -> mutate rng (Core.Workloads.gen_machine ~seed)
+        | _ ->
+            mutate rng
+              (List.nth mdesc_sources
+                 (Random.State.int rng (List.length mdesc_sources)))
+      in
+      survives (fun () ->
+          ignore (Mdesc.parse ~file:"fuzz.mdesc" src);
+          true))
+
+(* Every generated machine must elaborate cleanly: gen_machine feeds the
+   M1 machine-space sweep, so an invalid description here would poison
+   the experiment rather than test the toolchain. *)
+let gen_machine_is_valid =
+  QCheck.Test.make ~count:200 ~name:"gen_machine always elaborates"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let src = Core.Workloads.gen_machine ~seed in
+      let d = Mdesc.parse ~file:"gen.mdesc" src in
+      Array.length d.Desc.d_templates > 0)
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -160,4 +198,9 @@ let () =
              (fun e -> QCheck_alcotest.to_alcotest (fuzz_example e))
              example_corpus );
       ("manifest", [ QCheck_alcotest.to_alcotest fuzz_manifest ]);
+      ( "machine descriptions",
+        [
+          QCheck_alcotest.to_alcotest fuzz_mdesc;
+          QCheck_alcotest.to_alcotest gen_machine_is_valid;
+        ] );
     ]
