@@ -339,6 +339,17 @@ let print_bench () =
    hardware measure ~10x, see EXPERIMENTS.md). *)
 let s4_gate ~floor =
   let rows = Experiments.s4_rows () in
+  (* V1-validate: wall clock for translation-validating the honest
+     example corpus (every language x machine x opt level).  A timing
+     record only — it rides in the same JSON but is deliberately not an
+     S4 row, so it can never trip the speedup floor. *)
+  let v1_t0 = Unix.gettimeofday () in
+  let v1_rows = Experiments.v1_honest_rows () in
+  let v1_ms = (Unix.gettimeofday () -. v1_t0) *. 1e3 in
+  let v1_sum f = List.fold_left (fun a r -> a + f r) 0 v1_rows in
+  let v1_blocks = v1_sum (fun r -> r.Experiments.v1h_blocks) in
+  let v1_refuted = v1_sum (fun r -> r.Experiments.v1h_refuted) in
+  let v1_unknown = v1_sum (fun r -> r.Experiments.v1h_unknown) in
   let min_speedup =
     List.fold_left
       (fun acc (r : Experiments.s4_row) -> Float.min acc r.Experiments.s4_speedup)
@@ -372,6 +383,11 @@ let s4_gate ~floor =
     rows;
   Buffer.add_string buf "  ],\n";
   Buffer.add_string buf
+    (Printf.sprintf
+       "  \"v1_validate\": {\"ms\": %.2f, \"blocks\": %d, \"refuted\": %d, \
+        \"unknown\": %d},\n"
+       v1_ms v1_blocks v1_refuted v1_unknown);
+  Buffer.add_string buf
     (Printf.sprintf "  \"min_speedup\": %.2f,\n  \"pass\": %b\n}\n"
        min_speedup pass);
   let oc = open_out file in
@@ -384,6 +400,8 @@ let s4_gate ~floor =
         r.Experiments.s4_interp_cps r.Experiments.s4_compiled_cps
         r.Experiments.s4_speedup)
     rows;
+  Fmt.pr "V1-validate: %d blocks in %.1f ms (%d refuted, %d unknown)@."
+    v1_blocks v1_ms v1_refuted v1_unknown;
   Fmt.pr "wrote %s (min speedup %.1fx, floor %.1fx): %s@." file min_speedup
     floor
     (if pass then "PASS" else "FAIL");

@@ -206,28 +206,112 @@ let print_timings (c : Core.Toolkit.compiled) =
   Fmt.pr "; pass timings@.%a" Msl_mir.Passmgr.pp_timings
     c.Core.Toolkit.c_timings
 
+let miscompile_of_spec spec =
+  match String.index_opt spec ':' with
+  | None ->
+      Diag.error Diag.Parsing "expected KIND:SEED, got %S (kinds: %s)" spec
+        (String.concat ", "
+           (List.map Core.Workloads.miscompile_name
+              Core.Workloads.all_miscompiles))
+  | Some i -> (
+      let k = String.sub spec 0 i in
+      let s = String.sub spec (i + 1) (String.length spec - i - 1) in
+      let kind =
+        match
+          List.find_opt
+            (fun m -> Core.Workloads.miscompile_name m = k)
+            Core.Workloads.all_miscompiles
+        with
+        | Some m -> m
+        | None ->
+            Diag.error Diag.Parsing "unknown miscompile kind %S (kinds: %s)" k
+              (String.concat ", "
+                 (List.map Core.Workloads.miscompile_name
+                    Core.Workloads.all_miscompiles))
+      in
+      match int_of_string_opt s with
+      | Some seed -> (kind, seed)
+      | None -> Diag.error Diag.Parsing "expected an integer seed, got %S" s)
+
 let compile_cmd =
+  let validate_arg =
+    let doc =
+      "Run the translation validator over every lowered block: \
+       symbolically prove the compacted microcode equivalent to its \
+       pre-compaction schedule (see DESIGN.md).  Prints one finding per \
+       REFUTED or UNKNOWN block and a summary line; exits 1 on any \
+       refutation."
+    in
+    Arg.(value & flag & info [ "validate" ] ~doc)
+  in
+  let tv_inject_arg =
+    let doc =
+      "Validator testing hook: after compiling, inject the seeded \
+       miscompile $(docv) (one of swap-dep, drop-word, retarget, \
+       perturb-operand, then a colon and an integer seed) into the \
+       compiled program and validate the honest program against the \
+       mutant — which must exit 1 (refuted) whenever an observable \
+       mutation site exists."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tv-inject" ] ~docv:"KIND:SEED" ~doc)
+  in
   let run lang machine machine_file file opt algo bb_budget trace time_passes
-      dumps =
+      dumps validate tv_inject =
     setup_trace trace;
     handle_diag (fun () ->
         let d = resolve_machine machine machine_file in
+        let tv_inject = Option.map miscompile_of_spec tv_inject in
+        let artifacts = ref [] in
+        let capture =
+          if validate then Some (fun a -> artifacts := a :: !artifacts)
+          else None
+        in
         let c =
           Core.Toolkit.compile
             ~options:(options_of opt algo bb_budget)
-            ?observe:(observe_of_dumps dumps) lang d (read_file file)
+            ?observe:(observe_of_dumps dumps) ?capture lang d (read_file file)
         in
         warn_inexact c;
         print_string (Masm.print d c.Core.Toolkit.c_insts);
         Fmt.pr "; %d words, %d microoperations, %d control-store bits@."
           c.Core.Toolkit.c_words c.Core.Toolkit.c_ops c.Core.Toolkit.c_bits;
-        if time_passes then print_timings c)
+        if time_passes then print_timings c;
+        let failed = ref false in
+        let report (r : Msl_mir.Tv.result) =
+          List.iter
+            (fun f -> Fmt.pr "%a@." Msl_mir.Diag.pp_finding f)
+            r.Msl_mir.Tv.v_findings;
+          Fmt.pr "; validate: %a@." Msl_mir.Tv.pp_summary r;
+          if r.Msl_mir.Tv.v_refuted > 0 then failed := true
+        in
+        if validate then
+          report (Msl_mir.Tv.validate_artifacts d (List.rev !artifacts));
+        (match tv_inject with
+        | None -> ()
+        | Some (kind, seed) -> (
+            match
+              Core.Workloads.inject_miscompile d ~seed kind
+                c.Core.Toolkit.c_insts
+            with
+            | None ->
+                Fmt.pr
+                  "; tv-inject: no observable %s site in this program@."
+                  (Core.Workloads.miscompile_name kind)
+            | Some (mutant, _witness) ->
+                report
+                  (Msl_mir.Tv.validate_program d
+                     ~labels:c.Core.Toolkit.c_labels
+                     ~reference:c.Core.Toolkit.c_insts ~candidate:mutant)));
+        if !failed then exit 1)
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a program and print its microcode")
     Term.(
       const run $ lang_arg $ machine_arg $ machine_file_arg $ file_arg
       $ opt_arg $ algo_arg $ bb_budget_arg $ trace_arg $ time_passes_arg
-      $ dump_after_arg)
+      $ dump_after_arg $ validate_arg $ tv_inject_arg)
 
 let fuel_arg =
   let doc =
@@ -454,6 +538,7 @@ let experiments_cmd =
             ("o1", fun () -> [ Core.Experiments.o1 () ]);
             ("l1", fun () -> [ Core.Experiments.l1 () ]);
             ("m1", fun () -> [ Core.Experiments.m1 () ]);
+            ("v1", fun () -> Core.Experiments.v1 ());
             ("r1", fun () -> [ Core.Experiments.r1 () ]);
             ("s4", fun () -> [ Core.Experiments.s4 () ]) ]
         in
@@ -516,6 +601,15 @@ let batch_cmd =
        flag over examples/."
     in
     Arg.(value & flag & info [ "diff" ] ~doc)
+  in
+  let validate_arg =
+    let doc =
+      "Run the translation validator on every compiled job and fail jobs \
+       with REFUTED or UNKNOWN blocks (equivalent to validate=on on \
+       every manifest line).  The corpus-wide validate gate in CI is \
+       this flag over examples/."
+    in
+    Arg.(value & flag & info [ "validate" ] ~doc)
   in
   let cache_dir_arg =
     let doc =
@@ -583,9 +677,9 @@ let batch_cmd =
     let doc = "Seed for the deterministic fault-injection draws." in
     Arg.(value & opt int 1 & info [ "inject-seed" ] ~docv:"N" ~doc)
   in
-  let run manifest domains rounds cap listings lint diff cache_dir retries
-      backoff_ms deadline keep_going inject_raise inject_delay inject_delay_ms
-      inject_seed trace =
+  let run manifest domains rounds cap listings lint diff validate cache_dir
+      retries backoff_ms deadline keep_going inject_raise inject_delay
+      inject_delay_ms inject_seed trace =
     setup_trace trace;
     handle_diag (fun () ->
         let jobs =
@@ -598,6 +692,11 @@ let batch_cmd =
         in
         let jobs =
           if diff then List.map (fun j -> { j with Service.j_diff = true }) jobs
+          else jobs
+        in
+        let jobs =
+          if validate then
+            List.map (fun j -> { j with Service.j_validate = true }) jobs
           else jobs
         in
         let policy =
@@ -671,8 +770,8 @@ let batch_cmd =
           compilation service")
     Term.(
       const run $ manifest_arg $ domains_arg $ rounds_arg $ cap_arg
-      $ listings_arg $ lint_arg $ diff_arg $ cache_dir_arg $ retries_arg
-      $ backoff_arg
+      $ listings_arg $ lint_arg $ diff_arg $ validate_arg $ cache_dir_arg
+      $ retries_arg $ backoff_arg
       $ deadline_arg $ keep_going_arg $ inject_raise_arg $ inject_delay_arg
       $ inject_delay_ms_arg $ inject_seed_arg $ trace_arg)
 

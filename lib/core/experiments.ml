@@ -10,6 +10,7 @@ module Compaction = Msl_mir.Compaction
 module Regalloc = Msl_mir.Regalloc
 module Dataflow = Msl_mir.Dataflow
 module Mir = Msl_mir.Mir
+module Tv = Msl_mir.Tv
 
 (* Every experiment compilation goes through one shared service, so
    regenerating several tables (or the same table twice, as T4/T5 style
@@ -845,6 +846,11 @@ type l1_row = {
   l1_defect : Workloads.defect;
   l1_injected : int;
   l1_detected : int;
+  l1_validated : int;
+      (* mutants the translation validator refutes.  Closes the analyzer's
+         honest blind spot: drop-dep races are invisible to the resource
+         checker, but every drop-dep mutant that observably diverges
+         (probe-confirmed) must be REFUTED — asserted below. *)
 }
 
 let l1_machines = [ Machines.hp3; Machines.h1; Machines.v11; Machines.b17 ]
@@ -878,7 +884,7 @@ let l1_rows () =
       let corpus = l1_corpus d in
       List.map
         (fun defect ->
-          let injected = ref 0 and detected = ref 0 in
+          let injected = ref 0 and detected = ref 0 and validated = ref 0 in
           List.iter
             (fun insts ->
               List.iter
@@ -891,11 +897,30 @@ let l1_rows () =
                         Msl_mir.Diag.errors
                           (Msl_mir.Lint.validate_machine d mutant)
                         <> []
-                      then incr detected)
+                      then incr detected;
+                      let refuted =
+                        (Tv.validate_program d ~reference:insts
+                           ~candidate:mutant)
+                          .Tv.v_refuted > 0
+                      in
+                      if refuted then incr validated;
+                      (* the analyzer's blind spot, closed: any drop-dep
+                         mutant the differential probe can observe must be
+                         refuted by the validator *)
+                      if
+                        defect = Workloads.D_drop_dep && (not refuted)
+                        && Workloads.miscompile_probe d ~seed insts mutant
+                           <> None
+                      then
+                        failwith
+                          (Printf.sprintf
+                             "L1: observable drop-dep mutant (%s, seed %d) \
+                              not refuted by the translation validator"
+                             d.Desc.d_name seed))
                 [ 0; 1; 2; 3; 4 ])
             corpus;
           { l1_machine = d; l1_defect = defect; l1_injected = !injected;
-            l1_detected = !detected })
+            l1_detected = !detected; l1_validated = !validated })
         Workloads.all_defects)
     l1_machines
 
@@ -907,11 +932,15 @@ let l1 () =
   let t =
     Tbl.make
       ~title:
-        "L1: seeded compiler-defect injection vs the static analyzer \
-         (mutants of honestly compiled programs; detected = any error \
-         finding)"
-      ~aligns:[ Tbl.Left; Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right ]
-      [ "machine"; "defect"; "injected"; "detected"; "rate" ]
+        "L1: seeded compiler-defect injection vs the static analyzer and \
+         the translation validator (mutants of honestly compiled \
+         programs; detected = any lint error finding, refuted = Tv \
+         counterexample or structural mismatch)"
+      ~aligns:
+        [ Tbl.Left; Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right;
+          Tbl.Right ]
+      [ "machine"; "defect"; "injected"; "detected"; "rate"; "refuted";
+        "tv rate" ]
   in
   List.iter
     (fun r ->
@@ -922,6 +951,8 @@ let l1 () =
           Tbl.cell_int r.l1_injected;
           Tbl.cell_int r.l1_detected;
           rate r.l1_detected r.l1_injected;
+          Tbl.cell_int r.l1_validated;
+          rate r.l1_validated r.l1_injected;
         ])
     (l1_rows ());
   t
@@ -943,6 +974,10 @@ type m1_row = {
   m1_words : int;  (* control-store words across the corpus *)
   m1_lint : int;  (* Microlint error findings; the claim is 0 *)
   m1_mismatches : int;  (* engine state-digest disagreements; claim 0 *)
+  m1_tv_bad : int;
+      (* translation-validation REFUTED + UNKNOWN blocks; claim 0 — every
+         compacted block of every generated machine proves equivalent to
+         its pre-compaction schedule *)
 }
 
 let m1_default_machines = 100
@@ -966,7 +1001,7 @@ let m1_rows ?(n = m1_default_machines) () =
           let r =
             ref
               { m1_style = style; m1_machines = 0; m1_programs = 0;
-                m1_words = 0; m1_lint = 0; m1_mismatches = 0 }
+                m1_words = 0; m1_lint = 0; m1_mismatches = 0; m1_tv_bad = 0 }
           in
           Hashtbl.add tally style r;
           r
@@ -978,7 +1013,12 @@ let m1_rows ?(n = m1_default_machines) () =
       in
       (* fresh compiles: generated machines must not pollute (or be
          served by) the shared experiment cache *)
-      let c = Toolkit.compile Toolkit.Yalll d psrc in
+      let artifacts = ref [] in
+      let c =
+        Toolkit.compile ~capture:(fun a -> artifacts := a :: !artifacts)
+          Toolkit.Yalll d psrc
+      in
+      let tv = Tv.validate_artifacts d (List.rev !artifacts) in
       let lint =
         List.length
           (Msl_mir.Diag.errors
@@ -995,7 +1035,8 @@ let m1_rows ?(n = m1_default_machines) () =
           m1_programs = !row.m1_programs + 1;
           m1_words = !row.m1_words + c.Toolkit.c_words;
           m1_lint = !row.m1_lint + lint;
-          m1_mismatches = !row.m1_mismatches + mism }
+          m1_mismatches = !row.m1_mismatches + mism;
+          m1_tv_bad = !row.m1_tv_bad + tv.Tv.v_refuted + tv.Tv.v_unknown }
     done
   done;
   let rows =
@@ -1008,7 +1049,8 @@ let m1_rows ?(n = m1_default_machines) () =
   List.iter
     (fun r ->
       assert (r.m1_lint = 0);
-      assert (r.m1_mismatches = 0))
+      assert (r.m1_mismatches = 0);
+      assert (r.m1_tv_bad = 0))
     rows;
   rows
 
@@ -1018,12 +1060,14 @@ let m1 () =
       ~title:
         (Printf.sprintf
            "M1: machine-space sweep — %d seeded .mdesc machines x %d YALLL \
-            programs, compile + Microlint + interp/compiled engine oracle"
+            programs, compile + Microlint + translation validation + \
+            interp/compiled engine oracle"
            m1_default_machines m1_programs_per_machine)
       ~aligns:
-        [ Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right ]
+        [ Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right;
+          Tbl.Right ]
       [ "machine style"; "machines"; "programs"; "words"; "lint errors";
-        "engine mismatches" ]
+        "engine mismatches"; "tv refuted+unknown" ]
   in
   List.iter
     (fun r ->
@@ -1031,10 +1075,246 @@ let m1 () =
         [
           r.m1_style; Tbl.cell_int r.m1_machines; Tbl.cell_int r.m1_programs;
           Tbl.cell_int r.m1_words; Tbl.cell_int r.m1_lint;
-          Tbl.cell_int r.m1_mismatches;
+          Tbl.cell_int r.m1_mismatches; Tbl.cell_int r.m1_tv_bad;
         ])
     (m1_rows ());
   t
+
+(* -- V1: translation validation — honest compiles vs seeded miscompiles --------- *)
+
+(* The validator tentpole claim, measured from both sides.  Honest half:
+   every example program, compiled for every machine its language targets
+   at -O0 and -O1 with the pipeline's capture hook, must come through
+   {!Msl_mir.Tv} with zero REFUTED and zero UNKNOWN blocks — compaction
+   is proved equivalent, not trusted.  Mutant half: probe-confirmed
+   miscompiles ({!Workloads.inject_miscompile} — resource-clean word
+   streams that compute something else) over the L1 corpus must all be
+   REFUTED, and every witness store must replay to divergent
+   architectural digests through the interpreter.  The driver asserts
+   both claims, so `mslc experiments v1` doubles as the CI gate. *)
+
+type v1_honest_row = {
+  v1h_language : Toolkit.language;
+  v1h_machine : string;
+  v1h_opt : int;
+  v1h_programs : int;
+  v1h_blocks : int;
+  v1h_proved : int;  (* symbolically validated *)
+  v1h_dynamic : int;  (* only the dynamic fallback agreed *)
+  v1h_refuted : int;  (* claim: 0 *)
+  v1h_unknown : int;  (* claim: 0 *)
+}
+
+type v1_mutant_row = {
+  v1m_machine : string;
+  v1m_kind : Workloads.miscompile;
+  v1m_injected : int;
+  v1m_refuted : int;  (* claim: = injected *)
+  v1m_replayed : int;
+      (* witness stores replaying to divergent digests; claim: = injected *)
+}
+
+(* The example corpus rides in from disk when it is around (the drivers
+   run from the repo root); a generated YALLL corpus keeps the experiment
+   meaningful when it is not. *)
+let v1_examples () =
+  let read path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let dir =
+    List.find_opt
+      (fun d -> Sys.file_exists d && Sys.is_directory d)
+      [ "examples"; "../examples"; "../../examples" ]
+  in
+  match dir with
+  | Some dir ->
+      Sys.readdir dir |> Array.to_list |> List.sort compare
+      |> List.filter_map (fun f ->
+             let lang =
+               match Filename.extension f with
+               | ".yll" -> Some Toolkit.Yalll
+               | ".simpl" -> Some Toolkit.Simpl
+               | ".empl" -> Some Toolkit.Empl
+               | _ -> None
+             in
+             Option.map (fun l -> (f, l, read (Filename.concat dir f))) lang)
+  | None ->
+      List.map
+        (fun seed ->
+          ( Printf.sprintf "gen-%d.yll" seed,
+            Toolkit.Yalll,
+            Workloads.yalll_program ~seed ~len:12 ))
+        [ 1; 2; 3; 4; 5 ]
+
+(* the machine matrix of the CI gates: every machine a language targets *)
+let v1_machines = function
+  | Toolkit.Yalll -> [ Machines.hp3; Machines.v11; Machines.b17 ]
+  | Toolkit.Simpl -> [ Machines.hp3; Machines.h1; Machines.b17 ]
+  | Toolkit.Empl -> [ Machines.hp3; Machines.b17 ]
+  | Toolkit.Sstar -> []  (* no compaction, nothing to validate *)
+
+let v1_honest_rows () =
+  let examples = v1_examples () in
+  let rows =
+    List.concat_map
+      (fun lang ->
+        let programs = List.filter (fun (_, l, _) -> l = lang) examples in
+        if programs = [] then []
+        else
+          List.concat_map
+            (fun (d : Desc.t) ->
+              List.map
+                (fun (opt, options) ->
+                  let blocks = ref 0 and proved = ref 0 and dyn = ref 0 in
+                  let refuted = ref 0 and unknown = ref 0 in
+                  List.iter
+                    (fun (_, _, src) ->
+                      let artifacts = ref [] in
+                      (* fresh compiles: only the capture hook sees the
+                         pre-compaction schedules *)
+                      ignore
+                        (Toolkit.compile ~options
+                           ~capture:(fun a -> artifacts := a :: !artifacts)
+                           lang d src);
+                      let r = Tv.validate_artifacts d (List.rev !artifacts) in
+                      blocks := !blocks + r.Tv.v_total;
+                      proved := !proved + (r.Tv.v_validated - r.Tv.v_dynamic);
+                      dyn := !dyn + r.Tv.v_dynamic;
+                      refuted := !refuted + r.Tv.v_refuted;
+                      unknown := !unknown + r.Tv.v_unknown)
+                    programs;
+                  { v1h_language = lang; v1h_machine = d.Desc.d_name;
+                    v1h_opt = opt; v1h_programs = List.length programs;
+                    v1h_blocks = !blocks; v1h_proved = !proved;
+                    v1h_dynamic = !dyn; v1h_refuted = !refuted;
+                    v1h_unknown = !unknown })
+                [ (0, o0); (1, Pipeline.default_options) ])
+            (v1_machines lang))
+      [ Toolkit.Yalll; Toolkit.Simpl; Toolkit.Empl ]
+  in
+  (* the false-alarm claim, asserted: an honest compile never refutes and
+     never exhausts the budget *)
+  List.iter
+    (fun r ->
+      if r.v1h_refuted > 0 || r.v1h_unknown > 0 then
+        failwith
+          (Printf.sprintf
+             "V1: honest %s compile on %s at -O%d: %d refuted, %d unknown"
+             (Toolkit.language_name r.v1h_language)
+             r.v1h_machine r.v1h_opt r.v1h_refuted r.v1h_unknown))
+    rows;
+  rows
+
+(* Replay one input store through both programs on the interpreter and
+   compare halt status + architectural digest (the probe's observation). *)
+let v1_replay_diverges (d : Desc.t) witness reference mutant =
+  let run insts =
+    try
+      let sim = Sim.create ~trap_mode:Sim.Fault_is_error d in
+      Sim.load_store sim insts;
+      Tv.apply_assignment d sim witness;
+      let status =
+        match Sim.run ~fuel:4096 sim with
+        | Sim.Halted -> "halted\n"
+        | Sim.Out_of_fuel -> "fuel\n"
+      in
+      status ^ Tv.arch_digest d sim
+    with Msl_util.Diag.Error di -> "fault:" ^ di.Msl_util.Diag.message
+  in
+  run reference <> run mutant
+
+let v1_mutant_rows () =
+  List.concat_map
+    (fun (d : Desc.t) ->
+      let corpus = l1_corpus d in
+      List.map
+        (fun kind ->
+          let injected = ref 0 and refuted = ref 0 and replayed = ref 0 in
+          List.iter
+            (fun insts ->
+              List.iter
+                (fun seed ->
+                  match Workloads.inject_miscompile d ~seed kind insts with
+                  | None -> ()
+                  | Some (mutant, witness) ->
+                      incr injected;
+                      let r =
+                        Tv.validate_program d ~reference:insts
+                          ~candidate:mutant
+                      in
+                      if r.Tv.v_refuted > 0 then incr refuted
+                      else
+                        failwith
+                          (Printf.sprintf
+                             "V1: %s miscompile (%s, seed %d) not refuted \
+                              by the translation validator"
+                             (Workloads.miscompile_name kind) d.Desc.d_name
+                             seed);
+                      if v1_replay_diverges d witness insts mutant then
+                        incr replayed
+                      else
+                        failwith
+                          (Printf.sprintf
+                             "V1: %s witness (%s, seed %d) does not replay \
+                              to divergent digests"
+                             (Workloads.miscompile_name kind) d.Desc.d_name
+                             seed))
+                [ 0; 1; 2 ])
+            corpus;
+          { v1m_machine = d.Desc.d_name; v1m_kind = kind;
+            v1m_injected = !injected; v1m_refuted = !refuted;
+            v1m_replayed = !replayed })
+        Workloads.all_miscompiles)
+    l1_machines
+
+let v1 () =
+  let honest =
+    Tbl.make
+      ~title:
+        "V1a: translation validation over the example corpus (honest \
+         compiles, every target machine, -O0 and -O1; claims: refuted = \
+         unknown = 0)"
+      ~aligns:
+        [ Tbl.Left; Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right;
+          Tbl.Right; Tbl.Right; Tbl.Right ]
+      [ "language"; "machine"; "-O"; "programs"; "blocks"; "proved";
+        "dynamic"; "refuted"; "unknown" ]
+  in
+  List.iter
+    (fun r ->
+      Tbl.add_row honest
+        [
+          Toolkit.language_name r.v1h_language; r.v1h_machine;
+          Tbl.cell_int r.v1h_opt; Tbl.cell_int r.v1h_programs;
+          Tbl.cell_int r.v1h_blocks; Tbl.cell_int r.v1h_proved;
+          Tbl.cell_int r.v1h_dynamic; Tbl.cell_int r.v1h_refuted;
+          Tbl.cell_int r.v1h_unknown;
+        ])
+    (v1_honest_rows ());
+  let mutants =
+    Tbl.make
+      ~title:
+        "V1b: seeded miscompile injection vs the validator \
+         (probe-confirmed mutants of the L1 corpus; claims: refuted = \
+         replayed = injected)"
+      ~aligns:[ Tbl.Left; Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right ]
+      [ "machine"; "miscompile"; "injected"; "refuted"; "replayed" ]
+  in
+  List.iter
+    (fun r ->
+      Tbl.add_row mutants
+        [
+          r.v1m_machine;
+          Workloads.miscompile_name r.v1m_kind;
+          Tbl.cell_int r.v1m_injected;
+          Tbl.cell_int r.v1m_refuted;
+          Tbl.cell_int r.v1m_replayed;
+        ])
+    (v1_mutant_rows ());
+  [ honest; mutants ]
 
 (* -- R1: fault injection against the service firewall ---------------------------- *)
 
@@ -1296,5 +1576,6 @@ let all_tables () =
       table "t6" t6; table "t7" t7; table "t8" t8; table "f1" f1;
     ]
   @ table "f2" f2
-  @ [ table "a1" a1; table "o1" o1; table "l1" l1; table "m1" m1;
-      table "r1" r1; table "s4" s4 ]
+  @ [ table "a1" a1; table "o1" o1; table "l1" l1; table "m1" m1 ]
+  @ table "v1" v1
+  @ [ table "r1" r1; table "s4" s4 ]

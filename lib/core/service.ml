@@ -19,6 +19,7 @@ type job = {
   j_use_microops : bool;
   j_lint : bool;
   j_diff : bool;
+  j_validate : bool;
 }
 
 type outcome = {
@@ -192,7 +193,8 @@ let cache_key (j : job) =
     ~use_microops:j.j_use_microops ~source:j.j_source
 
 let job ?id ?(options = Pipeline.default_options) ?(use_microops = false)
-    ?(lint = false) ?(diff = false) language ~machine ~source =
+    ?(lint = false) ?(diff = false) ?(validate = false) language ~machine
+    ~source =
   let id =
     match id with
     | Some id -> id
@@ -210,6 +212,7 @@ let job ?id ?(options = Pipeline.default_options) ?(use_microops = false)
     j_use_microops = use_microops;
     j_lint = lint;
     j_diff = diff;
+    j_validate = validate;
   }
 
 (* -- the on-disk cache layer ---------------------------------------------------- *)
@@ -573,6 +576,52 @@ let diff_gate (c : Toolkit.compiled) =
     in
     Some { Diag.phase = Diag.Execution; loc = Msl_util.Loc.dummy; message }
 
+(* The translation-validation gate.  Like the others it runs outside the
+   cache (j_validate is not in the key); unlike them it cannot work from
+   the cached compilation alone — the validator consumes the per-block
+   artifacts the pipeline captures during lowering, which cached entries
+   do not carry — so the gate recompiles with capture enabled (the
+   compile it repeats is the cost of the proof, and only gated jobs pay
+   it).  S* programs bypass compaction entirely: nothing to validate,
+   the gate passes.  Strict on purpose: REFUTED and UNKNOWN both fail,
+   so a clean gated batch certifies that every block was proved (or
+   dynamically revalidated), not merely that none was refuted. *)
+let validate_gate (j : job) (c : Toolkit.compiled) =
+  match j.j_language with
+  | Toolkit.Sstar -> None
+  | _ -> (
+      match
+        Toolkit.capture (fun () ->
+            let artifacts = ref [] in
+            ignore
+              (Toolkit.compile ~options:j.j_options
+                 ~use_microops:j.j_use_microops
+                 ~capture:(fun a -> artifacts := a :: !artifacts)
+                 j.j_language c.Toolkit.c_machine j.j_source);
+            Msl_mir.Tv.validate_artifacts c.Toolkit.c_machine
+              (List.rev !artifacts))
+      with
+      | Error d -> Some d
+      | Ok r ->
+          if r.Msl_mir.Tv.v_refuted = 0 && r.Msl_mir.Tv.v_unknown = 0 then
+            None
+          else
+            let message =
+              match r.Msl_mir.Tv.v_findings with
+              | [] -> Fmt.str "%a" Msl_mir.Tv.pp_summary r
+              | first :: rest ->
+                  Fmt.str "%a%s" Msl_mir.Diag.pp_finding first
+                    (match rest with
+                    | [] -> ""
+                    | _ -> Printf.sprintf " (+%d more)" (List.length rest))
+            in
+            Some
+              {
+                Diag.phase = Diag.Verification;
+                loc = Msl_util.Loc.dummy;
+                message;
+              })
+
 let compile_job ?(policy = default_policy) ?(faults = no_faults) t (j : job) =
   let key = (cache_key j :> string) in
   let opts_id = options_id j.j_options in
@@ -588,8 +637,9 @@ let compile_job ?(policy = default_policy) ?(faults = no_faults) t (j : job) =
             note_error t;
             { o_job = j; o_result = Error d; o_cached = false })
   in
-  (* the post-compile gates compose: lint first (static), then the
-     engine differential (dynamic); the first failure wins *)
+  (* the post-compile gates compose: lint first (static resources), then
+     translation validation (static semantics), then the engine
+     differential (dynamic); the first failure wins *)
   let apply_gate enabled gate outcome =
     if not enabled then outcome
     else
@@ -602,7 +652,10 @@ let compile_job ?(policy = default_policy) ?(faults = no_faults) t (j : job) =
               note_error t;
               { outcome with o_result = Error d })
   in
-  outcome |> apply_gate j.j_lint lint_gate |> apply_gate j.j_diff diff_gate
+  outcome
+  |> apply_gate j.j_lint lint_gate
+  |> apply_gate j.j_validate (validate_gate j)
+  |> apply_gate j.j_diff diff_gate
 
 (* -- the worker pool -------------------------------------------------------------- *)
 
@@ -805,6 +858,7 @@ let parse_option loc (j : job) spec =
           { j with j_use_microops = parse_bool loc "microops" v }
       | "lint" -> { j with j_lint = parse_bool loc "lint" v }
       | "diff" -> { j with j_diff = parse_bool loc "diff" v }
+      | "validate" -> { j with j_validate = parse_bool loc "validate" v }
       | k -> manifest_error loc "unknown manifest option %S" k)
 
 let parse_manifest ?(file = "<manifest>") ~load text =

@@ -39,6 +39,14 @@ type job = {
           architectural state digest agree byte-for-byte.  Like
           [j_lint], runs outside the cache and is not part of the
           key. *)
+  j_validate : bool;
+      (** post-compile gate: recompile with the pipeline's capture hook
+          and run the translation validator ({!Msl_mir.Tv}) over every
+          block, failing the job on any REFUTED {e or} UNKNOWN verdict —
+          a clean gated batch certifies each block was proved equivalent
+          to its pre-compaction schedule.  No-op for S* (no compaction).
+          Like the other gates, runs outside the cache and is not part
+          of the key. *)
 }
 
 type outcome = {
@@ -133,6 +141,7 @@ val job :
   ?use_microops:bool ->
   ?lint:bool ->
   ?diff:bool ->
+  ?validate:bool ->
   Toolkit.language ->
   machine:string ->
   source:string ->
@@ -185,7 +194,7 @@ val assemble_cached : t -> Desc.t -> string -> Toolkit.compiled
     v}
 
     with option keys [algo], [chain], [strategy], [pool], [poll],
-    [trap_safe], [microops], [lint], [diff] and [id]. *)
+    [trap_safe], [microops], [lint], [diff], [validate] and [id]. *)
 
 val parse_manifest :
   ?file:string -> load:(string -> string) -> string -> job list

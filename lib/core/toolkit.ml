@@ -83,8 +83,8 @@ let of_insts ?(timings = []) ?(inexact_blocks = 0) language d insts labels
     c_timings = timings;
   }
 
-let compile ?options ?use_microops ?observe (language : language) (d : Desc.t)
-    src =
+let compile ?options ?use_microops ?observe ?capture:capture_blocks
+    (language : language) (d : Desc.t) src =
   Trace.with_span ~cat:"toolkit" "compile"
     ~args:
       [
@@ -93,7 +93,9 @@ let compile ?options ?use_microops ?observe (language : language) (d : Desc.t)
       ]
     (fun () ->
       let through_pipeline p =
-        let insts, labels, m = Pipeline.compile ?options ?observe d p in
+        let insts, labels, m =
+          Pipeline.compile ?options ?observe ?capture:capture_blocks d p
+        in
         of_insts ~timings:m.Pipeline.m_timings
           ~inexact_blocks:m.Pipeline.m_inexact_blocks language d insts labels
           m.Pipeline.m_alloc
@@ -105,7 +107,8 @@ let compile ?options ?use_microops ?observe (language : language) (d : Desc.t)
       | Yalll -> through_pipeline (Msl_yalll.Compile.parse_compile d src)
       | Sstar ->
           (* the S* programmer composes the microinstructions: no MIR
-             pipeline, so no passes to time or observe *)
+             pipeline, so no passes to time or observe, and nothing for
+             [capture] to validate against (there is no compaction) *)
           let insts, labels = Msl_sstar.Compile.parse_compile d src in
           of_insts language d insts labels None)
 

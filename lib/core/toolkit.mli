@@ -61,13 +61,15 @@ val compile :
   ?options:Msl_mir.Pipeline.options ->
   ?use_microops:bool ->
   ?observe:(string -> Msl_mir.Mir.program -> unit) ->
+  ?capture:(Msl_mir.Tv.artifact -> unit) ->
   language ->
   Desc.t ->
   string ->
   compiled
 (** Parse and compile source text.  [use_microops] applies to EMPL only;
-    [observe] sees the MIR after every executed pass (ignored for S*,
-    which has no MIR pipeline).
+    [observe] sees the MIR after every executed pass; [capture] receives
+    each lowered block's translation-validation artifact (both are
+    ignored for S*, which has no MIR pipeline and no compaction).
     @raise Msl_util.Diag.Error on any front- or back-end failure. *)
 
 val assemble : Desc.t -> string -> compiled

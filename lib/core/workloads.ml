@@ -608,3 +608,172 @@ let inject_defect d ~seed defect insts =
              let insts = with_ops insts i (wi.Inst.ops @ [ o2 ]) in
              with_ops insts (i + 1)
                (List.filter (fun o -> not (o == o2)) wj.Inst.ops))
+
+(* -- miscompile injection (V1) ------------------------------------------------- *)
+
+(* Where defect injection above models scheduler bugs the *resource*
+   checker (Microlint) catches, miscompile injection models the ones only
+   a *semantic* checker can: the word stream stays resource-clean and
+   encodable, but computes something else.  Every returned mutant is
+   probe-confirmed — a seeded differential run against the original
+   diverges in architectural state — so V1 can assert that its witness
+   store replays to divergent digests, and that a refutation is never
+   asked for where none exists (a swapped pair may commute; a dropped
+   word may be dead). *)
+
+module Tv = Msl_mir.Tv
+module Udiag = Msl_util.Diag
+
+type miscompile = M_swap_dep | M_drop_word | M_retarget | M_perturb_operand
+
+let all_miscompiles = [ M_swap_dep; M_drop_word; M_retarget; M_perturb_operand ]
+
+let miscompile_name = function
+  | M_swap_dep -> "swap-dep"
+  | M_drop_word -> "drop-word"
+  | M_retarget -> "retarget"
+  | M_perturb_operand -> "perturb-operand"
+
+let with_next insts i next =
+  List.mapi
+    (fun j (inst : Inst.t) -> if j = i then { inst with Inst.next } else inst)
+    insts
+
+(* Swap the op payloads of adjacent fallthrough words joined by a RAW
+   dependence — the order violation a compactor that lost the edge could
+   commit (sequencing stays put). *)
+let swap_dep_mutants d insts =
+  let arr = Array.of_list insts in
+  List.filter_map
+    (fun i ->
+      if
+        arr.(i).Inst.next = Inst.Next
+        && arr.(i).Inst.ops <> []
+        && arr.(i + 1).Inst.ops <> []
+        && arr.(i).Inst.ops <> arr.(i + 1).Inst.ops
+        && List.exists
+             (fun o1 ->
+               List.exists
+                 (fun o2 ->
+                   List.exists
+                     (fun w -> List.mem w (Inst.op_reads d o2))
+                     (Inst.op_writes d o1))
+                 arr.(i + 1).Inst.ops)
+             arr.(i).Inst.ops
+      then
+        Some
+          (with_ops (with_ops insts i arr.(i + 1).Inst.ops) (i + 1)
+             arr.(i).Inst.ops)
+      else None)
+    (List.init (max 0 (Array.length arr - 1)) Fun.id)
+
+(* Empty one word's op list, keeping its sequencing — a lost word. *)
+let drop_word_mutants insts =
+  List.concat
+    (List.mapi
+       (fun i (inst : Inst.t) ->
+         if inst.Inst.ops <> [] then [ with_ops insts i [] ] else [])
+       insts)
+
+(* Redirect one control transfer, or turn a fallthrough into a jump. *)
+let retarget_mutants ~seed insts =
+  let n = List.length insts in
+  if n < 2 then []
+  else
+    let other a = (a + 1 + (seed mod (n - 1))) mod n in
+    List.concat
+      (List.mapi
+         (fun i (inst : Inst.t) ->
+           match inst.Inst.next with
+           | Inst.Jump a -> [ with_next insts i (Inst.Jump (other a)) ]
+           | Inst.Branch (c, a) ->
+               [ with_next insts i (Inst.Branch (c, other a)) ]
+           | Inst.Next when i < n - 1 ->
+               let t = other (i + 1) in
+               if t <> i + 1 then [ with_next insts i (Inst.Jump t) ] else []
+           | _ -> [])
+         insts)
+
+(* Replace one operand field: another same-width register of a shared
+   class, or a flipped immediate bit. *)
+let perturb_mutants (d : Desc.t) insts =
+  let alt_reg r =
+    match
+      if r < 0 || r >= Array.length d.Desc.d_regs then None
+      else Some (Desc.reg d r)
+    with
+    | None -> None
+    | Some reg ->
+        List.concat_map (fun c -> Desc.regs_of_class d c) reg.Desc.r_classes
+        |> List.find_opt (fun (r2 : Desc.reg) ->
+               r2.Desc.r_id <> r && r2.Desc.r_width = reg.Desc.r_width)
+        |> Option.map (fun (r2 : Desc.reg) -> r2.Desc.r_id)
+  in
+  indexed_ops insts
+  |> List.concat_map (fun (i, (op : Inst.op)) ->
+         List.concat
+           (List.init (Array.length op.Inst.op_args) (fun k ->
+                let arg' =
+                  match op.Inst.op_args.(k) with
+                  | Inst.A_reg r ->
+                      Option.map (fun r2 -> Inst.A_reg r2) (alt_reg r)
+                  | Inst.A_imm v ->
+                      Some
+                        (Inst.A_imm
+                           (Msl_bitvec.Bitvec.logxor v
+                              (Msl_bitvec.Bitvec.of_int
+                                 ~width:(Msl_bitvec.Bitvec.width v) 1)))
+                in
+                match arg' with
+                | None -> []
+                | Some a ->
+                    let args = Array.copy op.Inst.op_args in
+                    args.(k) <- a;
+                    let mutant = { op with Inst.op_args = args } in
+                    let word = List.nth insts i in
+                    [
+                      with_ops insts i
+                        (List.map
+                           (fun o -> if o == op then mutant else o)
+                           word.Inst.ops);
+                    ])))
+
+(* Differential probe: does the mutant observably diverge from the
+   original on some seeded input store?  Returns that store. *)
+let miscompile_probe (d : Desc.t) ~seed original mutant =
+  let run insts a =
+    try
+      let sim = Sim.create ~trap_mode:Sim.Fault_is_error d in
+      Sim.load_store sim insts;
+      Tv.apply_assignment d sim a;
+      let status =
+        match Sim.run ~fuel:4096 sim with
+        | Sim.Halted -> "halted\n"
+        | Sim.Out_of_fuel -> "fuel\n"
+      in
+      status ^ Tv.arch_digest d sim
+    with
+    | Udiag.Error di -> "fault:" ^ di.Udiag.message
+    | Invalid_argument m -> "fault:" ^ m
+  in
+  Tv.seeded_assignments d ~seed ~n:4
+  |> List.find_opt (fun a -> run original a <> run mutant a)
+
+let inject_miscompile (d : Desc.t) ~seed kind insts =
+  let mutants =
+    match kind with
+    | M_swap_dep -> swap_dep_mutants d insts
+    | M_drop_word -> drop_word_mutants insts
+    | M_retarget -> retarget_mutants ~seed insts
+    | M_perturb_operand -> perturb_mutants d insts
+  in
+  match mutants with
+  | [] -> None
+  | _ ->
+      let n = List.length mutants in
+      let arr = Array.of_list mutants in
+      List.init n (fun k -> arr.((seed + k) mod n))
+      |> List.find_map (fun mutant ->
+             Option.map
+               (fun witness -> (mutant, witness))
+               (miscompile_probe d ~seed insts mutant))

@@ -76,3 +76,49 @@ val inject_defect :
     defect (e.g. no two ops anywhere write the same register in the same
     phase).  Word count and addresses are preserved, so branch targets
     stay valid. *)
+
+(** {1 Miscompile injection (experiment V1)}
+
+    Where {!defect} mutations model scheduler bugs the {e resource}
+    checker catches, these model semantic miscompiles: the word stream
+    stays resource-clean and encodable but computes something else — only
+    the translation validator ({!Msl_mir.Tv}) or a differential run can
+    see them. *)
+
+type miscompile =
+  | M_swap_dep
+      (** swap the op payloads of two adjacent words joined by a RAW
+          dependence (a compactor that lost the edge) *)
+  | M_drop_word  (** empty one word's op list, keeping its sequencing *)
+  | M_retarget
+      (** redirect one jump or branch, or turn a fallthrough into a
+          jump *)
+  | M_perturb_operand
+      (** replace one register operand with a same-class register, or
+          flip an immediate bit *)
+
+val all_miscompiles : miscompile list
+
+val miscompile_name : miscompile -> string
+
+val inject_miscompile :
+  Msl_machine.Desc.t -> seed:int -> miscompile ->
+  Msl_machine.Inst.t list ->
+  (Msl_machine.Inst.t list * (string * Msl_bitvec.Bitvec.t) list) option
+(** Deterministically mutate a compiled program, the seed rotating the
+    site order.  Every returned mutant is probe-confirmed: the returned
+    witness store (symbolic variable naming, replayable through
+    {!Msl_mir.Tv.apply_assignment}) makes a differential run against the
+    original diverge in architectural state.  [None] when no site yields
+    an observable divergence — a swapped pair may commute, a dropped word
+    may be dead. *)
+
+val miscompile_probe :
+  Msl_machine.Desc.t -> seed:int ->
+  Msl_machine.Inst.t list -> Msl_machine.Inst.t list ->
+  (string * Msl_bitvec.Bitvec.t) list option
+(** Differential probe behind {!inject_miscompile}: the first of four
+    seeded input stores on which the two programs' halt status or
+    architectural digest diverge, if any.  Also gates which
+    {!inject_defect} mutants are dynamically observable (a linted defect
+    need not change behaviour). *)

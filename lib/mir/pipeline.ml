@@ -241,7 +241,7 @@ let link ?(aliases = []) (_d : Desc.t) (blocks : linked_block list) :
 
 (* -- per-block code generation ---------------------------------------------- *)
 
-let lower_block ~options ctx d nodes_acc inexact_acc (b : Mir.block) :
+let lower_block ~options ?capture ctx d nodes_acc inexact_acc (b : Mir.block) :
     linked_block =
   let lb = Select.select_block ctx b in
   let result =
@@ -272,6 +272,16 @@ let lower_block ~options ctx d nodes_acc inexact_acc (b : Mir.block) :
           @ ((first.Select.t_ops, first.Select.t_next) :: rest_mis)
   in
   let mis = if mis = [] then [ ([], Select.L_next) ] else mis in
+  (match capture with
+  | Some f ->
+      f
+        {
+          Tv.a_label = b.Mir.b_label;
+          a_body = lb.Select.lb_body;
+          a_tail = lb.Select.lb_tail;
+          a_mis = mis;
+        }
+  | None -> ());
   { k_label = b.Mir.b_label; k_mis = mis }
 
 (* -- the middle-end as a pass list ------------------------------------------- *)
@@ -328,7 +338,7 @@ let backend_pass_names = [ "select+compact"; "link" ]
 
 (* -- entry point -------------------------------------------------------------- *)
 
-let compile ?(options = default_options) ?observe (d : Desc.t)
+let compile ?(options = default_options) ?observe ?capture (d : Desc.t)
     (p : Mir.program) =
   let alloc_stats = ref None in
   let p, timings =
@@ -345,7 +355,7 @@ let compile ?(options = default_options) ?observe (d : Desc.t)
   let blocks, select_ms =
     Trace.timed ~cat:"pipeline" "select+compact" (fun () ->
         List.map
-          (lower_block ~options ctx d nodes_acc inexact_acc)
+          (lower_block ~options ?capture ctx d nodes_acc inexact_acc)
           (Mir.all_blocks p))
   in
   let aliases =

@@ -83,11 +83,14 @@ val link :
 val compile :
   ?options:options ->
   ?observe:(string -> Mir.program -> unit) ->
+  ?capture:(Tv.artifact -> unit) ->
   Desc.t ->
   Mir.program ->
   Inst.t list * (string * int) list * metrics
 (** [observe name p'] is called after every executed middle-end pass
-    with the program it produced (the `--dump-after` hook). *)
+    with the program it produced (the `--dump-after` hook).  [capture] is
+    called once per lowered block with its {!Tv.artifact} — the
+    translation validator's input — in layout order. *)
 
 val load :
   ?options:options ->

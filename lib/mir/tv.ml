@@ -1,0 +1,508 @@
+(* Translation validation: prove compacted microcode equivalent to the
+   sequential schedule it was compacted from.
+
+   The compactor's output for each MIR block is checked against the
+   reference semantics — the selected microoperations executed one per
+   word, in selection order — by executing both symbolically
+   ({!Msl_machine.Symexec}) from a common store of fresh inputs and
+   comparing the stores at every control exit.  Honest compiles prove by
+   construction: both sides build the identical hash-consed terms, so
+   every comparison is settled by pointer equality.  The layered decision
+   procedure only works when a rewrite changed the term shape, and a
+   concrete counterexample falls out whenever it refutes.
+
+   Unlike Microlint, which re-derives the *resource* discipline, this pass
+   checks the *dataflow* semantics — it is the static analogue of the
+   PR 6 differential oracle, and the per-rewrite validator a future
+   superoptimizing compactor searches against.  Verdicts:
+
+     VALIDATED          proved equal on every exit
+     REFUTED            provably different, usually with a concrete
+                        counterexample store
+     UNKNOWN            decision budget exhausted; with [tv_dynamic] the
+                        block falls back to the differential oracle
+                        (seeded concrete runs through [Sim]) which can
+                        upgrade to REFUTED or to a dynamic VALIDATED *)
+
+open Msl_machine
+open Msl_bitvec
+module Udiag = Msl_util.Diag
+
+(* What the pipeline hands the validator for one block, captured inside
+   [Pipeline.lower_block]: the selected ops before compaction, the
+   sequencing tail, and the emitted word list after compaction and tail
+   merging. *)
+type artifact = {
+  a_label : string;
+  a_body : Inst.op list;
+  a_tail : Select.tail_inst list;
+  a_mis : (Inst.op list * Select.lnext) list;
+}
+
+type config = {
+  tv_budget_bits : int;  (* exhaustive-enumeration budget (live input bits) *)
+  tv_samples : int;  (* sampled stores before giving up *)
+  tv_seed : int;
+  tv_dynamic : bool;  (* UNKNOWN falls back to the differential oracle *)
+}
+
+let default_config =
+  { tv_budget_bits = 16; tv_samples = 64; tv_seed = 0; tv_dynamic = true }
+
+type verdict =
+  | Validated
+  | Validated_dynamic  (* only the dynamic fallback agreed — not a proof *)
+  | Refuted of Symexec.assignment option  (* None: structural mismatch *)
+  | Unknown
+
+type result = {
+  v_total : int;
+  v_validated : int;
+  v_dynamic : int;
+  v_refuted : int;
+  v_unknown : int;
+  v_findings : Diag.finding list;
+  v_counterexample : (Symexec.assignment * Diag.location) option;
+}
+
+let empty_result =
+  {
+    v_total = 0;
+    v_validated = 0;
+    v_dynamic = 0;
+    v_refuted = 0;
+    v_unknown = 0;
+    v_findings = [];
+    v_counterexample = None;
+  }
+
+(* -- symbolic walk of a word list ----------------------------------------- *)
+
+(* A control exit of the walk: the observable points where the two sides
+   must agree.  Falling off the end is an exit ([thread_jumps]: it
+   halts); a branch is an exit (the taken path sees the store as of that
+   word) *and* execution continues on the fall-through path; a call is an
+   exit, after which the store is havocked — the microsubroutine's
+   effects are unmodeled but identical on both sides. *)
+type exit_point = E_fall | E_ctrl of Select.lnext
+
+let walk ctx d (words : (Inst.op list * Select.lnext) list) =
+  let store = Symexec.init_store ctx d in
+  let exits = ref [] in
+  let calls = ref 0 in
+  let push e = exits := (e, Symexec.copy_store store) :: !exits in
+  let rec go = function
+    | [] -> ()
+    | (ops, next) :: rest -> (
+        Symexec.exec_word ctx d store ops;
+        match next with
+        | Select.L_next -> if rest = [] then push E_fall else go rest
+        | Select.L_branch _ as n ->
+            push (E_ctrl n);
+            if rest = [] then push E_fall else go rest
+        | Select.L_call _ as n ->
+            push (E_ctrl n);
+            incr calls;
+            Symexec.havoc ~prefix:(Printf.sprintf "call%d:" !calls) ctx d store;
+            if rest = [] then push E_fall else go rest
+        | (Select.L_goto _ | Select.L_dispatch _ | Select.L_return
+          | Select.L_halt) as n ->
+            push (E_ctrl n))
+  in
+  (match words with [] -> push E_fall | ws -> go ws);
+  List.rev !exits
+
+(* The reference schedule: each selected op alone in its word, then the
+   uncompacted sequencing tail — exactly what [Pipeline.lower_block]
+   would emit with a unit-group compactor and no tail merge. *)
+let reference_words (a : artifact) =
+  List.map (fun op -> ([ op ], Select.L_next)) a.a_body
+  @ List.map (fun t -> (t.Select.t_ops, t.Select.t_next)) a.a_tail
+
+let compare_exit config ((e1, s1), (e2, s2)) =
+  if e1 <> e2 then `Structural
+  else if s1.Symexec.st_acks <> s2.Symexec.st_acks then `Structural
+  else
+    match
+      Symexec.decide ~budget_bits:config.tv_budget_bits
+        ~samples:config.tv_samples ~seed:config.tv_seed
+        (Symexec.store_pairs s1 s2)
+    with
+    | Symexec.Proved -> `Eq
+    | Symexec.Refuted cx -> `Refuted cx
+    | Symexec.Unknown -> `Unknown
+
+(* -- the dynamic fallback -------------------------------------------------- *)
+
+(* Architectural state only: the pc/cycle/traffic counters in
+   [Sim.state_digest] legitimately differ between a compacted word list
+   and its sequential reference. *)
+let arch_digest (d : Desc.t) sim =
+  let b = Buffer.create 256 in
+  Array.iter
+    (fun (r : Desc.reg) ->
+      Buffer.add_string b r.Desc.r_name;
+      Buffer.add_char b '=';
+      Buffer.add_string b (Bitvec.to_string (Sim.get_reg_id sim r.Desc.r_id));
+      Buffer.add_char b '\n')
+    d.Desc.d_regs;
+  List.iter
+    (fun f ->
+      Buffer.add_string b (Rtl.flag_name f);
+      Buffer.add_char b (if Sim.get_flag sim f then '1' else '0'))
+    Rtl.all_flags;
+  Buffer.add_char b '\n';
+  let mem = Sim.memory sim in
+  for a = 0 to Memory.size mem - 1 do
+    let v = Memory.peek mem a in
+    if not (Bitvec.is_zero v) then
+      Buffer.add_string b (Printf.sprintf "m%d=%s\n" a (Bitvec.to_string v))
+  done;
+  Buffer.contents b
+
+(* Seeded concrete input stores, as assignments over the same variable
+   names the symbolic walk uses — store 0 is all-zeros, so a divergence
+   found there replays on a freshly reset simulator. *)
+let seeded_assignments (d : Desc.t) ~seed ~n =
+  let rng = ref (Int64.of_int ((seed * 2654435761) + 17)) in
+  let next () =
+    let x = !rng in
+    let x = Int64.logxor x (Int64.shift_left x 13) in
+    let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+    let x = Int64.logxor x (Int64.shift_left x 17) in
+    rng := x;
+    x
+  in
+  List.init n (fun k ->
+      let reg_val (r : Desc.reg) =
+        if k = 0 then Bitvec.zero r.Desc.r_width
+        else if k = 1 then Bitvec.ones r.Desc.r_width
+        else Bitvec.of_int64 ~width:r.Desc.r_width (next ())
+      in
+      let flag_val _ = if k < 2 then k = 1 else Int64.rem (next ()) 2L = 0L in
+      Array.to_list
+        (Array.map
+           (fun (r : Desc.reg) ->
+             (Symexec.reg_var_name r.Desc.r_name, reg_val r))
+           d.Desc.d_regs)
+      @ List.map
+          (fun f ->
+            (Symexec.flag_var_name f, Bitvec.of_bool (flag_val f)))
+          Rtl.all_flags)
+
+(* Write an assignment (symbolic variable names) into a simulator.
+   Unknown names — e.g. havoc-prefixed inputs — are skipped; the caller
+   decides whether the replay is then meaningful. *)
+let apply_assignment (d : Desc.t) sim (cx : Symexec.assignment) =
+  List.iter
+    (fun (name, v) ->
+      match String.index_opt name ':' with
+      | Some 1 when name.[0] = 'r' ->
+          let rn = String.sub name 2 (String.length name - 2) in
+          if Array.exists (fun (r : Desc.reg) -> r.Desc.r_name = rn) d.Desc.d_regs
+          then Sim.set_reg sim rn v
+      | Some 1 when name.[0] = 'f' -> (
+          match String.sub name 2 (String.length name - 2) with
+          | "C" -> Sim.set_flag sim Rtl.C (Bitvec.lsb v)
+          | "V" -> Sim.set_flag sim Rtl.V (Bitvec.lsb v)
+          | "Z" -> Sim.set_flag sim Rtl.Z (Bitvec.lsb v)
+          | "N" -> Sim.set_flag sim Rtl.N (Bitvec.lsb v)
+          | "U" -> Sim.set_flag sim Rtl.U (Bitvec.lsb v)
+          | _ -> ())
+      | _ -> ())
+    cx
+
+(* Straight-line a word list for concrete word-by-word replay: every
+   control becomes fall-through and the program ends in Halt, because the
+   store comparison at each exit index is the only thing left to check —
+   targets and conditions were already compared structurally.  Returns
+   the instruction list and the exit-aligned word indices, or None when
+   the list contains a call (havocked effects cannot be replayed) or a
+   dispatch. *)
+let straight_line (words : (Inst.op list * Select.lnext) list) =
+  let exception Unsupported in
+  try
+    let n = List.length words in
+    let insts = ref [] and idxs = ref [] in
+    let stop = ref false in
+    List.iteri
+      (fun i (ops, next) ->
+        if not !stop then begin
+          insts := { Inst.ops; next = Inst.Next } :: !insts;
+          match next with
+          | Select.L_next -> if i = n - 1 then idxs := i :: !idxs
+          | Select.L_branch _ ->
+              idxs := i :: !idxs;
+              if i = n - 1 then idxs := i :: !idxs
+          | Select.L_goto _ | Select.L_return | Select.L_halt ->
+              idxs := i :: !idxs;
+              stop := true
+          | Select.L_call _ | Select.L_dispatch _ -> raise Unsupported
+        end)
+      words;
+    let insts = List.rev (({ Inst.ops = []; next = Inst.Halt }) :: !insts) in
+    Some (insts, List.rev !idxs)
+  with Unsupported -> None
+
+(* Run one straight-lined program from one input assignment, returning
+   the digest at each exit index (a fault stops the run; remaining exits
+   observe the fault token — identical behaviour diverging identically is
+   still agreement). *)
+let run_digests (d : Desc.t) insts idxs cx =
+  let sim = Sim.create ~trap_mode:Sim.Fault_is_error d in
+  Sim.load_store sim insts;
+  apply_assignment d sim cx;
+  let nwords = List.length insts in
+  let digests = ref [] in
+  let fill token =
+    let have = List.length !digests in
+    let want = List.length idxs in
+    for _ = have + 1 to want do
+      digests := token :: !digests
+    done
+  in
+  (try
+     for i = 0 to nwords - 1 do
+       Sim.step sim;
+       if List.mem i idxs then
+         (* a word can carry several exits (branch at the end) *)
+         List.iter
+           (fun j -> if j = i then digests := arch_digest d sim :: !digests)
+           idxs
+     done
+   with
+   | Udiag.Error di -> fill ("fault:" ^ di.Udiag.message)
+   | Invalid_argument m ->
+       (* mutated programs can carry register ids the description does
+          not have; [Sim] stops on them with [Invalid_argument] *)
+       fill ("fault:" ^ m));
+  List.rev !digests
+
+(* The differential-oracle fallback for one block: seeded concrete runs
+   of both word lists through the interpreter.  Sound for refutation;
+   agreement is only the dynamic verdict. *)
+let dynamic_check config (d : Desc.t) ref_words cand_words =
+  match (straight_line ref_words, straight_line cand_words) with
+  | Some (ri, rx), Some (ci, cx) -> (
+      let stores = seeded_assignments d ~seed:config.tv_seed ~n:4 in
+      try
+        let diverging =
+          List.find_opt
+            (fun a -> run_digests d ri rx a <> run_digests d ci cx a)
+            stores
+        in
+        match diverging with
+        | Some a -> Refuted (Some a)
+        | None -> Validated_dynamic
+      with Udiag.Error _ | Invalid_argument _ -> Unknown)
+  | _ -> Unknown
+
+(* -- per-block validation --------------------------------------------------- *)
+
+let validate_words ?(config = default_config) d ~reference ~candidate =
+  let ctx = Symexec.create_ctx () in
+  match
+    let ref_exits = walk ctx d reference in
+    let cand_exits = walk ctx d candidate in
+    if List.length ref_exits <> List.length cand_exits then Refuted None
+    else begin
+      let unknown = ref false in
+      let rec cmp = function
+        | [] -> if !unknown then Unknown else Validated
+        | pair :: rest -> (
+            match compare_exit config pair with
+            | `Eq -> cmp rest
+            | `Structural -> Refuted None
+            | `Refuted cx -> Refuted (Some cx)
+            | `Unknown ->
+                unknown := true;
+                cmp rest)
+      in
+      cmp (List.combine ref_exits cand_exits)
+    end
+  with
+  | Unknown when config.tv_dynamic ->
+      dynamic_check config d reference candidate
+  | v -> v
+  | exception Udiag.Error _ -> Unknown
+
+let validate_artifact ?config d (a : artifact) =
+  validate_words ?config d ~reference:(reference_words a) ~candidate:a.a_mis
+
+(* -- findings and aggregation ------------------------------------------------ *)
+
+let cx_suffix = function
+  | None -> " (structural mismatch)"
+  | Some cx ->
+      Format.asprintf "; counterexample %a" Symexec.pp_assignment cx
+
+let tally verdict loc what (acc : result) =
+  let acc = { acc with v_total = acc.v_total + 1 } in
+  match verdict with
+  | Validated -> { acc with v_validated = acc.v_validated + 1 }
+  | Validated_dynamic ->
+      {
+        acc with
+        v_validated = acc.v_validated + 1;
+        v_dynamic = acc.v_dynamic + 1;
+      }
+  | Refuted cx ->
+      let f =
+        Diag.finding ~severity:Diag.Error ~loc ~code:"tv-refuted"
+          "%s is not equivalent to its reference schedule%s" what
+          (cx_suffix cx)
+      in
+      {
+        acc with
+        v_refuted = acc.v_refuted + 1;
+        v_findings = f :: acc.v_findings;
+        v_counterexample =
+          (match (acc.v_counterexample, cx) with
+          | None, Some c -> Some (c, loc)
+          | prev, _ -> prev);
+      }
+  | Unknown ->
+      let f =
+        Diag.finding ~severity:Diag.Warning ~loc ~code:"tv-unknown"
+          "%s: equivalence not decided within budget" what
+      in
+      {
+        acc with
+        v_unknown = acc.v_unknown + 1;
+        v_findings = f :: acc.v_findings;
+      }
+
+let finish acc = { acc with v_findings = List.rev acc.v_findings }
+
+let validate_artifacts ?config d (artifacts : artifact list) =
+  finish
+    (List.fold_left
+       (fun acc a ->
+         let loc = Diag.L_block { block = a.a_label; stmt = None } in
+         tally (validate_artifact ?config d a) loc
+           (Printf.sprintf "compacted block %S" a.a_label)
+           acc)
+       empty_result artifacts)
+
+(* -- whole-program validation (linked word lists) --------------------------- *)
+
+(* For mutants of a *linked* program — where no artifact exists — the two
+   instruction lists are compared region by region: leaders are address 0,
+   every control-flow target and every post-control address, over *both*
+   programs; a region is the run between consecutive leaders, and by
+   construction every word before a region's last is fall-through on both
+   sides.  Each region is validated from its own fresh store, which
+   composes: if every region is equivalent, the programs are. *)
+
+let targets_of = function
+  | Inst.Next -> []
+  | Inst.Jump a -> [ a ]
+  | Inst.Branch (_, a) -> [ a ]
+  | Inst.Dispatch { hi; lo; base; _ } ->
+      List.init (1 lsl (hi - lo + 1)) (fun k -> base + k)
+  | Inst.Call a -> [ a ]
+  | Inst.Return | Inst.Halt -> []
+
+let region_bounds (progs : Inst.t array list) n =
+  let leaders = Hashtbl.create 64 in
+  Hashtbl.replace leaders 0 ();
+  List.iter
+    (fun arr ->
+      Array.iteri
+        (fun i (w : Inst.t) ->
+          match w.Inst.next with
+          | Inst.Next -> ()
+          | nx ->
+              if i + 1 < n then Hashtbl.replace leaders (i + 1) ();
+              List.iter
+                (fun t -> if t >= 0 && t < n then Hashtbl.replace leaders t ())
+                (targets_of nx))
+        arr)
+    progs;
+  let ls = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) leaders []) in
+  let rec pair = function
+    | [] -> []
+    | [ l ] -> [ (l, n - 1) ]
+    | l :: (l2 :: _ as rest) -> (l, l2 - 1) :: pair rest
+  in
+  pair ls
+
+(* One region, symbolically.  The last words' sequencing must agree
+   structurally; everything before it is fall-through on both sides. *)
+let validate_region config d (ra : Inst.t array) (ca : Inst.t array) (s, e) =
+  let ctx = Symexec.create_ctx () in
+  let sr = Symexec.init_store ctx d in
+  let sc = Symexec.init_store ctx d in
+  match
+    for i = s to e do
+      Symexec.exec_word ctx d sr ra.(i).Inst.ops;
+      Symexec.exec_word ctx d sc ca.(i).Inst.ops
+    done
+  with
+  | () ->
+      if ra.(e).Inst.next <> ca.(e).Inst.next then Refuted None
+      else if sr.Symexec.st_acks <> sc.Symexec.st_acks then Refuted None
+      else (
+        match
+          Symexec.decide ~budget_bits:config.tv_budget_bits
+            ~samples:config.tv_samples ~seed:config.tv_seed
+            (Symexec.store_pairs sr sc)
+        with
+        | Symexec.Proved -> Validated
+        | Symexec.Refuted cx -> Refuted (Some cx)
+        | Symexec.Unknown when config.tv_dynamic ->
+            let slice_words (arr : Inst.t array) =
+              List.init
+                (e - s + 1)
+                (fun k ->
+                  let w = arr.(s + k) in
+                  ( w.Inst.ops,
+                    if k = e - s then Select.L_halt else Select.L_next ))
+            in
+            dynamic_check config d (slice_words ra) (slice_words ca)
+        | Symexec.Unknown -> Unknown)
+  | exception Udiag.Error _ -> Unknown
+
+let validate_program ?(config = default_config) ?(labels = []) d ~reference
+    ~candidate =
+  let ra = Array.of_list reference and ca = Array.of_list candidate in
+  if Array.length ra <> Array.length ca then
+    finish
+      (tally (Refuted None) Diag.L_none
+         (Printf.sprintf "program of %d words vs %d" (Array.length ra)
+            (Array.length ca))
+         empty_result)
+  else if Array.length ra = 0 then finish empty_result
+  else begin
+    (* word -> owning block label, as in Lint: greatest address not
+       beyond the word *)
+    let owner addr =
+      List.fold_left
+        (fun best (l, a) ->
+          if a <= addr then
+            match best with
+            | Some (_, ba) when ba >= a -> best
+            | _ -> Some (l, a)
+          else best)
+        None labels
+      |> Option.map fst
+    in
+    let regions = region_bounds [ ra; ca ] (Array.length ra) in
+    finish
+      (List.fold_left
+         (fun acc (s, e) ->
+           let loc = Diag.L_word { addr = s; owner = owner s } in
+           tally
+             (validate_region config d ra ca (s, e))
+             loc
+             (Printf.sprintf "words %d..%d" s e)
+             acc)
+         empty_result regions)
+  end
+
+let pp_summary ppf r =
+  Format.fprintf ppf
+    "%d block%s: %d validated (%d dynamic), %d refuted, %d unknown"
+    r.v_total
+    (if r.v_total = 1 then "" else "s")
+    r.v_validated r.v_dynamic r.v_refuted r.v_unknown

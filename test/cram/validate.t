@@ -1,0 +1,34 @@
+The translation validator.  Exit-code discipline mirrors the linter:
+0 when every compacted block is proved equivalent to its reference
+schedule, 1 when a block is refuted, 2 when the request itself could
+not be processed.
+
+An honest compile validates: every block proved, exit 0.
+
+  $ (cd ../.. && bin/mslc.exe compile -l yalll -m hp3 --validate examples/gcd.yll >/dev/null)
+
+The summary line carries the per-verdict tallies.
+
+  $ (cd ../.. && bin/mslc.exe compile -l yalll -m hp3 --validate examples/gcd.yll) | tail -n 1
+  ; validate: 6 blocks: 6 validated (0 dynamic), 0 refuted, 0 unknown
+
+A seeded miscompile (here: swapping two dependent words) is refuted,
+with a located finding, a concrete counterexample store, and exit 1.
+
+  $ (cd ../.. && bin/mslc.exe compile -l yalll -m hp3 --validate --tv-inject swap-dep:0 examples/gcd.yll) | sed -n '/tv-refuted/,$p'
+  error[tv-refuted] word 0 (block start): words 0..1 is not equivalent to its reference schedule; counterexample r:R2=16'd0
+  r:R3=16'd0
+  error[tv-refuted] word 2 (block loop): words 2..2 is not equivalent to its reference schedule; counterexample r:R1=16'd0 r:R2=16'd0
+  r:R3=16'd0
+  ; validate: 6 blocks: 4 validated (0 dynamic), 2 refuted, 0 unknown
+
+The check failure is exit 1 (the pipe above hides it).
+
+  $ (cd ../.. && bin/mslc.exe compile -l yalll -m hp3 --validate --tv-inject swap-dep:0 examples/gcd.yll >/dev/null)
+  [1]
+
+A malformed injection spec is a usage error: exit 2.
+
+  $ (cd ../.. && bin/mslc.exe compile -l yalll -m hp3 --validate --tv-inject bogus examples/gcd.yll >/dev/null)
+  error[parse]: expected KIND:SEED, got "bogus" (kinds: swap-dep, drop-word, retarget, perturb-operand)
+  [2]

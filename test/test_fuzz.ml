@@ -22,8 +22,9 @@ let survives f =
   | exception _ -> false
 
 (* Every fuzzed program that compiles gets the full analyzer run on it:
-   the linter must never crash on compiler output — and the
-   translation-validation core (races + encoding) must never flag it.
+   the linter must never crash on compiler output — the static
+   race/encoding checks must never flag it, and the translation
+   validator must never refute a block the compiler itself compacted.
    The MIR/dead/latency checks are exempt from the cleanliness claim: a
    mutated-but-valid source can legitimately contain uninitialized reads
    or unreachable code.  Hand-assembled programs are only held to
@@ -54,9 +55,21 @@ let valid_program = function
   | "yalll" -> Core.Handcoded.yalll_translit
   | _ -> Core.Handcoded.translit_hp3
 
+(* Compile with the Tv capture hook live and hold every compacted block
+   to its reference schedule: a refutation on an honest compile is a
+   compaction bug, so it fails the property outright. *)
+let compile_validated lang d src =
+  let artifacts = ref [] in
+  let c =
+    Core.Toolkit.compile ~capture:(fun a -> artifacts := a :: !artifacts)
+      lang d src
+  in
+  let tv = Msl_mir.Tv.validate_artifacts d (List.rev !artifacts) in
+  lint_compiled c && tv.Msl_mir.Tv.v_refuted = 0
+
 let compile_of lang src =
   let d = Machines.hp3 in
-  let via l () = lint_compiled (Core.Toolkit.compile l d src) in
+  let via l () = compile_validated l d src in
   match lang with
   | "simpl" -> via Core.Toolkit.Simpl
   | "empl" -> via Core.Toolkit.Empl
@@ -117,8 +130,7 @@ let fuzz_example (name, lang, src) =
     (fun seed ->
       let rng = Random.State.make [| seed; String.length src; 97 |] in
       let src = mutate rng src in
-      survives (fun () ->
-          lint_compiled (Core.Toolkit.compile lang Machines.hp3 src)))
+      survives (fun () -> compile_validated lang Machines.hp3 src))
 
 (* The batch-manifest parser must answer arbitrary manifest text — and
    arbitrary [load] behaviour, including missing files — with a located

@@ -1,0 +1,315 @@
+(* Tests for the translation validator: the Symexec term and decision
+   layers (normalizer soundness against concrete simulation, exhaustive
+   proof, sampled refutation, budget exhaustion) and the Tv validation
+   passes (honest blocks validate; every injected miscompile kind is
+   refuted and its witness store replays to divergent architectural
+   state through the interpreter). *)
+
+open Msl_bitvec
+open Msl_machine
+module Core = Msl_core
+module Tv = Msl_mir.Tv
+module Select = Msl_mir.Select
+module Compaction = Msl_mir.Compaction
+
+let check_bool = Alcotest.(check bool)
+let hp3 = Machines.hp3
+
+(* A concrete environment over a seeded assignment; memory starts zero,
+   matching a freshly created simulator. *)
+let env_of a =
+  {
+    Symexec.e_var =
+      (fun n ->
+        match List.assoc_opt n a with
+        | Some v -> v
+        | None -> Alcotest.failf "unbound symbolic variable %s" n);
+    e_mem = (fun _ -> 0L);
+  }
+
+(* -- the decision layer -------------------------------------------------- *)
+
+(* x - y and x + (lnot y) + 1 build different terms; 16 live bits fit the
+   default exhaustive budget, so the equality is proved, not sampled. *)
+let test_decide_proved () =
+  let ctx = Symexec.create_ctx () in
+  let x = Symexec.var ctx "x" 8 and y = Symexec.var ctx "y" 8 in
+  let lhs = Symexec.sub ctx x y in
+  let rhs =
+    Symexec.add ctx
+      (Symexec.add ctx x (Symexec.lognot ctx y))
+      (Symexec.const_int ctx ~width:8 1)
+  in
+  check_bool "terms differ structurally" true (lhs.Symexec.id <> rhs.Symexec.id);
+  match Symexec.decide [ (lhs, rhs) ] with
+  | Symexec.Proved -> ()
+  | Symexec.Refuted _ -> Alcotest.fail "refuted a true equality"
+  | Symexec.Unknown -> Alcotest.fail "budget should cover 16 live bits"
+
+(* The same goal under a starved budget (no enumeration, no samples) is
+   the honest answer: Unknown. *)
+let test_decide_unknown () =
+  let ctx = Symexec.create_ctx () in
+  let x = Symexec.var ctx "x" 8 and y = Symexec.var ctx "y" 8 in
+  let lhs = Symexec.sub ctx x y in
+  let rhs =
+    Symexec.add ctx
+      (Symexec.add ctx x (Symexec.lognot ctx y))
+      (Symexec.const_int ctx ~width:8 1)
+  in
+  match Symexec.decide ~budget_bits:0 ~samples:0 [ (lhs, rhs) ] with
+  | Symexec.Unknown -> ()
+  | _ -> Alcotest.fail "a starved budget must answer Unknown"
+
+(* x + 1 vs x + 2: refuted, and the counterexample actually separates the
+   two terms under concrete evaluation. *)
+let test_decide_refuted () =
+  let ctx = Symexec.create_ctx () in
+  let x = Symexec.var ctx "x" 8 in
+  let lhs = Symexec.add ctx x (Symexec.const_int ctx ~width:8 1) in
+  let rhs = Symexec.add ctx x (Symexec.const_int ctx ~width:8 2) in
+  match Symexec.decide [ (lhs, rhs) ] with
+  | Symexec.Refuted cx ->
+      let env = env_of cx in
+      check_bool "counterexample separates the terms" false
+        (Symexec.equal_under env lhs rhs)
+  | _ -> Alcotest.fail "expected a refutation"
+
+(* -- normalizer soundness: symbolic execution vs the interpreter --------- *)
+
+(* Compact a generated block, execute the words symbolically, then check
+   that every register and flag term evaluates — under seeded concrete
+   stores — to exactly what the interpreter computes.  This holds every
+   smart-constructor rewrite (constant folding, ALU lowering, flag
+   reduction, slice/zext normalization) to Sim's concrete semantics. *)
+let block_words ?(p_dep = 40) d ~seed ~n =
+  let ops = Core.Workloads.compaction_block d ~seed ~n ~p_dep in
+  let r =
+    Compaction.compact ~chain:true ~algo:Compaction.Critical_path d ops
+  in
+  List.map (fun g -> { Inst.ops = g; next = Inst.Next }) r.Compaction.groups
+  @ [ { Inst.ops = []; next = Inst.Halt } ]
+
+let test_symexec_matches_sim () =
+  List.iter
+    (fun seed ->
+      let words = block_words hp3 ~seed ~n:10 in
+      let ctx = Symexec.create_ctx () in
+      let store = Symexec.init_store ctx hp3 in
+      List.iter
+        (fun (w : Inst.t) -> Symexec.exec_word ctx hp3 store w.Inst.ops)
+        words;
+      List.iter
+        (fun a ->
+          let env = env_of a in
+          let sim = Sim.create hp3 in
+          Sim.load_store sim words;
+          Tv.apply_assignment hp3 sim a;
+          (match Sim.run ~fuel:256 sim with
+          | Sim.Halted -> ()
+          | Sim.Out_of_fuel -> Alcotest.fail "block did not halt");
+          Array.iteri
+            (fun i (r : Desc.reg) ->
+              let want = Sim.get_reg sim r.Desc.r_name in
+              let got = Symexec.eval env store.Symexec.st_regs.(i) in
+              if not (Bitvec.equal want got) then
+                Alcotest.failf "seed %d, %s: sim %s vs symexec %s" seed
+                  r.Desc.r_name (Bitvec.to_string want) (Bitvec.to_string got))
+            hp3.Desc.d_regs;
+          Array.iteri
+            (fun i t ->
+              let fl = Symexec.flag_of_index i in
+              let want = Sim.get_flag sim fl in
+              let got = not (Bitvec.is_zero (Symexec.eval env t)) in
+              if want <> got then
+                Alcotest.failf "seed %d, flag %s: sim %b vs symexec %b" seed
+                  (Rtl.flag_name fl) want got)
+            store.Symexec.st_flags)
+        (Tv.seeded_assignments hp3 ~seed ~n:3))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+(* -- hash-consing normalizations ----------------------------------------- *)
+
+let test_normalizer_identities () =
+  let ctx = Symexec.create_ctx () in
+  let x = Symexec.var ctx "x" 8 and y = Symexec.var ctx "y" 8 in
+  check_bool "add commutes to one term" true
+    ((Symexec.add ctx x y).Symexec.id = (Symexec.add ctx y x).Symexec.id);
+  check_bool "x - x folds to zero" true
+    (match (Symexec.sub ctx x x).Symexec.node with
+    | Symexec.Const v -> Bitvec.is_zero v
+    | _ -> false);
+  check_bool "double negation cancels" true
+    ((Symexec.lognot ctx (Symexec.lognot ctx x)).Symexec.id = x.Symexec.id);
+  check_bool "slice of zext re-canonicalizes" true
+    ((Symexec.slice ctx (Symexec.zext ctx 16 x) ~hi:7 ~lo:0).Symexec.id
+    = x.Symexec.id)
+
+(* -- block-level validation: the layered verdicts ------------------------ *)
+
+let to_words insts =
+  List.map
+    (fun (w : Inst.t) ->
+      ( w.Inst.ops,
+        match w.Inst.next with
+        | Inst.Halt -> Select.L_halt
+        | _ -> Select.L_next ))
+    insts
+
+let parse_words src = to_words (Masm.parse_program hp3 src)
+
+(* R1 + R1 vs R1 shl 1: equal on all 2^16 inputs but structurally
+   different (shifts stay opaque), so the verdict walks the layers:
+   exhaustive proof under the default budget, Unknown when starved,
+   dynamic agreement when the fallback is allowed. *)
+let test_validate_words_layers () =
+  let reference = parse_words "[ add R0, R1, R1 ] -> halt\n" in
+  let shl1 = parse_words "[ shl R0, R1, #1 ] -> halt\n" in
+  (match Tv.validate_words hp3 ~reference ~candidate:shl1 with
+  | Tv.Validated -> ()
+  | _ -> Alcotest.fail "expected an exhaustive proof");
+  let starved =
+    { Tv.tv_budget_bits = 0; tv_samples = 0; tv_seed = 0; tv_dynamic = false }
+  in
+  (match Tv.validate_words ~config:starved hp3 ~reference ~candidate:shl1 with
+  | Tv.Unknown -> ()
+  | _ -> Alcotest.fail "a starved budget must answer Unknown");
+  let dynamic = { starved with Tv.tv_dynamic = true } in
+  (match Tv.validate_words ~config:dynamic hp3 ~reference ~candidate:shl1 with
+  | Tv.Validated_dynamic -> ()
+  | _ -> Alcotest.fail "the dynamic fallback should agree");
+  (* R1 shl 2 computes something else: refuted with a counterexample *)
+  let shl2 = parse_words "[ shl R0, R1, #2 ] -> halt\n" in
+  match Tv.validate_words hp3 ~reference ~candidate:shl2 with
+  | Tv.Refuted (Some _) -> ()
+  | _ -> Alcotest.fail "expected a counterexample refutation"
+
+let test_validate_honest_block () =
+  List.iter
+    (fun seed ->
+      let ops = Core.Workloads.compaction_block hp3 ~seed ~n:12 ~p_dep:50 in
+      let reference =
+        List.map (fun o -> ([ o ], Select.L_next)) ops @ [ ([], Select.L_halt) ]
+      in
+      let candidate = to_words (block_words ~p_dep:50 hp3 ~seed ~n:12) in
+      (* same n/p_dep: candidate is the compaction of the same op list *)
+      match Tv.validate_words hp3 ~reference ~candidate with
+      | Tv.Validated -> ()
+      | Tv.Validated_dynamic -> Alcotest.fail "honest block needed the fallback"
+      | Tv.Refuted _ -> Alcotest.failf "honest compaction refuted (seed %d)" seed
+      | Tv.Unknown -> Alcotest.failf "honest compaction unknown (seed %d)" seed)
+    [ 1; 2; 3; 4; 5 ]
+
+(* Different p_dep: a genuinely different op list must not validate. *)
+let test_validate_different_blocks () =
+  let ops = Core.Workloads.compaction_block hp3 ~seed:1 ~n:12 ~p_dep:50 in
+  let reference =
+    List.map (fun o -> ([ o ], Select.L_next)) ops @ [ ([], Select.L_halt) ]
+  in
+  let candidate = to_words (block_words hp3 ~seed:2 ~n:12) in
+  match Tv.validate_words hp3 ~reference ~candidate with
+  | Tv.Refuted _ -> ()
+  | Tv.Validated | Tv.Validated_dynamic ->
+      Alcotest.fail "validated two different blocks"
+  | Tv.Unknown -> Alcotest.fail "expected a refutation, got Unknown"
+
+(* -- program-level validation: miscompiles refuted and replayed ---------- *)
+
+let read_example name =
+  let dir = if Sys.file_exists "../examples" then "../examples" else "examples" in
+  let ic = open_in_bin (Filename.concat dir name) in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* The probe's observation, replayed: one input store through both
+   programs on the interpreter, compared on halt status + architectural
+   digest. *)
+let replay_diverges (d : Desc.t) witness reference mutant =
+  let run insts =
+    try
+      let sim = Sim.create ~trap_mode:Sim.Fault_is_error d in
+      Sim.load_store sim insts;
+      Tv.apply_assignment d sim witness;
+      let status =
+        match Sim.run ~fuel:4096 sim with
+        | Sim.Halted -> "halted\n"
+        | Sim.Out_of_fuel -> "fuel\n"
+      in
+      status ^ Tv.arch_digest d sim
+    with Msl_util.Diag.Error di -> "fault:" ^ di.Msl_util.Diag.message
+  in
+  run reference <> run mutant
+
+let test_miscompiles_refuted () =
+  let d = hp3 in
+  let c = Core.Toolkit.compile Core.Toolkit.Yalll d (read_example "gcd.yll") in
+  let insts = c.Core.Toolkit.c_insts in
+  List.iter
+    (fun kind ->
+      let name = Core.Workloads.miscompile_name kind in
+      let found = ref false in
+      List.iter
+        (fun seed ->
+          match Core.Workloads.inject_miscompile d ~seed kind insts with
+          | None -> ()
+          | Some (mutant, witness) ->
+              found := true;
+              let r =
+                Tv.validate_program d ~labels:c.Core.Toolkit.c_labels
+                  ~reference:insts ~candidate:mutant
+              in
+              check_bool (name ^ " refuted") true (r.Tv.v_refuted > 0);
+              check_bool
+                (name ^ " witness replays to divergent state")
+                true
+                (replay_diverges d witness insts mutant))
+        [ 0; 1; 2; 3; 4 ];
+      check_bool (name ^ " found an injectable site") true !found)
+    Core.Workloads.all_miscompiles
+
+(* An honest program validates against itself at the program level — the
+   trivial but load-bearing false-alarm floor. *)
+let test_program_self_validates () =
+  let d = hp3 in
+  let c = Core.Toolkit.compile Core.Toolkit.Yalll d (read_example "gcd.yll") in
+  let insts = c.Core.Toolkit.c_insts in
+  let r = Tv.validate_program d ~reference:insts ~candidate:insts in
+  check_bool "no refutations" true (r.Tv.v_refuted = 0);
+  check_bool "no unknowns" true (r.Tv.v_unknown = 0);
+  check_bool "all validated" true (r.Tv.v_validated = r.Tv.v_total)
+
+let () =
+  Alcotest.run "tv"
+    [
+      ( "decide",
+        [
+          Alcotest.test_case "proved within budget" `Quick test_decide_proved;
+          Alcotest.test_case "unknown when starved" `Quick test_decide_unknown;
+          Alcotest.test_case "refuted with counterexample" `Quick
+            test_decide_refuted;
+        ] );
+      ( "symexec",
+        [
+          Alcotest.test_case "matches the interpreter" `Quick
+            test_symexec_matches_sim;
+          Alcotest.test_case "normalizer identities" `Quick
+            test_normalizer_identities;
+        ] );
+      ( "blocks",
+        [
+          Alcotest.test_case "verdict layers (add vs shl)" `Quick
+            test_validate_words_layers;
+          Alcotest.test_case "honest compaction validates" `Quick
+            test_validate_honest_block;
+          Alcotest.test_case "different blocks refuted" `Quick
+            test_validate_different_blocks;
+        ] );
+      ( "programs",
+        [
+          Alcotest.test_case "miscompiles refuted and replayed" `Quick
+            test_miscompiles_refuted;
+          Alcotest.test_case "honest program self-validates" `Quick
+            test_program_self_validates;
+        ] );
+    ]
