@@ -116,7 +116,9 @@ let file_arg =
 let opt_arg =
   let doc =
     "Optimization level: 0 disables the machine-independent MIR optimizer, \
-     1 (the default) enables it."
+     1 (the default) enables it, 2 additionally runs the proof-gated \
+     post-compaction superoptimizer (every rewrite carries a symbolic \
+     equivalence proof; see $(b,--superopt))."
   in
   let level =
     let parse s =
@@ -177,12 +179,22 @@ let bb_budget_arg =
     & opt positive_int Compaction.default_node_budget
     & info [ "bb-budget" ] ~docv:"NODES" ~doc)
 
-let options_of opt_level algo bb_budget =
+let superopt_arg =
+  let doc =
+    "Run the post-compaction window superoptimizer at any $(b,-O) level: \
+     short windows spanning block seams are re-packed, gotos folded and \
+     branches inverted, each rewrite accepted only when symbolically \
+     proved equivalent (implied by $(b,-O 2))."
+  in
+  Arg.(value & flag & info [ "superopt" ] ~doc)
+
+let options_of ?(superopt = false) opt_level algo bb_budget =
   {
     Msl_mir.Pipeline.default_options with
     Msl_mir.Pipeline.opt_level;
     algo;
     bb_budget;
+    superopt;
   }
 
 let warn_inexact (c : Core.Toolkit.compiled) =
@@ -205,6 +217,16 @@ let observe_of_dumps dumps =
 let print_timings (c : Core.Toolkit.compiled) =
   Fmt.pr "; pass timings@.%a" Msl_mir.Passmgr.pp_timings
     c.Core.Toolkit.c_timings
+
+(* Only prints when the pass ran (-O 2 / --superopt), so default
+   listings stay byte-identical. *)
+let print_superopt (c : Core.Toolkit.compiled) =
+  match c.Core.Toolkit.c_superopt with
+  | None -> ()
+  | Some s ->
+      Fmt.pr "; superopt: %d windows, %d rewrites, %d words saved@."
+        s.Msl_mir.Superopt.s_windows s.Msl_mir.Superopt.s_accepted
+        s.Msl_mir.Superopt.s_words_saved
 
 let miscompile_of_spec spec =
   match String.index_opt spec ':' with
@@ -258,8 +280,8 @@ let compile_cmd =
       & opt (some string) None
       & info [ "tv-inject" ] ~docv:"KIND:SEED" ~doc)
   in
-  let run lang machine machine_file file opt algo bb_budget trace time_passes
-      dumps validate tv_inject =
+  let run lang machine machine_file file opt algo bb_budget superopt trace
+      time_passes dumps validate tv_inject =
     setup_trace trace;
     handle_diag (fun () ->
         let d = resolve_machine machine machine_file in
@@ -269,15 +291,22 @@ let compile_cmd =
           if validate then Some (fun a -> artifacts := a :: !artifacts)
           else None
         in
+        let rewrites = ref [] in
+        let superopt_capture =
+          if validate then Some (fun rw -> rewrites := rw :: !rewrites)
+          else None
+        in
         let c =
           Core.Toolkit.compile
-            ~options:(options_of opt algo bb_budget)
-            ?observe:(observe_of_dumps dumps) ?capture lang d (read_file file)
+            ~options:(options_of ~superopt opt algo bb_budget)
+            ?observe:(observe_of_dumps dumps) ?capture ?superopt_capture lang
+            d (read_file file)
         in
         warn_inexact c;
         print_string (Masm.print d c.Core.Toolkit.c_insts);
         Fmt.pr "; %d words, %d microoperations, %d control-store bits@."
           c.Core.Toolkit.c_words c.Core.Toolkit.c_ops c.Core.Toolkit.c_bits;
+        print_superopt c;
         if time_passes then print_timings c;
         let failed = ref false in
         let report (r : Msl_mir.Tv.result) =
@@ -287,8 +316,29 @@ let compile_cmd =
           Fmt.pr "; validate: %a@." Msl_mir.Tv.pp_summary r;
           if r.Msl_mir.Tv.v_refuted > 0 then failed := true
         in
-        if validate then
+        if validate then begin
+          (* the artifacts prove compaction against selection; each
+             superopt rewrite then carries its own proof — replay both
+             halves and the composition covers the emitted program *)
           report (Msl_mir.Tv.validate_artifacts d (List.rev !artifacts));
+          let bad =
+            List.filter
+              (fun rw -> Msl_mir.Superopt.replay d rw <> Msl_mir.Tv.Validated)
+              (List.rev !rewrites)
+          in
+          List.iter
+            (fun (rw : Msl_mir.Superopt.rewrite) ->
+              failed := true;
+              Fmt.pr
+                "error[superopt-replay] block %s: %s rewrite did not replay \
+                 Validated@."
+                rw.Msl_mir.Superopt.rw_label
+                (Msl_mir.Superopt.kind_name rw.Msl_mir.Superopt.rw_kind))
+            bad;
+          if !rewrites <> [] && bad = [] then
+            Fmt.pr "; superopt: %d rewrites replayed, all proved@."
+              (List.length !rewrites)
+        end;
         (match tv_inject with
         | None -> ()
         | Some (kind, seed) -> (
@@ -310,8 +360,8 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Compile a program and print its microcode")
     Term.(
       const run $ lang_arg $ machine_arg $ machine_file_arg $ file_arg
-      $ opt_arg $ algo_arg $ bb_budget_arg $ trace_arg $ time_passes_arg
-      $ dump_after_arg $ validate_arg $ tv_inject_arg)
+      $ opt_arg $ algo_arg $ bb_budget_arg $ superopt_arg $ trace_arg
+      $ time_passes_arg $ dump_after_arg $ validate_arg $ tv_inject_arg)
 
 let fuel_arg =
   let doc =
@@ -337,13 +387,15 @@ let engine_arg =
     & info [ "engine" ] ~docv:"ENGINE" ~doc)
 
 let run_cmd =
-  let run lang machine machine_file file opt algo bb_budget trace fuel engine =
+  let run lang machine machine_file file opt algo bb_budget superopt trace
+      fuel engine =
     setup_trace trace;
     handle_diag (fun () ->
         let d = resolve_machine machine machine_file in
         let c =
-          Core.Toolkit.compile ~options:(options_of opt algo bb_budget) lang d
-            (read_file file)
+          Core.Toolkit.compile
+            ~options:(options_of ~superopt opt algo bb_budget)
+            lang d (read_file file)
         in
         warn_inexact c;
         match Core.Toolkit.run_status ~engine ~fuel c with
@@ -369,8 +421,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Compile and execute a program")
     Term.(
       const run $ lang_arg $ machine_arg $ machine_file_arg $ file_arg
-      $ opt_arg $ algo_arg $ bb_budget_arg $ trace_arg $ fuel_arg
-      $ engine_arg)
+      $ opt_arg $ algo_arg $ bb_budget_arg $ superopt_arg $ trace_arg
+      $ fuel_arg $ engine_arg)
 
 let lint_cmd =
   let format_arg =
@@ -403,8 +455,8 @@ let lint_cmd =
     in
     Arg.(value & flag & info [ "poll" ] ~doc)
   in
-  let run lang machine machine_file file opt algo bb_budget trace format
-      budget pedantic poll =
+  let run lang machine machine_file file opt algo bb_budget superopt trace
+      format budget pedantic poll =
     setup_trace trace;
     handle_diag (fun () ->
         let d = resolve_machine machine machine_file in
@@ -414,7 +466,8 @@ let lint_cmd =
         let mir = ref None in
         let observe _pass p = if !mir = None then mir := Some p in
         let options =
-          { (options_of opt algo bb_budget) with Msl_mir.Pipeline.poll }
+          { (options_of ~superopt opt algo bb_budget) with
+            Msl_mir.Pipeline.poll }
         in
         let c =
           Core.Toolkit.compile ~options ~observe lang d (read_file file)
@@ -458,8 +511,8 @@ let lint_cmd =
           static analyzer (exit 1 on any error finding)")
     Term.(
       const run $ lang_arg $ machine_arg $ machine_file_arg $ file_arg
-      $ opt_arg $ algo_arg $ bb_budget_arg $ trace_arg $ format_arg
-      $ budget_arg $ pedantic_arg $ poll_arg)
+      $ opt_arg $ algo_arg $ bb_budget_arg $ superopt_arg $ trace_arg
+      $ format_arg $ budget_arg $ pedantic_arg $ poll_arg)
 
 let verify_cmd =
   let run machine machine_file file =
@@ -611,12 +664,22 @@ let batch_cmd =
     in
     Arg.(value & flag & info [ "validate" ] ~doc)
   in
+  let superopt_batch_arg =
+    let doc =
+      "Compile every job with the proof-gated window superoptimizer \
+       (equivalent to superopt=on on every manifest line).  The \
+       corpus-wide superopt gate in CI is this flag with \
+       $(b,--validate) $(b,--diff) over examples/."
+    in
+    Arg.(value & flag & info [ "superopt" ] ~doc)
+  in
   let cache_dir_arg =
     let doc =
       "Layer a persistent content-addressed result cache under the in-memory \
        one: entries are written atomically to $(docv) (created if missing) \
        and survive process restarts; corrupt or incompatible files fall back \
-       to recompilation."
+       to recompilation.  Superopt window searches are memoized in the same \
+       directory."
     in
     Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
   in
@@ -677,9 +740,9 @@ let batch_cmd =
     let doc = "Seed for the deterministic fault-injection draws." in
     Arg.(value & opt int 1 & info [ "inject-seed" ] ~docv:"N" ~doc)
   in
-  let run manifest domains rounds cap listings lint diff validate cache_dir
-      retries backoff_ms deadline keep_going inject_raise inject_delay
-      inject_delay_ms inject_seed trace =
+  let run manifest domains rounds cap listings lint diff validate superopt
+      cache_dir retries backoff_ms deadline keep_going inject_raise
+      inject_delay inject_delay_ms inject_seed trace =
     setup_trace trace;
     handle_diag (fun () ->
         let jobs =
@@ -697,6 +760,17 @@ let batch_cmd =
         let jobs =
           if validate then
             List.map (fun j -> { j with Service.j_validate = true }) jobs
+          else jobs
+        in
+        let jobs =
+          if superopt then
+            List.map
+              (fun j ->
+                { j with
+                  Service.j_options =
+                    { j.Service.j_options with Msl_mir.Pipeline.superopt = true }
+                })
+              jobs
           else jobs
         in
         let policy =
@@ -770,8 +844,8 @@ let batch_cmd =
           compilation service")
     Term.(
       const run $ manifest_arg $ domains_arg $ rounds_arg $ cap_arg
-      $ listings_arg $ lint_arg $ diff_arg $ validate_arg $ cache_dir_arg
-      $ retries_arg $ backoff_arg
+      $ listings_arg $ lint_arg $ diff_arg $ validate_arg
+      $ superopt_batch_arg $ cache_dir_arg $ retries_arg $ backoff_arg
       $ deadline_arg $ keep_going_arg $ inject_raise_arg $ inject_delay_arg
       $ inject_delay_ms_arg $ inject_seed_arg $ trace_arg)
 

@@ -284,6 +284,61 @@ let disk_store t ~opts_id key e =
             with Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ()))
           else try Sys.remove tmp with Sys_error _ -> ())
 
+(* The superoptimizer's window-search memo shares the cache directory:
+   one small file per window digest (the key is already a hex digest —
+   content-addressed over machine, window ops and search options), same
+   header discipline, same atomic publish.  The value is opaque to the
+   service; Superopt re-checks every hit against its dependence model
+   and proof gate, so a corrupt file costs a re-search, never a wrong
+   schedule. *)
+let superopt_header =
+  Printf.sprintf "msl-superopt %d %s" disk_format_version Sys.ocaml_version
+
+let superopt_memo t =
+  match t.disk with
+  | None -> None
+  | Some dir ->
+      let file key = Filename.concat dir (key ^ ".msso") in
+      let memo_find key =
+        match open_in_bin (file key) with
+        | exception Sys_error _ -> None
+        | ic ->
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () ->
+                try
+                  if input_line ic <> superopt_header then None
+                  else
+                    Some
+                      (really_input_string ic
+                         (in_channel_length ic - pos_in ic))
+                with _ -> None)
+      in
+      let memo_add key v =
+        let path = file key in
+        let tmp =
+          Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+            (Domain.self () :> int)
+        in
+        match open_out_bin tmp with
+        | exception Sys_error _ -> ()
+        | oc ->
+            let written =
+              try
+                output_string oc superopt_header;
+                output_char oc '\n';
+                output_string oc v;
+                true
+              with _ -> false
+            in
+            close_out_noerr oc;
+            if written then (
+              try Sys.rename tmp path
+              with Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ()))
+            else try Sys.remove tmp with Sys_error _ -> ()
+      in
+      Some { Msl_mir.Superopt.memo_find; memo_add }
+
 (* -- the cache proper ----------------------------------------------------------- *)
 
 (* Memory-layer insert.  Two domains racing on the same key both compile
@@ -391,14 +446,14 @@ let inject faults key attempt =
 (* Raises: a structured [Diag.Error] on any front- or back-end failure,
    and possibly anything at all on a pathological job — the caller's
    firewall sorts the two apart. *)
-let compile_raw (j : job) =
+let compile_raw ?superopt_memo (j : job) =
   let d =
     try Machines.get j.j_machine
     with Invalid_argument msg -> Diag.error Diag.Semantic "%s" msg
   in
   let c =
-    Toolkit.compile ~options:j.j_options ~use_microops:j.j_use_microops
-      j.j_language d j.j_source
+    Toolkit.compile ?superopt_memo ~options:j.j_options
+      ~use_microops:j.j_use_microops j.j_language d j.j_source
   in
   (c, Masm.print d c.Toolkit.c_insts)
 
@@ -412,10 +467,10 @@ type attempt =
   | A_diag of Diag.t  (* deterministic compile failure *)
   | A_crash of Diag.t  (* unexpected raise, converted; retryable *)
 
-let one_attempt ~faults j key n =
+let one_attempt ?superopt_memo ~faults j key n =
   try
     inject faults key n;
-    let c, listing = compile_raw j in
+    let c, listing = compile_raw ?superopt_memo j in
     A_ok { e_compiled = c; e_listing = listing }
   with
   | Diag.Error d -> A_diag d
@@ -466,7 +521,7 @@ let compile_uncached t ~policy ~faults ~opts_id (j : job) key =
     }
   in
   let rec go attempt =
-    match one_attempt ~faults j key attempt with
+    match one_attempt ?superopt_memo:(superopt_memo t) ~faults j key attempt with
     | A_ok e -> (
         match overrun () with
         | Some over -> Error (deadline_diag over attempt)
@@ -593,23 +648,45 @@ let validate_gate (j : job) (c : Toolkit.compiled) =
       match
         Toolkit.capture (fun () ->
             let artifacts = ref [] in
+            let rewrites = ref [] in
             ignore
               (Toolkit.compile ~options:j.j_options
                  ~use_microops:j.j_use_microops
                  ~capture:(fun a -> artifacts := a :: !artifacts)
+                 ~superopt_capture:(fun rw -> rewrites := rw :: !rewrites)
                  j.j_language c.Toolkit.c_machine j.j_source);
-            Msl_mir.Tv.validate_artifacts c.Toolkit.c_machine
-              (List.rev !artifacts))
+            (* two proof halves: each block's compaction against its
+               selection, then every superopt rewrite against the words
+               it replaced — together they cover the emitted program *)
+            ( Msl_mir.Tv.validate_artifacts c.Toolkit.c_machine
+                (List.rev !artifacts),
+              List.filter
+                (fun rw ->
+                  Msl_mir.Superopt.replay c.Toolkit.c_machine rw
+                  <> Msl_mir.Tv.Validated)
+                (List.rev !rewrites) ))
       with
       | Error d -> Some d
-      | Ok r ->
-          if r.Msl_mir.Tv.v_refuted = 0 && r.Msl_mir.Tv.v_unknown = 0 then
-            None
+      | Ok (r, (bad_rw : Msl_mir.Superopt.rewrite list)) ->
+          if
+            r.Msl_mir.Tv.v_refuted = 0
+            && r.Msl_mir.Tv.v_unknown = 0
+            && bad_rw = []
+          then None
           else
             let message =
-              match r.Msl_mir.Tv.v_findings with
-              | [] -> Fmt.str "%a" Msl_mir.Tv.pp_summary r
-              | first :: rest ->
+              match (bad_rw, r.Msl_mir.Tv.v_findings) with
+              | rw :: rest, _ ->
+                  Printf.sprintf
+                    "superopt rewrite in block %s (%s) did not replay \
+                     Validated%s"
+                    rw.Msl_mir.Superopt.rw_label
+                    (Msl_mir.Superopt.kind_name rw.Msl_mir.Superopt.rw_kind)
+                    (match rest with
+                    | [] -> ""
+                    | _ -> Printf.sprintf " (+%d more)" (List.length rest))
+              | [], [] -> Fmt.str "%a" Msl_mir.Tv.pp_summary r
+              | [], first :: rest ->
                   Fmt.str "%a%s" Msl_mir.Diag.pp_finding first
                     (match rest with
                     | [] -> ""
@@ -854,6 +931,8 @@ let parse_option loc (j : job) spec =
           | _ ->
               manifest_error loc "bb_budget expects a positive integer, got %S"
                 v)
+      | "superopt" ->
+          set { opts with Pipeline.superopt = parse_bool loc "superopt" v }
       | "microops" ->
           { j with j_use_microops = parse_bool loc "microops" v }
       | "lint" -> { j with j_lint = parse_bool loc "lint" v }

@@ -126,6 +126,10 @@ val create : ?domains:int -> ?capacity:int -> ?cache_dir:string -> unit -> t
     domains and processes, unbounded (eviction applies to the memory
     layer only), and survives restarts; corrupt or incompatible files
     are treated as misses and rewritten.  {!clear} does not touch it.
+    The same directory also backs the superoptimizer's window-search
+    memo ([.msso] files keyed by window digest) for jobs compiled with
+    [superopt=on]/[-O 2], under the same atomic-write and
+    corruption-is-a-miss discipline.
     @raise Invalid_argument when a count is not positive or the
     directory cannot be created. *)
 
@@ -194,7 +198,11 @@ val assemble_cached : t -> Desc.t -> string -> Toolkit.compiled
     v}
 
     with option keys [algo], [chain], [strategy], [pool], [poll],
-    [trap_safe], [microops], [lint], [diff], [validate] and [id]. *)
+    [trap_safe], [opt], [bb_budget], [superopt], [microops], [lint],
+    [diff], [validate] and [id].  Every {!Msl_mir.Pipeline.options}
+    field a key sets is part of the cache key (via
+    {!Msl_mir.Pipeline.options_id}), so e.g. [superopt=on] and
+    [superopt=off] jobs never share entries. *)
 
 val parse_manifest :
   ?file:string -> load:(string -> string) -> string -> job list

@@ -65,11 +65,12 @@ type compiled = {
   c_bits : int;  (* control-store bits *)
   c_alloc : Msl_mir.Regalloc.stats option;
   c_inexact_blocks : int;  (* B&B schedules that hit the node budget *)
+  c_superopt : Msl_mir.Superopt.stats option;  (* when the pass ran *)
   c_timings : Msl_mir.Passmgr.timing list;
 }
 
-let of_insts ?(timings = []) ?(inexact_blocks = 0) language d insts labels
-    alloc =
+let of_insts ?(timings = []) ?(inexact_blocks = 0) ?superopt language d insts
+    labels alloc =
   {
     c_language = language;
     c_machine = d;
@@ -80,11 +81,12 @@ let of_insts ?(timings = []) ?(inexact_blocks = 0) language d insts labels
     c_bits = Encode.program_bits d insts;
     c_alloc = alloc;
     c_inexact_blocks = inexact_blocks;
+    c_superopt = superopt;
     c_timings = timings;
   }
 
 let compile ?options ?use_microops ?observe ?capture:capture_blocks
-    (language : language) (d : Desc.t) src =
+    ?superopt_memo ?superopt_capture (language : language) (d : Desc.t) src =
   Trace.with_span ~cat:"toolkit" "compile"
     ~args:
       [
@@ -94,10 +96,12 @@ let compile ?options ?use_microops ?observe ?capture:capture_blocks
     (fun () ->
       let through_pipeline p =
         let insts, labels, m =
-          Pipeline.compile ?options ?observe ?capture:capture_blocks d p
+          Pipeline.compile ?options ?observe ?capture:capture_blocks
+            ?superopt_memo ?superopt_capture d p
         in
         of_insts ~timings:m.Pipeline.m_timings
-          ~inexact_blocks:m.Pipeline.m_inexact_blocks language d insts labels
+          ~inexact_blocks:m.Pipeline.m_inexact_blocks
+          ?superopt:m.Pipeline.m_superopt language d insts labels
           m.Pipeline.m_alloc
       in
       match language with

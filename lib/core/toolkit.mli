@@ -52,6 +52,8 @@ type compiled = {
       (** blocks whose branch-and-bound compaction hit the node budget
           and fell back to the heuristic schedule (0 unless
           [algo = Optimal]; drivers warn when nonzero) *)
+  c_superopt : Msl_mir.Superopt.stats option;
+      (** the superoptimizer's counters, when [-O2]/[superopt] ran *)
   c_timings : Msl_mir.Passmgr.timing list;
       (** per-pass wall clock of the pipeline run; empty for S* and
           assembled programs (no pass pipeline) *)
@@ -62,6 +64,8 @@ val compile :
   ?use_microops:bool ->
   ?observe:(string -> Msl_mir.Mir.program -> unit) ->
   ?capture:(Msl_mir.Tv.artifact -> unit) ->
+  ?superopt_memo:Msl_mir.Superopt.memo ->
+  ?superopt_capture:(Msl_mir.Superopt.rewrite -> unit) ->
   language ->
   Desc.t ->
   string ->
@@ -70,6 +74,8 @@ val compile :
     [observe] sees the MIR after every executed pass; [capture] receives
     each lowered block's translation-validation artifact (both are
     ignored for S*, which has no MIR pipeline and no compaction).
+    [superopt_memo] and [superopt_capture] are forwarded to
+    {!Msl_mir.Pipeline.compile} when the superoptimizer runs.
     @raise Msl_util.Diag.Error on any front- or back-end failure. *)
 
 val assemble : Desc.t -> string -> compiled

@@ -157,6 +157,15 @@ let cond_supported t = function
   | C_reg_mask _ -> has_cap t Cap_reg_mask
   | C_int_pending -> has_cap t Cap_int
 
+(* The complementary test, when the sequencer can express one: flag and
+   reg-zero tests negate by flipping the expected value.  A mask match
+   has no single complementary mask, and the interrupt test has no
+   complement at all. *)
+let negate_cond = function
+  | C_flag (f, v) -> Some (C_flag (f, not v))
+  | C_reg_zero (r, v) -> Some (C_reg_zero (r, not v))
+  | C_reg_mask _ | C_int_pending -> None
+
 (* Validation: catches machine-description mistakes at construction time.
    Runs on every description — hand-constructed, shipped .mdesc and
    user-supplied alike (the Mdesc elaborator re-reports the same

@@ -166,6 +166,12 @@ val get_template : t -> string -> template
 val templates_with_sem : t -> sem -> template list
 val has_cap : t -> cond_cap -> bool
 val cond_supported : t -> cond -> bool
+
+val negate_cond : cond -> cond option
+(** The complementary test, when the sequencer can express one: flag and
+    reg-zero tests negate by flipping the expected value; mask matches
+    and the interrupt test have no complement ([None]). *)
+
 val word_bits : t -> int
 (** Total width of the declared control-word fields. *)
 

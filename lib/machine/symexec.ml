@@ -579,6 +579,35 @@ let copy_store s =
     st_acks = s.st_acks;
   }
 
+(* A sequencer condition as a 1-bit term over the store, mirroring
+   [Sim.eval_cond].  [C_int_pending] is not a function of the store (it
+   reads the interrupt line), so it has no term. *)
+let cond_term ctx (s : store) = function
+  | Desc.C_flag (f, v) ->
+      let t = s.st_flags.(flag_index f) in
+      Some (if v then t else lognot ctx t)
+  | Desc.C_reg_zero (r, v) ->
+      if r < 0 || r >= Array.length s.st_regs then None
+      else
+        let z = is_zero_term ctx s.st_regs.(r) in
+        Some (if v then z else lognot ctx z)
+  | Desc.C_reg_mask (r, mask) ->
+      if r < 0 || r >= Array.length s.st_regs then None
+      else begin
+        let v = s.st_regs.(r) in
+        let n = min (Array.length mask) v.width in
+        let acc = ref (true_ ctx) in
+        for i = 0 to n - 1 do
+          match mask.(i) with
+          | Desc.Mx -> ()
+          | Desc.Mt -> acc := logand ctx !acc (slice ctx v ~hi:i ~lo:i)
+          | Desc.Mf ->
+              acc := logand ctx !acc (lognot ctx (slice ctx v ~hi:i ~lo:i))
+        done;
+        Some !acc
+      end
+  | Desc.C_int_pending -> None
+
 (* Replace every component with fresh inputs (used after a microsubroutine
    call, whose effects are unmodeled but identical on both sides). *)
 let havoc ~prefix ctx (d : Desc.t) s =

@@ -134,6 +134,12 @@ val init_store : ?prefix:string -> ctx -> Desc.t -> store
 
 val copy_store : store -> store
 
+val cond_term : ctx -> store -> Desc.cond -> t option
+(** A sequencer condition as a 1-bit term over the store, mirroring
+    [Sim.eval_cond] — the guard a superoptimizer rewrite is proved under.
+    [None] when the condition is not a pure function of the store
+    ([C_int_pending] reads the interrupt line). *)
+
 val havoc : prefix:string -> ctx -> Desc.t -> store -> unit
 (** Replace every component with fresh [prefix]ed inputs — the effect of a
     microsubroutine call, unmodeled but identical on both sides. *)

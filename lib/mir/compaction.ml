@@ -32,7 +32,8 @@ let algo_name = function
 
 type result = {
   groups : Inst.op list list;  (* one element per microinstruction *)
-  r_algo : algo;
+  r_algo : algo;  (* the algorithm *requested* by the caller *)
+  forced_sequential : bool;  (* vertical machine overrode it to Sequential *)
   nodes : int;  (* search nodes (Optimal only) *)
   exact : bool;  (* Optimal completed within its node budget *)
 }
@@ -86,16 +87,20 @@ let fcfs ~chain d ops =
   let infos, edges = Dataflow.build d arr in
   let preds = Dataflow.preds_by_dst n edges in
   let place = Array.make n (-1) in
-  let mis : Inst.op list array ref = ref (Array.make 0 []) in
+  (* microinstructions under construction: a doubling dynamic array of
+     *reversed* op accumulators.  The conflict model is pairwise, so the
+     order [fits] sees does not matter; placement order is restored by one
+     [List.rev] per word at the end. *)
+  let mis : Inst.op list array ref = ref (Array.make 8 []) in
   let count = ref 0 in
   let mi_get k = !mis.(k) in
-  let mi_add k op =
-    !mis.(k) <- !mis.(k) @ [ op ]
-  in
+  let mi_add k op = !mis.(k) <- op :: !mis.(k) in
   let new_mi () =
-    let a = Array.make (!count + 1) [] in
-    Array.blit !mis 0 a 0 !count;
-    mis := a;
+    if !count = Array.length !mis then begin
+      let a = Array.make (2 * !count) [] in
+      Array.blit !mis 0 a 0 !count;
+      mis := a
+    end;
     incr count;
     !count - 1
   in
@@ -123,7 +128,7 @@ let fcfs ~chain d ops =
     mi_add k arr.(j);
     place.(j) <- k
   done;
-  Array.to_list (Array.sub !mis 0 !count)
+  List.init !count (fun k -> List.rev !mis.(k))
 
 (* -- critical-path list scheduling --------------------------------------- *)
 
@@ -197,10 +202,11 @@ let optimal ~chain ~node_budget d ops =
     let exhausted = ref false in
     (* DFS: [k] is the current microinstruction index, [current] its ops
        (indices, increasing), [done_] how many ops are scheduled. *)
+    (* Budget check happens *before* the node is counted, so the reported
+       [nodes] can never exceed [node_budget]. *)
     let rec go k current done_ last_idx mis_rev =
-      incr nodes;
-      if !nodes > node_budget then exhausted := true
-      else if done_ = n then begin
+      if !nodes >= node_budget then exhausted := true
+      else if (incr nodes; done_ = n) then begin
         let final =
           if current = [] then List.rev mis_rev
           else List.rev (List.rev_map (fun j -> arr.(j)) current :: mis_rev)
@@ -257,9 +263,14 @@ let optimal ~chain ~node_budget d ops =
 
 let compact ?(chain = true) ?(node_budget = default_node_budget) ~algo
     (d : Desc.t) (ops : Inst.op list) =
-  let algo = if d.Desc.d_vertical then Sequential else algo in
+  (* A vertical machine packs one op per word regardless of the requested
+     algorithm.  Keep the override, but *report* the algorithm the caller
+     asked for, with [forced_sequential] recording that it was ignored —
+     T4 tables and trace rows must not mislabel vertical rows. *)
+  let forced_sequential = d.Desc.d_vertical && algo <> Sequential in
+  let effective = if d.Desc.d_vertical then Sequential else algo in
   let groups, nodes, exact =
-    match algo with
+    match effective with
     | Sequential -> (sequential ops, 0, true)
     | Fcfs -> (fcfs ~chain d ops, 0, true)
     | Critical_path -> (critical_path ~chain d ops, 0, true)
@@ -268,12 +279,13 @@ let compact ?(chain = true) ?(node_budget = default_node_budget) ~algo
   let groups = List.filter (fun g -> g <> []) groups in
   if not (check ~chain d ops groups) then
     Diag.error Diag.Compaction "%s produced an invalid schedule"
-      (algo_name algo);
+      (algo_name effective);
   if Trace.enabled () then begin
     Trace.instant ~cat:"compaction" "block"
       ~args:
         [
           ("algo", Trace.A_string (algo_name algo));
+          ("forced_sequential", Trace.A_bool forced_sequential);
           ("ops", Trace.A_int (List.length ops));
           ("words", Trace.A_int (List.length groups));
           ("nodes", Trace.A_int nodes);
@@ -288,4 +300,4 @@ let compact ?(chain = true) ?(node_budget = default_node_budget) ~algo
             ("ops", Trace.A_int (List.length ops));
           ]
   end;
-  { groups; r_algo = algo; nodes; exact }
+  { groups; r_algo = algo; forced_sequential; nodes; exact }

@@ -20,9 +20,14 @@ val algo_name : algo -> string
 
 type result = {
   groups : Inst.op list list;  (** one element per microinstruction *)
-  r_algo : algo;  (** the algorithm actually used (vertical forces
-                      [Sequential]) *)
-  nodes : int;  (** search nodes explored ([Optimal] only) *)
+  r_algo : algo;  (** the algorithm the caller *requested* (vertical
+                      machines still pack sequentially — see
+                      [forced_sequential]) *)
+  forced_sequential : bool;
+      (** the machine is vertical, so the requested algorithm was
+          overridden to one op per word *)
+  nodes : int;  (** search nodes explored ([Optimal] only; never exceeds
+                    the node budget) *)
   exact : bool;  (** [Optimal] finished within its node budget *)
 }
 

@@ -27,6 +27,7 @@ type options = {
   trap_safe : bool;  (* restart-safe recompilation (survey §2.1.5) *)
   opt_level : int;  (* 0: survey-faithful, no optimizer; >= 1: Opt passes *)
   bb_budget : int;  (* branch-and-bound node budget (Optimal only) *)
+  superopt : bool;  (* post-compaction window superoptimizer (implied by -O2) *)
 }
 
 let default_options =
@@ -39,6 +40,7 @@ let default_options =
     trap_safe = false;
     opt_level = 1;
     bb_budget = Compaction.default_node_budget;
+    superopt = false;
   }
 
 (* The canonical textual identity of an option record, sitting next to
@@ -48,15 +50,16 @@ let default_options =
    stale against the type again. *)
 let options_id (o : options) =
   let { algo; chain; strategy; pool_limit; poll; trap_safe; opt_level;
-        bb_budget } =
+        bb_budget; superopt } =
     o
   in
   Printf.sprintf
-    "algo=%s;chain=%b;strategy=%s;pool=%s;poll=%b;trap_safe=%b;opt=%d;bb=%d"
+    "algo=%s;chain=%b;strategy=%s;pool=%s;poll=%b;trap_safe=%b;opt=%d;bb=%d;\
+     superopt=%b"
     (Compaction.algo_name algo) chain
     (Regalloc.strategy_name strategy)
     (match pool_limit with None -> "all" | Some n -> string_of_int n)
-    poll trap_safe opt_level bb_budget
+    poll trap_safe opt_level bb_budget superopt
 
 type metrics = {
   m_instructions : int;  (* control-store words used *)
@@ -66,6 +69,7 @@ type metrics = {
   m_alloc : Regalloc.stats option;
   m_search_nodes : int;  (* B&B nodes, when the Optimal algo ran *)
   m_inexact_blocks : int;  (* blocks whose B&B search hit the budget *)
+  m_superopt : Superopt.stats option;  (* when the superoptimizer ran *)
   m_timings : Passmgr.timing list;  (* per-pass wall clock, execution order *)
 }
 
@@ -334,12 +338,12 @@ let pass_names =
   [ "validate"; "const-fold"; "copy-prop"; "branch-simplify"; "jump-thread";
     "dce"; "lower"; "trapsafe"; "pollpoints"; "regalloc" ]
 
-let backend_pass_names = [ "select+compact"; "link" ]
+let backend_pass_names = [ "select+compact"; "superopt"; "link" ]
 
 (* -- entry point -------------------------------------------------------------- *)
 
-let compile ?(options = default_options) ?observe ?capture (d : Desc.t)
-    (p : Mir.program) =
+let compile ?(options = default_options) ?observe ?capture ?superopt_memo
+    ?superopt_capture (d : Desc.t) (p : Mir.program) =
   let alloc_stats = ref None in
   let p, timings =
     Trace.with_span ~cat:"pipeline" "middle-end"
@@ -366,15 +370,33 @@ let compile ?(options = default_options) ?observe ?capture (d : Desc.t)
         | [] -> None)
       p.Mir.procs
   in
+  (* the superoptimizer sits between per-block compaction and linking:
+     it still sees labels (so its windows can span block seams) but the
+     schedule it refines is final *)
+  let blocks, superopt_stats, superopt_ms =
+    if not (options.superopt || options.opt_level >= 2) then (blocks, None, 0.)
+    else
+      let (pairs, stats), ms =
+        Trace.timed ~cat:"pipeline" "superopt" (fun () ->
+            Superopt.run ?memo:superopt_memo ?observe:superopt_capture
+              ~chain:options.chain ~node_budget:options.bb_budget
+              ~extra_refs:(List.map snd aliases) d
+              (List.map (fun b -> (b.k_label, b.k_mis)) blocks))
+      in
+      ( List.map (fun (l, ws) -> { k_label = l; k_mis = ws }) pairs,
+        Some stats,
+        ms )
+  in
   let (insts, label_map), link_ms =
     Trace.timed ~cat:"pipeline" "link" (fun () -> link ~aliases d blocks)
   in
   let timings =
     timings
-    @ [
-        { Passmgr.t_pass = "select+compact"; t_ms = select_ms };
-        { Passmgr.t_pass = "link"; t_ms = link_ms };
-      ]
+    @ [ { Passmgr.t_pass = "select+compact"; t_ms = select_ms } ]
+    @ (match superopt_stats with
+      | Some _ -> [ { Passmgr.t_pass = "superopt"; t_ms = superopt_ms } ]
+      | None -> [])
+    @ [ { Passmgr.t_pass = "link"; t_ms = link_ms } ]
   in
   if Trace.enabled () then begin
     Trace.counter ~cat:"compaction" "search_nodes" !nodes_acc;
@@ -391,6 +413,7 @@ let compile ?(options = default_options) ?observe ?capture (d : Desc.t)
       m_alloc = !alloc_stats;
       m_search_nodes = !nodes_acc;
       m_inexact_blocks = !inexact_acc;
+      m_superopt = superopt_stats;
       m_timings = timings;
     }
   in

@@ -23,12 +23,16 @@ type options = {
   opt_level : int;
       (** 0: survey-faithful pipeline with no machine-independent
           optimizer (§2.1.4); 1 (the default): the {!Opt} passes run
-          before lowering *)
+          before lowering; >= 2 additionally implies [superopt] *)
   bb_budget : int;
       (** search-node budget for [Optimal] compaction (the CLI's
           [--bb-budget]; default {!Compaction.default_node_budget}).
           Past it the block falls back to the critical-path schedule and
-          is counted in [m_inexact_blocks]. *)
+          is counted in [m_inexact_blocks].  The superoptimizer's window
+          searches reuse the same budget. *)
+  superopt : bool;
+      (** run the post-compaction {!Superopt} pass (the CLI's
+          [--superopt]; also switched on by [opt_level >= 2]) *)
 }
 
 val default_options : options
@@ -52,6 +56,8 @@ type metrics = {
   m_inexact_blocks : int;
       (** blocks whose [Optimal] search hit [bb_budget] and fell back to
           the heuristic schedule (0 unless [algo = Optimal]) *)
+  m_superopt : Superopt.stats option;
+      (** the superoptimizer's counters, when the pass ran *)
   m_timings : Passmgr.timing list;
       (** wall clock of every executed pass, in execution order, ending
           with the [select+compact] and [link] back-end pseudo-passes *)
@@ -84,13 +90,19 @@ val compile :
   ?options:options ->
   ?observe:(string -> Mir.program -> unit) ->
   ?capture:(Tv.artifact -> unit) ->
+  ?superopt_memo:Superopt.memo ->
+  ?superopt_capture:(Superopt.rewrite -> unit) ->
   Desc.t ->
   Mir.program ->
   Inst.t list * (string * int) list * metrics
 (** [observe name p'] is called after every executed middle-end pass
     with the program it produced (the `--dump-after` hook).  [capture] is
     called once per lowered block with its {!Tv.artifact} — the
-    translation validator's input — in layout order. *)
+    translation validator's input — in layout order; the artifacts
+    describe the {e pre-superopt} words, and each accepted superopt
+    rewrite is reported through [superopt_capture] so a validator can
+    replay its proof and compose the two.  [superopt_memo] backs the
+    superoptimizer's window-search cache. *)
 
 val load :
   ?options:options ->

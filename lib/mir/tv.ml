@@ -329,6 +329,109 @@ let validate_words ?(config = default_config) d ~reference ~candidate =
 let validate_artifact ?config d (a : artifact) =
   validate_words ?config d ~reference:(reference_words a) ~candidate:a.a_mis
 
+(* -- rewrite validation (the superoptimizer's proof gate) -------------------- *)
+
+(* A superoptimizer window rewrite is proved by comparing *guarded
+   outcomes* rather than [walk] exits.  Each way control can leave the
+   window — a taken branch, a goto, halt/return, or falling past the last
+   word into the layout successor ([fall]) — becomes a triple of
+   destination, path guard (the conjunction of branch-condition terms
+   along the path, as {!Symexec.cond_term}s over the evolving store) and
+   the store at departure.  This admits rewrites [validate_words] must
+   reject structurally: folding a goto word into its predecessor, or
+   inverting a branch so the old fall-through path becomes the taken
+   path.  Windows whose control the guard model cannot express — calls,
+   dispatches, interrupt-pending tests — are [Unknown], never accepted. *)
+
+type destination = D_label of string | D_halt | D_return
+
+exception Unsupported_window
+
+let outcomes ctx d ~fall (words : (Inst.op list * Select.lnext) list) =
+  let store = Symexec.init_store ctx d in
+  let guard = ref (Symexec.true_ ctx) in
+  let outs = ref [] in
+  let emit dst g = outs := (dst, g, Symexec.copy_store store) :: !outs in
+  let fall_off () =
+    match fall with
+    | Some l -> emit (D_label l) !guard
+    | None -> emit D_halt !guard
+  in
+  let rec go = function
+    | [] -> fall_off ()
+    | (ops, next) :: rest -> (
+        Symexec.exec_word ctx d store ops;
+        match next with
+        | Select.L_next -> if rest = [] then fall_off () else go rest
+        | Select.L_goto l -> emit (D_label l) !guard
+        | Select.L_halt -> emit D_halt !guard
+        | Select.L_return -> emit D_return !guard
+        | Select.L_branch (c, l) -> (
+            match Symexec.cond_term ctx store c with
+            | None -> raise Unsupported_window
+            | Some t ->
+                emit (D_label l) (Symexec.logand ctx !guard t);
+                guard := Symexec.logand ctx !guard (Symexec.lognot ctx t);
+                if rest = [] then fall_off () else go rest)
+        | Select.L_call _ | Select.L_dispatch _ -> raise Unsupported_window)
+  in
+  (match words with [] -> fall_off () | ws -> go ws);
+  List.rev !outs
+
+let validate_rewrite ?(config = default_config) d ~fall_ref ~fall_cand
+    ~reference ~candidate =
+  let ctx = Symexec.create_ctx () in
+  match
+    let ro = outcomes ctx d ~fall:fall_ref reference in
+    let co = outcomes ctx d ~fall:fall_cand candidate in
+    let dests os = List.map (fun (dst, _, _) -> dst) os in
+    let rd = List.sort_uniq compare (dests ro) in
+    let cd = List.sort_uniq compare (dests co) in
+    (* destinations must match as sets, each reached along exactly one
+       path per side — the guards then pair up unambiguously *)
+    if
+      rd <> cd
+      || List.length rd <> List.length ro
+      || List.length cd <> List.length co
+    then Refuted None
+    else begin
+      let paired =
+        List.map
+          (fun (dst, g1, s1) ->
+            let _, g2, s2 = List.find (fun (d2, _, _) -> d2 = dst) co in
+            ((g1, s1), (g2, s2)))
+          ro
+      in
+      if
+        List.exists
+          (fun ((_, s1), (_, s2)) ->
+            s1.Symexec.st_acks <> s2.Symexec.st_acks)
+          paired
+      then Refuted None
+      else begin
+        (* guards must agree, and the stores must agree unconditionally —
+           stronger than equality-under-guard, which is exactly what makes
+           the obligations a flat list of term pairs [decide] can settle *)
+        let goals =
+          List.concat_map
+            (fun ((g1, s1), (g2, s2)) ->
+              (g1, g2) :: Symexec.store_pairs s1 s2)
+            paired
+        in
+        match
+          Symexec.decide ~budget_bits:config.tv_budget_bits
+            ~samples:config.tv_samples ~seed:config.tv_seed goals
+        with
+        | Symexec.Proved -> Validated
+        | Symexec.Refuted cx -> Refuted (Some cx)
+        | Symexec.Unknown -> Unknown
+      end
+    end
+  with
+  | v -> v
+  | exception Unsupported_window -> Unknown
+  | exception Udiag.Error _ -> Unknown
+
 (* -- findings and aggregation ------------------------------------------------ *)
 
 let cx_suffix = function

@@ -69,6 +69,25 @@ val validate_words :
   verdict
 (** The core comparison, on explicit word lists. *)
 
+val validate_rewrite :
+  ?config:config ->
+  Desc.t ->
+  fall_ref:string option ->
+  fall_cand:string option ->
+  reference:(Inst.op list * Select.lnext) list ->
+  candidate:(Inst.op list * Select.lnext) list ->
+  verdict
+(** The superoptimizer's proof gate: compare two windows by {e guarded
+    outcome} — every way control leaves the window (taken branch, goto,
+    halt/return, or falling past the end into the [fall_ref]/[fall_cand]
+    layout successor) paired by destination, with the path-guard terms
+    and the departure stores proved equal.  This admits control rewrites
+    [validate_words] rejects structurally: goto-fold into a predecessor
+    word, branch inversion that swaps the taken and fall-through paths.
+    Windows containing calls, dispatches or interrupt-pending tests are
+    [Unknown].  There is no dynamic fallback — only [Validated] is a
+    proof, and the superoptimizer accepts nothing less. *)
+
 val validate_program :
   ?config:config ->
   ?labels:(string * int) list ->

@@ -36,20 +36,23 @@ cache even on a cold first round.
   ok    fold.empl@hp3+ff                2 words,    3 ops
   ok    fold.empl@hp3+pool4             2 words,    3 ops
   ok    fold.empl@b17+ff                3 words,    3 ops
+  ok    mpy.simpl@h1+so                 7 words,    6 ops
+  ok    mpy.simpl@hp3+so                7 words,    6 ops
+  ok    gcd.yll@b17+O2                 13 words,   12 ops
   ok    sum_loop.yll@hp3+dup            5 words,    5 ops  (cached)
   ok    sum_while.simpl@hp3+dup         7 words,    5 ops  (cached)
   ok    fold.empl@hp3+dup               2 words,    3 ops  (cached)
-  -- 36 jobs: 3 hits, 33 misses, 0 evictions, 0 errors; 33 entries cached
+  -- 39 jobs: 3 hits, 36 misses, 0 evictions, 0 errors; 36 entries cached
 
 A second round over the same service is served entirely warm: every
 probe after round one is a hit.
 
   $ (cd ../.. && bin/mslc.exe batch examples/batch.manifest --domains 1 --rounds 2) | tail -n 5
-  ok    fold.empl@b17+ff                3 words,    3 ops  (cached)
+  ok    gcd.yll@b17+O2                 13 words,   12 ops  (cached)
   ok    sum_loop.yll@hp3+dup            5 words,    5 ops  (cached)
   ok    sum_while.simpl@hp3+dup         7 words,    5 ops  (cached)
   ok    fold.empl@hp3+dup               2 words,    3 ops  (cached)
-  -- 72 jobs: 39 hits, 33 misses, 0 evictions, 0 errors; 33 entries cached
+  -- 78 jobs: 42 hits, 36 misses, 0 evictions, 0 errors; 36 entries cached
 
 A manifest referencing an unknown machine is a located parse error —
 the input could not be processed at all, which is exit 2.
@@ -70,18 +73,18 @@ itself was processed, so this is exit 1.
   [1]
 
 The persistent disk cache: a cold run populates --cache-dir, and a
-fresh process over the same manifest is served back from it.  36 jobs
-over 33 distinct keys — the three manifest duplicates hit in memory, so
-the restarted run reports 33 of its 36 hits from disk.
+fresh process over the same manifest is served back from it.  39 jobs
+over 36 distinct keys — the three manifest duplicates hit in memory, so
+the restarted run reports 36 of its 39 hits from disk.
 
   $ mkdir disk
   $ (cd ../.. && bin/mslc.exe batch examples/batch.manifest --domains 1 --cache-dir "$OLDPWD/disk") | tail -n 2
-  -- 36 jobs: 3 hits, 33 misses, 0 evictions, 0 errors; 33 entries cached
-  -- disk cache: 0 hits, 33 stores
+  -- 39 jobs: 3 hits, 36 misses, 0 evictions, 0 errors; 36 entries cached
+  -- disk cache: 0 hits, 36 stores
 
   $ (cd ../.. && bin/mslc.exe batch examples/batch.manifest --domains 1 --cache-dir "$OLDPWD/disk") | tail -n 2
-  -- 36 jobs: 36 hits, 0 misses, 0 evictions, 0 errors; 33 entries cached
-  -- disk cache: 33 hits, 0 stores
+  -- 39 jobs: 39 hits, 0 misses, 0 evictions, 0 errors; 36 entries cached
+  -- disk cache: 36 hits, 0 stores
 
 Deterministic fault injection: with every attempt raising and no
 retries, each job fails alone behind its per-job firewall — the batch
@@ -105,7 +108,7 @@ deterministic in the seed, so the retry tally is pinned too).
 
   $ ../../bin/mslc.exe batch faults.manifest -j 1 --inject-raise 0.5 --retries 8 --backoff-ms 0.1 | tail -n 2
   -- 3 jobs: 0 hits, 3 misses, 0 evictions, 0 errors; 3 entries cached
-  -- faults: 6 internal errors, 6 retries, 0 deadline failures, 0 canceled
+  -- faults: 2 internal errors, 2 retries, 0 deadline failures, 0 canceled
 
 Fail-fast: --keep-going=false cancels jobs not yet started once the
 first failure lands (with -j 1 the pickup order is the manifest order).

@@ -130,16 +130,49 @@ let test_emulator_indirect () =
 (* -- experiment shape claims --------------------------------------------------------- *)
 
 let test_t2_shape () =
-  (* hand-written code is never larger than compiled code *)
+  (* hand-written code is never larger than block-at-a-time compiled
+     code (-O1); the superoptimizer (-O2) never loses to -O1 — it may
+     even beat the hand code, as on the V11 transliterate loop — and
+     the worst -O2 case stays strictly below the +100% that -O1 pays
+     on the multiply loop *)
+  let rows = Core.Experiments.t2_rows () in
   List.iter
     (fun r ->
+      let tag fmt =
+        Printf.ksprintf
+          (fun s ->
+            Printf.sprintf "%s on %s: %s" r.Core.Experiments.t2_name
+              r.Core.Experiments.t2_machine s)
+          fmt
+      in
       check_bool
-        (Printf.sprintf "%s on %s: hand (%d) <= compiled (%d)"
-           r.Core.Experiments.t2_name r.Core.Experiments.t2_machine
-           r.Core.Experiments.t2_hand r.Core.Experiments.t2_compiled)
+        (tag "hand (%d) <= O1 (%d)" r.Core.Experiments.t2_hand
+           r.Core.Experiments.t2_compiled)
         true
-        (r.Core.Experiments.t2_hand <= r.Core.Experiments.t2_compiled))
-    (Core.Experiments.t2_rows ())
+        (r.Core.Experiments.t2_hand <= r.Core.Experiments.t2_compiled);
+      check_bool
+        (tag "O2 (%d) <= O1 (%d)" r.Core.Experiments.t2_o2
+           r.Core.Experiments.t2_compiled)
+        true
+        (r.Core.Experiments.t2_o2 <= r.Core.Experiments.t2_compiled);
+      (* strictly below doubling: o2 - hand < hand *)
+      check_bool
+        (tag "O2 overhead below +100%% (%d vs hand %d)"
+           r.Core.Experiments.t2_o2 r.Core.Experiments.t2_hand)
+        true
+        (r.Core.Experiments.t2_o2 - r.Core.Experiments.t2_hand
+        < r.Core.Experiments.t2_hand))
+    rows;
+  (* the headline case: the H1 multiply loop strictly improves under -O2 *)
+  let mpy =
+    List.find
+      (fun r ->
+        r.Core.Experiments.t2_machine = "H1"
+        && r.Core.Experiments.t2_name = "multiply loop (SIMPL)")
+      rows
+  in
+  check_bool "mpy H1: O2 strictly beats O1" true
+    (mpy.Core.Experiments.t2_o2 < mpy.Core.Experiments.t2_compiled)
 
 let test_t3_shape () =
   (* HP3 beats V11 on both cycles and words *)
@@ -332,7 +365,8 @@ let () =
         ] );
       ( "shapes",
         [
-          Alcotest.test_case "T2 hand <= compiled" `Quick test_t2_shape;
+          Alcotest.test_case "T2 hand <= O2 <= O1, worst below +100%" `Quick
+            test_t2_shape;
           Alcotest.test_case "T3 HP3 beats V11" `Quick test_t3_shape;
           Alcotest.test_case "T4 algorithm ordering" `Quick test_t4_shape;
           Alcotest.test_case "T5 spill monotonicity" `Quick test_t5_shape;

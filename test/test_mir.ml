@@ -117,7 +117,97 @@ let test_compaction_vertical_forced () =
   let prog = Masm.parse_program d "[ ldc R1, #1 ]\n[ ldc R2, #2 ]\n" in
   let ops = List.concat_map (fun i -> i.Inst.ops) prog in
   let r = Compaction.compact ~algo:Compaction.Optimal d ops in
-  check_int "vertical: one op per word" 2 (List.length r.Compaction.groups)
+  check_int "vertical: one op per word" 2 (List.length r.Compaction.groups);
+  (* regression: the result reports the *requested* algorithm, with the
+     override recorded in [forced_sequential] — T4 rows must not relabel
+     vertical rows as "sequential" *)
+  check_bool "r_algo is the requested algo" true
+    (r.Compaction.r_algo = Compaction.Optimal);
+  check_bool "forced_sequential set" true r.Compaction.forced_sequential;
+  let h = Compaction.compact ~algo:Compaction.Optimal Machines.hp3 ops in
+  check_bool "horizontal: not forced" false h.Compaction.forced_sequential;
+  let v_seq = Compaction.compact ~algo:Compaction.Sequential d ops in
+  check_bool "vertical + sequential requested: not forced" false
+    v_seq.Compaction.forced_sequential
+
+(* regression for the fcfs rewrite (reversed accumulators + doubling
+   array): schedules must be structurally identical to the original
+   quadratic formulation, reimplemented here as the reference. *)
+let naive_fcfs ~chain d ops =
+  let arr = Array.of_list ops in
+  let n = Array.length arr in
+  let infos, edges = Dataflow.build d arr in
+  let preds = Dataflow.preds_by_dst n edges in
+  let place = Array.make n (-1) in
+  let mis : Inst.op list array ref = ref (Array.make 0 []) in
+  let count = ref 0 in
+  let mi_add k op = !mis.(k) <- !mis.(k) @ [ op ] in
+  let new_mi () =
+    let a = Array.make (!count + 1) [] in
+    Array.blit !mis 0 a 0 !count;
+    mis := a;
+    incr count;
+    !count - 1
+  in
+  for j = 0 to n - 1 do
+    let earliest =
+      List.fold_left
+        (fun acc e ->
+          max acc (place.(e.Dataflow.e_src) + Dataflow.min_delta ~chain infos e))
+        0 preds.(j)
+    in
+    let fits k =
+      List.for_all
+        (fun e ->
+          place.(e.Dataflow.e_src) <> k || Dataflow.same_mi_ok ~chain infos e)
+        preds.(j)
+      && Conflict.fits d !mis.(k) arr.(j) = Ok ()
+    in
+    let rec scan k =
+      if k >= !count then new_mi () else if fits k then k else scan (k + 1)
+    in
+    let k = scan earliest in
+    mi_add k arr.(j);
+    place.(j) <- k
+  done;
+  Array.to_list (Array.sub !mis 0 !count)
+
+let test_fcfs_matches_naive_reference () =
+  let machines = [ Machines.hp3; Machines.h1; Machines.b17 ] in
+  List.iter
+    (fun seed ->
+      let d = List.nth machines (seed mod 3) in
+      let n = 4 + (seed * 7 mod 24) in
+      let p_dep = seed * 13 mod 95 in
+      let ops = Msl_core.Workloads.compaction_block d ~seed ~n ~p_dep in
+      List.iter
+        (fun chain ->
+          let fast =
+            (Compaction.compact ~chain ~algo:Compaction.Fcfs d ops)
+              .Compaction.groups
+          in
+          let naive =
+            naive_fcfs ~chain d ops |> List.filter (fun g -> g <> [])
+          in
+          check_bool
+            (Printf.sprintf "seed %d %s chain=%b identical schedule" seed
+               d.Desc.d_name chain)
+            true (fast = naive))
+        [ true; false ])
+    (List.init 40 (fun i -> i + 1))
+
+(* regression for the branch-and-bound node accounting: the reported
+   node count can never exceed the budget, even when exhausted. *)
+let test_optimal_budget_accounting () =
+  let d = Machines.hp3 in
+  let ops = ops_hp3 parallel_src in
+  let r = Compaction.compact ~algo:Compaction.Optimal ~node_budget:1 d ops in
+  check_bool "exhausted" false r.Compaction.exact;
+  check_bool "nodes <= budget" true (r.Compaction.nodes <= 1);
+  let full = Compaction.compact ~algo:Compaction.Optimal d ops in
+  check_bool "full search exact" true full.Compaction.exact;
+  check_bool "full search nodes within default budget" true
+    (full.Compaction.nodes <= Compaction.default_node_budget)
 
 let test_compaction_chaining () =
   (* on 3-phase H1, a mov (phase 0) can chain into an alu op (phase 1) *)
@@ -639,6 +729,10 @@ let () =
             test_compaction_respects_deps;
           Alcotest.test_case "vertical forced sequential" `Quick
             test_compaction_vertical_forced;
+          Alcotest.test_case "fcfs matches naive reference" `Quick
+            test_fcfs_matches_naive_reference;
+          Alcotest.test_case "bb node accounting" `Quick
+            test_optimal_budget_accounting;
           Alcotest.test_case "transport chaining" `Quick
             test_compaction_chaining;
           Alcotest.test_case "empty block" `Quick test_compaction_empty;

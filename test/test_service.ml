@@ -558,6 +558,7 @@ let test_options_key_exhaustive () =
       ("trap_safe", { base with Pipeline.trap_safe = true });
       ("opt_level", { base with Pipeline.opt_level = 0 });
       ("bb_budget", { base with Pipeline.bb_budget = 7 });
+      ("superopt", { base with Pipeline.superopt = true });
     ]
   in
   let key options =
