@@ -331,6 +331,111 @@ let print_bench () =
       else Fmt.pr "%-28s %10.0f ns@." name t)
     (List.sort compare !rows)
 
+(* -- S5: serve latency under a saturating multi-client workload ---------------- *)
+
+module Serve = Msl_core.Serve
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    let r = p /. 100.0 *. float_of_int (n - 1) in
+    let i = int_of_float r in
+    let frac = r -. float_of_int i in
+    if i + 1 < n then sorted.(i) +. (frac *. (sorted.(i + 1) -. sorted.(i)))
+    else sorted.(n - 1)
+  end
+
+type serve_lat = {
+  sl_jobs : int;
+  sl_lat : float * float * float;  (* job latency p50/p95/p99, us *)
+  sl_wait : float * float * float;  (* queue wait p50/p95/p99, us *)
+}
+
+(* Run an in-process daemon with its trace on, saturate it from three
+   pipelining clients (more in flight than the queue bound), and read
+   the per-job latency and queue-wait distributions back out of the
+   daemon's own [serve]-category spans. *)
+let serve_latency () =
+  let dir = Filename.temp_file "msl_serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let socket = Filename.concat dir "bench.sock" in
+  let tracefile = Filename.temp_file "msl_serve_trace" ".jsonl" in
+  Trace.enable_file tracefile;
+  let cfg =
+    {
+      (Serve.default_config ~socket) with
+      Serve.sc_queue_cap = 8;
+      sc_client_cap = 4;
+      sc_domains = Some 4;
+    }
+  in
+  let srv = Serve.start cfg in
+  let nclients = 3 and n = 32 in
+  let machines = [| "hp3"; "v11"; "b17" |] in
+  let client k =
+    let conn = Serve.Client.connect socket in
+    let sender =
+      Thread.create
+        (fun () ->
+          for i = 0 to n - 1 do
+            let machine = machines.(i mod Array.length machines) in
+            let source =
+              Core.Workloads.yalll_program ~seed:(1 + (k * n) + i) ~len:12
+            in
+            Serve.Client.send_line conn
+              (Serve.request ~op:"compile"
+                 ~id:(Printf.sprintf "b%d-%d" k i)
+                 ~language:"yalll" ~machine ~source ())
+          done)
+        ()
+    in
+    for _ = 1 to n do
+      ignore (Serve.Client.recv_line conn)
+    done;
+    Thread.join sender;
+    Serve.Client.close conn
+  in
+  let threads =
+    List.init nclients (fun k -> Thread.create (fun () -> client k) ())
+  in
+  List.iter Thread.join threads;
+  Serve.stop srv;
+  Serve.wait srv;
+  Trace.disable ();
+  let events =
+    match Trace.read_events tracefile with Ok es -> es | Error _ -> []
+  in
+  Sys.remove tracefile;
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  (* [serve]/[job] spans do not nest, so B/E pair up per domain *)
+  let lat = ref [] and wait = ref [] in
+  let open_b = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Trace.event) ->
+      if e.Trace.ev_cat = "serve" && e.Trace.ev_name = "job" then
+        match e.Trace.ev_ph with
+        | "B" ->
+            Hashtbl.replace open_b e.Trace.ev_tid e;
+            (match List.assoc_opt "queue_wait_us" e.Trace.ev_args with
+            | Some (Trace.J_num w) -> wait := w :: !wait
+            | _ -> ())
+        | "E" -> (
+            match Hashtbl.find_opt open_b e.Trace.ev_tid with
+            | Some b ->
+                Hashtbl.remove open_b e.Trace.ev_tid;
+                lat := (e.Trace.ev_ts -. b.Trace.ev_ts) :: !lat
+            | None -> ())
+        | _ -> ())
+    events;
+  let stats l =
+    let a = Array.of_list l in
+    Array.sort compare a;
+    (percentile a 50.0, percentile a 95.0, percentile a 99.0)
+  in
+  { sl_jobs = List.length !lat; sl_lat = stats !lat; sl_wait = stats !wait }
+
 (* -- the S4 engine gate: bench --json [--s4-floor F] -------------------------- *)
 
 (* Machine-readable record of the compiled-engine speedup claim, written
@@ -371,6 +476,7 @@ let s4_gate ~floor =
         Float.max acc (overhead r.Experiments.t2_o2 r.Experiments.t2_hand))
       0.0 t2_rows
   in
+  let serve = serve_latency () in
   let pass = min_speedup >= floor in
   let date =
     let t = Unix.localtime (Unix.time ()) in
@@ -419,6 +525,13 @@ let s4_gate ~floor =
     t2_rows;
   Buffer.add_string buf
     (Printf.sprintf "    ],\n    \"worst_o2_pct\": %.1f\n  },\n" t2_worst);
+  (let l50, l95, l99 = serve.sl_lat and w50, w95, w99 = serve.sl_wait in
+   Buffer.add_string buf
+     (Printf.sprintf
+        "  \"serve_latency\": {\"jobs\": %d, \"latency_us\": {\"p50\": %.1f, \
+         \"p95\": %.1f, \"p99\": %.1f}, \"queue_wait_us\": {\"p50\": %.1f, \
+         \"p95\": %.1f, \"p99\": %.1f}},\n"
+        serve.sl_jobs l50 l95 l99 w50 w95 w99));
   Buffer.add_string buf
     (Printf.sprintf "  \"min_speedup\": %.2f,\n  \"pass\": %b\n}\n"
        min_speedup pass);
@@ -436,6 +549,11 @@ let s4_gate ~floor =
     v1_blocks v1_ms v1_refuted v1_unknown;
   Fmt.pr "T2-overhead: worst -O2 case +%.1f%% over hand code (%d rows)@."
     t2_worst (List.length t2_rows);
+  (let l50, l95, l99 = serve.sl_lat and w50, w95, w99 = serve.sl_wait in
+   Fmt.pr
+     "S5-serve: %d jobs, latency %.0f/%.0f/%.0f us, queue wait \
+      %.0f/%.0f/%.0f us (p50/p95/p99)@."
+     serve.sl_jobs l50 l95 l99 w50 w95 w99);
   Fmt.pr "wrote %s (min speedup %.1fx, floor %.1fx): %s@." file min_speedup
     floor
     (if pass then "PASS" else "FAIL");

@@ -9,6 +9,8 @@
      mslc experiments [name ...]                 regenerate experiment tables
      mslc batch jobs.manifest                    batch-compile through the service
      mslc stats trace.jsonl                      summarize a recorded trace
+     mslc serve --socket /tmp/mslc.sock          persistent compile daemon
+     mslc connect --socket ... compile ...       one request to a running daemon
 
    Exit codes, uniformly: 0 = success, 1 = the requested check failed
    (lint findings, unproved S* obligations, failed batch jobs,
@@ -45,6 +47,18 @@ let handle_diag f =
   | Error d ->
       Fmt.epr "%a@." Msl_mir.Diag.pp_compiler_error d;
       exit 2
+  (* our reader went away (e.g. `mslc batch ... | head`): stop quietly —
+     with SIGPIPE ignored this surfaces as EPIPE on a write, and it is
+     the reader's verdict that counts, not ours.  The at_exit flushers
+     would hit the same EPIPE and turn the quiet exit into an uncaught
+     exception, so point stdout at /dev/null first. *)
+  | exception e when Core.Toolkit.is_broken_pipe e ->
+      (try
+         let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+         Unix.dup2 devnull Unix.stdout;
+         Unix.close devnull
+       with Unix.Unix_error _ -> ());
+      exit 0
 
 (* A per-job batch line already leads with an "error" tag, so the
    finding is rendered without repeating the severity. *)
@@ -978,7 +992,294 @@ let stats_cmd =
           final counter values, instant-event counts)")
     Term.(const run $ trace_file_arg $ format_arg)
 
+(* -- serve / connect: the persistent compile daemon and its client ----- *)
+
+let socket_arg =
+  let doc = "Path of the daemon's Unix-domain socket." in
+  Arg.(
+    required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let module Serve = Msl_core.Serve in
+  let domains_arg =
+    let doc = "Worker domains compiling concurrently (default: up to 4)." in
+    Arg.(
+      value & opt (some positive_int) None & info [ "domains"; "j" ] ~docv:"N" ~doc)
+  in
+  let queue_cap_arg =
+    let doc =
+      "Global bound on admitted-but-unstarted jobs across all clients; a \
+       request that would exceed it blocks its own connection until a \
+       worker frees space (pushback, not load shedding)."
+    in
+    Arg.(value & opt positive_int 64 & info [ "queue-cap" ] ~docv:"N" ~doc)
+  in
+  let client_cap_arg =
+    let doc =
+      "Per-client bound on admitted-and-unanswered requests; a client \
+       flooding past it (or not reading its responses) blocks only itself."
+    in
+    Arg.(value & opt positive_int 16 & info [ "client-cap" ] ~docv:"N" ~doc)
+  in
+  let cap_arg =
+    let doc = "In-memory cache capacity (entries)." in
+    Arg.(value & opt positive_int 4096 & info [ "capacity" ] ~docv:"N" ~doc)
+  in
+  let cache_dir_arg =
+    let doc =
+      "Persistent content-addressed cache directory shared by every client \
+       (created if missing; stale tmp files from crashed writers are swept \
+       at startup)."
+    in
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let run socket domains queue_cap client_cap cap cache_dir trace =
+    setup_trace trace;
+    handle_diag (fun () ->
+        let cfg =
+          {
+            Serve.sc_socket = socket;
+            sc_domains = domains;
+            sc_queue_cap = queue_cap;
+            sc_client_cap = client_cap;
+            sc_capacity = cap;
+            sc_cache_dir = cache_dir;
+            sc_policy = Msl_core.Service.default_policy;
+          }
+        in
+        let srv =
+          try Serve.start cfg
+          with Unix.Unix_error (Unix.EADDRINUSE, _, _) ->
+            Msl_util.Diag.error Msl_util.Diag.Internal
+              "socket %s is in use by a live daemon (connect to it, or \
+               shut it down first)"
+              socket
+        in
+        Fmt.epr "mslc serve: listening on %s (%d domains)@." socket
+          (Msl_core.Service.domains (Serve.service srv));
+        Serve.wait srv)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the toolkit as a persistent daemon on a Unix-domain socket: \
+          many concurrent clients, a shared compile cache, bounded queues \
+          with per-client backpressure and round-robin fairness.  The \
+          JSONL protocol is documented in DESIGN.md; $(b,mslc connect) is \
+          its command-line client.")
+    Term.(
+      const run $ socket_arg $ domains_arg $ queue_cap_arg $ client_cap_arg
+      $ cap_arg $ cache_dir_arg $ trace_arg)
+
+let connect_cmd =
+  let module Serve = Msl_core.Serve in
+  let op_arg =
+    let doc = "Request: compile, lint, run, stats or shutdown." in
+    Arg.(
+      required
+      & pos 0 (some (enum
+                       [ ("compile", "compile"); ("lint", "lint");
+                         ("run", "run"); ("stats", "stats");
+                         ("shutdown", "shutdown") ])) None
+      & info [] ~docv:"OP" ~doc)
+  in
+  let file_pos_arg =
+    let doc = "Source file to send (compile/lint/run)." in
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let lang_str_arg =
+    let doc = "Source language: simpl, empl, sstar or yalll." in
+    Arg.(
+      value & opt (some string) None & info [ "l"; "language" ] ~docv:"LANG" ~doc)
+  in
+  let listing_arg =
+    let doc = "Ask for (and print) the microassembly listing." in
+    Arg.(value & flag & info [ "listing" ] ~doc)
+  in
+  let repeat_arg =
+    let doc =
+      "Send the job $(docv) times with distinct request ids, pipelined \
+       (responses are read concurrently) — a one-flag saturation load."
+    in
+    Arg.(value & opt positive_int 1 & info [ "repeat" ] ~docv:"N" ~doc)
+  in
+  let jsonl_arg =
+    let doc =
+      "Raw protocol mode: forward JSONL request lines from stdin and print \
+       raw response lines, one per request (OP and the job flags are \
+       ignored)."
+    in
+    Arg.(value & flag & info [ "jsonl" ] ~doc)
+  in
+  let engine_str_arg =
+    let doc = "Simulation engine for run: interp or compiled." in
+    Arg.(value & opt string "compiled" & info [ "engine" ] ~docv:"ENGINE" ~doc)
+  in
+  let fuel_arg =
+    let doc = "Step budget for run." in
+    Arg.(value & opt positive_int 2_000_000 & info [ "fuel" ] ~docv:"STEPS" ~doc)
+  in
+  (* One response line, rendered batch-style.  Returns false when the
+     response is an error (drives the exit code). *)
+  let print_response line =
+    let j name fields = List.assoc_opt name fields in
+    let jstr name fields =
+      match j name fields with Some (Trace.J_str s) -> Some s | _ -> None
+    in
+    let jint name fields =
+      match j name fields with
+      | Some (Trace.J_num f) -> Some (int_of_float f)
+      | _ -> None
+    in
+    let jbool name fields =
+      match j name fields with Some (Trace.J_bool b) -> Some b | _ -> None
+    in
+    match Trace.parse_json line with
+    | Ok (Trace.J_obj fields) -> (
+        let id = Option.value ~default:"?" (jstr "id" fields) in
+        match jbool "ok" fields with
+        | Some true -> (
+            match Option.value ~default:"" (jstr "op" fields) with
+            | "stats" ->
+                let g name = Option.value ~default:0 (jint name fields) in
+                Fmt.pr
+                  "-- serve: %d requests, %d responses, %d errors; queue \
+                   peak %d; %d clients@."
+                  (g "requests") (g "responses") (g "resp_errors")
+                  (g "queue_peak") (g "clients");
+                Fmt.pr "-- cache: %d jobs, %d hits, %d misses; %d entries@."
+                  (g "jobs") (g "hits") (g "misses") (g "entries");
+                true
+            | "shutdown" ->
+                Fmt.pr "-- shutdown requested@.";
+                true
+            | _ ->
+                let words = Option.value ~default:0 (jint "words" fields) in
+                let ops = Option.value ~default:0 (jint "ops" fields) in
+                let cached = jbool "cached" fields = Some true in
+                let status =
+                  match jstr "status" fields with
+                  | Some s -> ", " ^ s
+                  | None -> ""
+                in
+                Fmt.pr "ok    %-28s %4d words, %4d ops%s%s@." id words ops
+                  status
+                  (if cached then "  (cached)" else "");
+                (match jstr "listing" fields with
+                | Some l -> print_string l
+                | None -> ());
+                true)
+        | _ ->
+            Fmt.pr "error %-28s %s@." id
+              (Option.value ~default:"malformed response" (jstr "error" fields));
+            false)
+    | Ok _ | Error _ ->
+        Fmt.pr "error %-28s unparseable response: %s@." "?" line;
+        false
+  in
+  (* Send the request lines down one connection while a reader thread
+     prints responses as they arrive: pipelined sends against a busy
+     daemon would otherwise deadlock with both sides' socket buffers
+     full.  Returns the number of error responses. *)
+  let exchange conn lines =
+    let expected = List.length lines in
+    let errors = ref 0 in
+    let reader =
+      Thread.create
+        (fun () ->
+          let rec loop n =
+            if n < expected then
+              match Serve.Client.recv_line conn with
+              | Some line ->
+                  if not (print_response line) then incr errors;
+                  loop (n + 1)
+              | None ->
+                  Fmt.pr "error: connection closed after %d of %d responses@."
+                    n expected;
+                  errors := !errors + (expected - n)
+          in
+          loop 0)
+        ()
+    in
+    List.iter (Serve.Client.send_line conn) lines;
+    Thread.join reader;
+    !errors
+  in
+  let run socket op file lang machine opt superopt listing engine fuel repeat
+      jsonl =
+    handle_diag (fun () ->
+        let conn =
+          try Serve.Client.connect socket
+          with Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) ->
+            Msl_util.Diag.error Msl_util.Diag.Internal
+              "no daemon is listening on %s (start one with mslc serve)"
+              socket
+        in
+        let finally () = Serve.Client.close conn in
+        Fun.protect ~finally (fun () ->
+            let errors =
+              if jsonl then begin
+                let lines = ref [] in
+                (try
+                   while true do
+                     lines := input_line stdin :: !lines
+                   done
+                 with End_of_file -> ());
+                exchange conn (List.rev !lines)
+              end
+              else
+                match op with
+                | "stats" | "shutdown" ->
+                    exchange conn [ Serve.request ~op ~id:op () ]
+                | _ ->
+                    let file =
+                      match file with
+                      | Some f -> f
+                      | None ->
+                          Msl_util.Diag.error Msl_util.Diag.Parsing
+                            "connect %s needs a source FILE" op
+                    in
+                    let language =
+                      match lang with
+                      | Some l -> l
+                      | None ->
+                          Msl_util.Diag.error Msl_util.Diag.Parsing
+                            "connect %s needs --language" op
+                    in
+                    let source = read_file file in
+                    let base = Filename.basename file in
+                    let lines =
+                      List.init repeat (fun k ->
+                          let id =
+                            if repeat = 1 then
+                              Printf.sprintf "%s@%s" base machine
+                            else Printf.sprintf "%s@%s#%d" base machine (k + 1)
+                          in
+                          Serve.request ~op ~id ~language ~machine ~source
+                            ~opt ~superopt ~listing ~engine ~fuel ())
+                    in
+                    exchange conn lines
+            in
+            if errors > 0 then exit 1))
+  in
+  Cmd.v
+    (Cmd.info "connect"
+       ~doc:
+         "Send requests to a running $(b,mslc serve) daemon over its \
+          Unix-domain socket and print the responses (connection retries \
+          cover a daemon still starting up).  Exit 1 if any response \
+          reports an error.")
+    Term.(
+      const run $ socket_arg $ op_arg $ file_pos_arg $ lang_str_arg
+      $ machine_arg $ opt_arg $ superopt_arg $ listing_arg $ engine_str_arg
+      $ fuel_arg $ repeat_arg $ jsonl_arg)
+
 let () =
+  (* `mslc batch … | head` (or a serve client vanishing mid-response)
+     must surface as EPIPE on the write, handled per-command — never as
+     a fatal SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   let info =
     Cmd.info "mslc" ~version:"1.0"
       ~doc:"Microprogramming-language toolkit (Sint 1980 reproduction)"
@@ -988,4 +1289,4 @@ let () =
        (Cmd.group info
           [ compile_cmd; run_cmd; encode_cmd; lint_cmd; verify_cmd;
             machines_cmd; matrix_cmd; experiments_cmd; batch_cmd;
-            stats_cmd ]))
+            stats_cmd; serve_cmd; connect_cmd ]))

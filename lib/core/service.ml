@@ -96,6 +96,49 @@ type t = {
 let default_domains () =
   max 1 (min 4 (Domain.recommended_domain_count ()))
 
+(* A crash between a tmp write and its rename (disk_store/memo_add
+   below) strands a "<name>.tmp.<pid>.<domain>" file forever — a slow
+   leak in any long-lived cache directory.  On startup we sweep tmp
+   files whose writing process is gone; tmp files owned by a live pid
+   (another service sharing the directory, mid-publish) are left
+   alone, as are completed ".mslc"/".msso" entries. *)
+let tmp_file_pid name =
+  let marker = ".tmp." in
+  let mlen = String.length marker and len = String.length name in
+  let rec find i =
+    if i + mlen > len then None
+    else if String.sub name i mlen = marker then Some (i + mlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start -> (
+      (* expect "<pid>.<domain>" with both fields numeric *)
+      match String.split_on_char '.' (String.sub name start (len - start)) with
+      | [ pid; domain ] -> (
+          match (int_of_string_opt pid, int_of_string_opt domain) with
+          | Some pid, Some _ -> Some pid
+          | _ -> None)
+      | _ -> None)
+
+let pid_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  | exception _ -> true  (* EPERM etc.: exists but not ours — keep it *)
+
+let sweep_stale_tmp dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | names ->
+      Array.iter
+        (fun name ->
+          match tmp_file_pid name with
+          | Some pid when not (pid_alive pid) -> (
+              try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+          | _ -> ())
+        names
+
 let create ?domains ?(capacity = 4096) ?cache_dir () =
   let n_domains = match domains with Some n -> n | None -> default_domains () in
   if n_domains < 1 then invalid_arg "Service.create: domains must be positive";
@@ -109,7 +152,8 @@ let create ?domains ?(capacity = 4096) ?cache_dir () =
       | Unix.Unix_error (e, _, _) ->
           invalid_arg
             (Printf.sprintf "Service.create: cannot create cache dir %s: %s"
-               dir (Unix.error_message e))));
+               dir (Unix.error_message e)));
+      sweep_stale_tmp dir);
   (* the firewall turns worker crashes into diagnostics; record
      backtraces so those diagnostics say where the crash came from *)
   Printexc.record_backtrace true;
@@ -350,10 +394,12 @@ let superopt_memo t =
 let insert_mem t key e =
   locked t (fun () ->
       if not (Hashtbl.mem t.table key) then begin
-        Hashtbl.replace t.table key e;
-        Queue.push key t.order;
+        (* make room first: the table must never hold more than
+           [capacity] entries, even transiently between the insert and
+           the eviction scan — observers under the same lock (stats,
+           eviction tests) see the stated bound, exactly *)
         let rec evict () =
-          if Hashtbl.length t.table > t.capacity then
+          if Hashtbl.length t.table >= t.capacity then
             match Queue.take_opt t.order with
             | None -> ()  (* defensive: order exhausted before capacity met *)
             | Some oldest ->
@@ -365,7 +411,9 @@ let insert_mem t key e =
                 end;
                 evict ()
         in
-        evict ()
+        evict ();
+        Hashtbl.replace t.table key e;
+        Queue.push key t.order
       end)
 
 (* Insert after a genuine miss: memory plus the persistent layer. *)
@@ -489,18 +537,21 @@ let one_attempt ?superopt_memo ~faults j key n =
           message = (if bt = "" then msg else msg ^ "\n" ^ bt);
         }
 
-(* The retry/deadline loop around the firewall.  The deadline is a wall
-   budget for the whole job across attempts, checked between steps (a
-   domain cannot be preempted, so overrun is detected, not interrupted);
-   a job that finishes past its budget is reported as a deadline
-   failure and its result discarded rather than cached late. *)
+(* The retry/deadline loop around the firewall.  The deadline is an
+   elapsed-time budget for the whole job across attempts, checked
+   between steps (a domain cannot be preempted, so overrun is detected,
+   not interrupted); a job that finishes past its budget is reported as
+   a deadline failure and its result discarded rather than cached late.
+   Timed on the monotonic clock: an NTP step under a wall clock would
+   make every in-flight deadline fire spuriously (or never), which a
+   long-lived daemon cannot afford. *)
 let compile_uncached t ~policy ~faults ~opts_id (j : job) key =
-  let started = Unix.gettimeofday () in
+  let started = Msl_util.Clock.now_s () in
   let overrun () =
     match policy.p_deadline_ms with
     | None -> None
     | Some budget ->
-        let elapsed = (Unix.gettimeofday () -. started) *. 1000.0 in
+        let elapsed = Msl_util.Clock.elapsed_s started *. 1000.0 in
         if elapsed > budget then Some (elapsed, budget) else None
   in
   let deadline_diag (elapsed, budget) attempts =
@@ -757,11 +808,13 @@ let run_batch ?domains ?(policy = default_policy) ?(faults = no_faults) t jobs =
      contention, not just compile time.  The tid on each event is the
      worker's domain id — Trace stamps it. *)
   let tracing = Trace.enabled () in
-  let t_submit = if tracing then Unix.gettimeofday () else 0.0 in
+  (* monotonic, not wall: a queue wait is a duration.  (Trace keeps its
+     own wall-clock t0 for the file epoch — that one must stay wall.) *)
+  let t_submit = if tracing then Msl_util.Clock.now_s () else 0.0 in
   let traced i j run =
     if not tracing then run ()
     else begin
-      let queue_wait_us = (Unix.gettimeofday () -. t_submit) *. 1e6 in
+      let queue_wait_us = Msl_util.Clock.elapsed_s t_submit *. 1e6 in
       Trace.span_begin ~cat:"service" "job"
         ~args:
           [

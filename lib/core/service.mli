@@ -69,7 +69,7 @@ type stats = {
   st_internal : int;
       (** unexpected raises converted to internal-error diagnostics by
           the firewall, counted per attempt (retried crashes included) *)
-  st_deadline : int;  (** jobs failed on their wall deadline *)
+  st_deadline : int;  (** jobs failed on their elapsed-time deadline *)
   st_canceled : int;  (** jobs canceled by a fail-fast batch *)
 }
 
@@ -84,7 +84,8 @@ type policy = {
       (** nominal first backoff; doubles per retry, scaled by a
           deterministic jitter in [0.5, 1.0), capped at 5 s *)
   p_deadline_ms : float option;
-      (** per-job wall budget across all attempts.  Checked between
+      (** per-job elapsed-time budget across all attempts, measured on
+          the monotonic clock (immune to NTP steps).  Checked between
           steps — a running domain cannot be preempted — so an overrun
           is detected and reported, not interrupted; a result that
           arrives past the budget is discarded, not cached. *)
@@ -129,7 +130,10 @@ val create : ?domains:int -> ?capacity:int -> ?cache_dir:string -> unit -> t
     The same directory also backs the superoptimizer's window-search
     memo ([.msso] files keyed by window digest) for jobs compiled with
     [superopt=on]/[-O 2], under the same atomic-write and
-    corruption-is-a-miss discipline.
+    corruption-is-a-miss discipline.  On startup, tmp files stranded by
+    a crash mid-publish ([*.tmp.<pid>.<domain>] whose pid is no longer
+    alive) are swept from the directory; tmp files of live processes
+    and completed entries are untouched.
     @raise Invalid_argument when a count is not positive or the
     directory cannot be created. *)
 

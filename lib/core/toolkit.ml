@@ -39,6 +39,21 @@ let engine_of_string s =
   | "compiled" | "compile" | "simc" -> Compiled
   | other -> invalid_arg (Printf.sprintf "unknown engine %S" other)
 
+(* A write to a closed pipe or socket, in either of the forms OCaml
+   surfaces it: Unix syscalls raise Unix_error EPIPE, channel writes
+   raise Sys_error with a "Broken pipe" text (prefix varies by
+   operation). *)
+let is_broken_pipe = function
+  | Unix.Unix_error (Unix.EPIPE, _, _) -> true
+  | Sys_error msg ->
+      let needle = "Broken pipe" and nlen = String.length "Broken pipe" in
+      let mlen = String.length msg in
+      let rec scan i =
+        i + nlen <= mlen && (String.sub msg i nlen = needle || scan (i + 1))
+      in
+      scan 0
+  | _ -> false
+
 (* Exception firewall: any raise — not just a structured [Diag.Error] —
    becomes a diagnostic.  The batch service wraps every worker attempt in
    this so a pathological job (a [Desc]/[Encode]/[Bitvec] invariant
@@ -49,6 +64,10 @@ let capture f =
   with
   | Diag.Error d -> Error d
   | Stdlib.Exit | Sys.Break as e -> raise e  (* driver control flow, not a fault *)
+  | e when is_broken_pipe e ->
+      (* the reader went away; whether that closes one connection or
+         ends the process is the caller's call, not a compile fault *)
+      raise e
   | e ->
       let bt = String.trim (Printexc.get_backtrace ()) in
       let msg = Printexc.to_string e in

@@ -29,13 +29,20 @@ val exec : ?fuel:int -> engine:engine -> Sim.t -> Sim.status
 (** Run an already-loaded simulator on the chosen engine (translating
     first when [engine = Compiled]). *)
 
+val is_broken_pipe : exn -> bool
+(** A write to a closed pipe or socket, in either of the shapes OCaml
+    surfaces it: [Unix.Unix_error (EPIPE, _, _)] from syscalls, or a
+    [Sys_error] whose text mentions "Broken pipe" from channel writes. *)
+
 val capture : (unit -> 'a) -> ('a, Msl_util.Diag.t) result
 (** Exception firewall.  Run a thunk and convert {e any} raise into a
     structured diagnostic: a {!Msl_util.Diag.Error} is captured as-is,
     while every other exception becomes an [Internal] finding carrying
     the exception text (and backtrace, when recording is on — see
-    [Printexc.record_backtrace]).  [Stdlib.Exit] and [Sys.Break] are
-    re-raised: they are driver control flow, not faults. *)
+    [Printexc.record_backtrace]).  [Stdlib.Exit], [Sys.Break] and
+    broken-pipe exceptions ({!is_broken_pipe}) are re-raised: they are
+    driver control flow — respectively an orderly exit, an interrupt,
+    and "the reader went away" — not compile faults. *)
 
 type compiled = {
   c_language : language;

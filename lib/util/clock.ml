@@ -1,0 +1,7 @@
+(* Monotonic time source.  See msl_clock_stubs.c. *)
+
+external now_ns : unit -> int64 = "msl_clock_monotonic_ns"
+
+let now_s () = Int64.to_float (now_ns ()) *. 1e-9
+
+let elapsed_s since = now_s () -. since

@@ -1,0 +1,18 @@
+(** Monotonic time, via [clock_gettime(CLOCK_MONOTONIC)].
+
+    Use this — never [Unix.gettimeofday] — for deadlines, backoff and
+    latency/queue-wait measurement: wall time steps (NTP, manual
+    clock changes) would make a deadline fire spuriously or never.
+    Wall time remains the right choice only for timestamps that must
+    relate to calendar time, such as a trace file's [t0] epoch. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds from an arbitrary fixed origin.  Strictly ordered with
+    respect to other [now_ns] calls in the same process; meaningless
+    across processes or reboots. *)
+
+val now_s : unit -> float
+(** Same instant as {!now_ns}, in seconds. *)
+
+val elapsed_s : float -> float
+(** [elapsed_s t] is the seconds elapsed since [t] (a prior {!now_s}). *)

@@ -1,0 +1,20 @@
+/* Monotonic clock for deadlines, backoff and queue-wait measurement.
+   OCaml 5.1's Unix library exposes only gettimeofday (wall time), which
+   an NTP step can move backwards or forwards — fatal for a long-lived
+   daemon's deadlines.  clock_gettime(CLOCK_MONOTONIC) is immune. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value msl_clock_monotonic_ns(value unit)
+{
+    struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+    clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+    (void)unit;
+    return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
+}

@@ -1,15 +1,23 @@
-(* Mutex/condition-protected FIFO work queue (OCaml 5 domains). *)
+(* Mutex/condition-protected FIFO work queue (OCaml 5 domains),
+   optionally bounded.  A bounded queue implements pushback-style
+   negotiated flow: [push] blocks on [nonfull] while the queue is at
+   capacity, so a fast producer is slowed to the consumers' pace
+   instead of growing the queue without bound. *)
 
 type 'a t = {
   q : 'a Queue.t;
+  capacity : int;  (* max_int when unbounded *)
   mutex : Mutex.t;
   nonempty : Condition.t;
+  nonfull : Condition.t;
   mutable closed : bool;
 }
 
-let create () =
-  { q = Queue.create (); mutex = Mutex.create ();
-    nonempty = Condition.create (); closed = false }
+let create ?(capacity = max_int) () =
+  if capacity < 1 then invalid_arg "Safe_queue.create: capacity < 1";
+  { q = Queue.create (); capacity; mutex = Mutex.create ();
+    nonempty = Condition.create (); nonfull = Condition.create ();
+    closed = false }
 
 let with_lock t f =
   Mutex.lock t.mutex;
@@ -17,23 +25,33 @@ let with_lock t f =
 
 let push t x =
   with_lock t (fun () ->
-      if t.closed then false
-      else begin
-        Queue.push x t.q;
-        Condition.signal t.nonempty;
-        true
-      end)
+      let rec wait () =
+        if t.closed then false
+        else if Queue.length t.q >= t.capacity then begin
+          Condition.wait t.nonfull t.mutex;
+          wait ()
+        end
+        else begin
+          Queue.push x t.q;
+          Condition.signal t.nonempty;
+          true
+        end
+      in
+      wait ())
 
 let close t =
   with_lock t (fun () ->
       t.closed <- true;
-      Condition.broadcast t.nonempty)
+      Condition.broadcast t.nonempty;
+      Condition.broadcast t.nonfull)
 
 let pop t =
   with_lock t (fun () ->
       let rec wait () =
         match Queue.take_opt t.q with
-        | Some x -> Some x
+        | Some x ->
+            Condition.signal t.nonfull;
+            Some x
         | None ->
             if t.closed then None
             else begin

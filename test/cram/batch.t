@@ -123,3 +123,11 @@ first failure lands (with -j 1 the pickup order is the manifest order).
   -- 1 jobs: 0 hits, 1 misses, 0 evictions, 2 errors; 0 entries cached
   -- faults: 0 internal errors, 0 retries, 0 deadline failures, 1 canceled
   [1]
+
+A consumer that closes the pipe early must not kill the batch: EPIPE
+ends the output quietly with exit 0 — never a crash, never exit 125.
+
+  $ ( (cd ../.. && bin/mslc.exe batch examples/batch.manifest --domains 1 --rounds 64); echo "$?" > status ) | head -n 1
+  == round 1
+  $ cat status
+  0

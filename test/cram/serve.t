@@ -1,0 +1,59 @@
+The persistent compile server: one daemon, several client connections
+over a Unix-domain socket, one shared cache.  The socket lives under
+/tmp because the cram sandbox path can exceed the sun_path limit.
+
+  $ SOCK=$(mktemp -u /tmp/mslc-serve-XXXXXX)
+  $ ../../bin/mslc.exe serve --socket "$SOCK" -j 1 2> serve.log &
+  $ SRV=$!
+
+The client retries while the daemon is still binding, so no sleep is
+needed.  A cold compile:
+
+  $ ../../bin/mslc.exe connect compile ../../examples/gcd.yll -l yalll -m hp3 --socket "$SOCK"
+  ok    gcd.yll@hp3                    10 words,    7 ops
+
+A second connection is served from the cache the first one filled:
+
+  $ ../../bin/mslc.exe connect compile ../../examples/gcd.yll -l yalll -m hp3 --socket "$SOCK"
+  ok    gcd.yll@hp3                    10 words,    7 ops  (cached)
+
+Pipelining: --repeat streams every request before reading any response
+(one worker domain keeps the cached flags deterministic):
+
+  $ ../../bin/mslc.exe connect compile ../../examples/gcd.yll -l yalll -m v11 --repeat 3 --socket "$SOCK"
+  ok    gcd.yll@v11#1                  15 words,   14 ops
+  ok    gcd.yll@v11#2                  15 words,   14 ops  (cached)
+  ok    gcd.yll@v11#3                  15 words,   14 ops  (cached)
+
+The run and lint ops ride the same cached compile path:
+
+  $ ../../bin/mslc.exe connect run ../../examples/sum_loop.yll -l yalll -m hp3 --socket "$SOCK"
+  ok    sum_loop.yll@hp3                5 words,    5 ops, halted
+  $ ../../bin/mslc.exe connect lint ../../examples/shifts.yll -l yalll -m b17 --socket "$SOCK"
+  ok    shifts.yll@b17                  4 words,    4 ops
+
+Server counters (the queue high-water mark depends on worker timing,
+so it is masked):
+
+  $ ../../bin/mslc.exe connect stats --socket "$SOCK" | sed 's/queue peak [0-9]*/queue peak _/'
+  -- serve: 8 requests, 7 responses, 0 errors; queue peak _; 1 clients
+  -- cache: 7 jobs, 3 hits, 4 misses; 4 entries
+
+A failing job is answered on the same connection — the daemon keeps
+serving — and the client exits 1:
+
+  $ printf 'bogus(\n' > bad.yll
+  $ ../../bin/mslc.exe connect compile bad.yll -l yalll -m hp3 --socket "$SOCK"
+  error bad.yll@hp3                  parse error: unknown mnemonic "bogus"
+  [1]
+
+shutdown is acknowledged, then the daemon exits 0 and removes its
+socket:
+
+  $ ../../bin/mslc.exe connect shutdown --socket "$SOCK"
+  -- shutdown requested
+  $ wait $SRV
+  $ test -S "$SOCK"; echo "socket exists: $?"
+  socket exists: 1
+  $ sed "s|$SOCK|SOCK|" serve.log
+  mslc serve: listening on SOCK (1 domains)

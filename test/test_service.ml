@@ -442,6 +442,46 @@ let test_disk_corruption_tolerated () =
       ignore (Service.run_batch s3 js);
       Alcotest.(check int) "all healed" 6 (Service.stats s3).Service.st_disk_hits)
 
+(* A crash between the tmp write and the rename strands a
+   *.tmp.<pid>.<domain> file; Service.create must sweep the ones whose
+   writer is dead and leave everything else — live writers' tmp files
+   and completed entries — alone. *)
+let test_stale_tmp_sweep () =
+  with_cache_dir (fun dir ->
+      let js = disk_jobs () in
+      let s1 = Service.create ~domains:1 ~cache_dir:dir () in
+      ignore (Service.run_batch s1 js);
+      (* a pid that is certainly dead: a just-reaped child *)
+      let dead_pid =
+        let pid =
+          Unix.create_process "true" [| "true" |] Unix.stdin Unix.stdout
+            Unix.stderr
+        in
+        ignore (Unix.waitpid [] pid);
+        pid
+      in
+      let plant name = close_out (open_out_bin (Filename.concat dir name)) in
+      let stale1 = Printf.sprintf "abc123.mslc.tmp.%d.0" dead_pid in
+      let stale2 = Printf.sprintf "def456.msso.tmp.%d.3" dead_pid in
+      let live = Printf.sprintf "ghi789.mslc.tmp.%d.0" (Unix.getpid ()) in
+      let odd = "notatmpfile.tmp.not.numeric" in
+      plant stale1;
+      plant stale2;
+      plant live;
+      plant odd;
+      let s2 = Service.create ~domains:1 ~cache_dir:dir () in
+      let present name = Sys.file_exists (Filename.concat dir name) in
+      Alcotest.(check bool) "dead-pid tmp swept" false (present stale1);
+      Alcotest.(check bool) "dead-pid memo tmp swept" false (present stale2);
+      Alcotest.(check bool) "live-pid tmp kept" true (present live);
+      Alcotest.(check bool) "non-tmp-pattern kept" true (present odd);
+      (* the valid entries survived the sweep: everything hits *)
+      ignore (Service.run_batch s2 js);
+      let st = Service.stats s2 in
+      Alcotest.(check int) "entries intact after sweep" 6
+        st.Service.st_disk_hits;
+      Alcotest.(check int) "nothing recompiled" 0 st.Service.st_misses)
+
 (* Satellite: N domains hammering a small key set, with the persistent
    layer in play and a memory cache far smaller than the key set — the
    stats invariants must hold under eviction/promote/store races. *)
@@ -507,7 +547,20 @@ let test_eviction_accounting_exact () =
       Alcotest.(check bool)
         (o.Service.o_job.Service.j_id ^ " survived")
         true o.Service.o_cached)
-    out
+    out;
+  (* the stated bound is strict at every capacity: a capacity-1 cache
+     holds exactly one entry — the newest — never a transient second *)
+  let s1 = Service.create ~domains:1 ~capacity:1 () in
+  ignore (Service.run_batch s1 [ a; b; c ]);
+  let st = Service.stats s1 in
+  Alcotest.(check int) "capacity 1: one entry" 1 st.Service.st_entries;
+  Alcotest.(check int) "capacity 1: two evictions" 2 st.Service.st_evictions;
+  let out = Service.run_batch s1 [ c ] in
+  Alcotest.(check bool) "capacity 1: newest survives" true
+    out.(0).Service.o_cached;
+  let out = Service.run_batch s1 [ b ] in
+  Alcotest.(check bool) "capacity 1: older was evicted" false
+    out.(0).Service.o_cached
 
 (* -- cache keys ------------------------------------------------------------- *)
 
@@ -648,6 +701,259 @@ let test_manifest_end_to_end () =
   Alcotest.(check bool) "duplicate line hits even when cold" true
     out.(3).Service.o_cached
 
+(* -- the serve daemon ------------------------------------------------------- *)
+
+module Serve = Msl_core.Serve
+module Trace = Msl_util.Trace
+module Clock = Msl_util.Clock
+
+(* Start a server on a socket in a throwaway directory, run [f], and
+   always stop the daemon and remove the directory — even on a failing
+   assertion, so one red test cannot leak a daemon into the next. *)
+let with_server ?(queue_cap = 4) ?(client_cap = 2) ?(domains = 3) f =
+  let dir = Filename.temp_file "msl-serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let socket = Filename.concat dir "serve.sock" in
+  let cfg =
+    {
+      (Serve.default_config ~socket) with
+      Serve.sc_queue_cap = queue_cap;
+      sc_client_cap = client_cap;
+      sc_domains = Some domains;
+    }
+  in
+  let srv = Serve.start cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.stop srv;
+      Serve.wait srv;
+      (try Sys.remove socket with Sys_error _ -> ());
+      (try Unix.rmdir dir with Unix.Unix_error _ -> ()))
+    (fun () -> f srv socket)
+
+let parse_response line =
+  match Trace.parse_json line with
+  | Error e -> Alcotest.failf "unparseable response %S: %s" line e
+  | Ok (Trace.J_obj fields) ->
+      let id =
+        match List.assoc_opt "id" fields with
+        | Some (Trace.J_str v) -> v
+        | _ -> Alcotest.failf "response without an id: %s" line
+      in
+      let ok =
+        match List.assoc_opt "ok" fields with
+        | Some (Trace.J_bool v) -> v
+        | _ -> Alcotest.failf "response without ok: %s" line
+      in
+      (id, ok, fields)
+  | Ok _ -> Alcotest.failf "response is not a JSON object: %s" line
+
+let response_bool name fields =
+  match List.assoc_opt name fields with
+  | Some (Trace.J_bool v) -> v
+  | _ -> Alcotest.failf "response lacks boolean field %S" name
+
+let response_str name fields =
+  match List.assoc_opt name fields with
+  | Some (Trace.J_str v) -> v
+  | _ -> Alcotest.failf "response lacks string field %S" name
+
+(* One client connection pipelining [n] compile requests: a sender
+   thread streams all the request lines while this thread receives, so
+   the test cannot deadlock against the server's admission pushback.
+   Asserts the zero-dropped/zero-duplicated contract on the way out:
+   the connection gets back exactly its own ids, each exactly once,
+   each ok. *)
+let run_client ?(len = 6) ~socket ~tag ~n ~seed0 () =
+  let conn = Serve.Client.connect socket in
+  let ids = List.init n (fun i -> Printf.sprintf "%s-%d" tag i) in
+  let sender =
+    Thread.create
+      (fun () ->
+        List.iteri
+          (fun i id ->
+            let source =
+              Core.Workloads.yalll_program ~seed:(seed0 + i) ~len
+            in
+            Serve.Client.send_line conn
+              (Serve.request ~op:"compile" ~id ~language:"yalll"
+                 ~machine:"hp3" ~source ()))
+          ids)
+      ()
+  in
+  let got = ref [] in
+  for _ = 1 to n do
+    match Serve.Client.recv_line conn with
+    | None -> Alcotest.failf "%s: server closed the connection early" tag
+    | Some line -> got := parse_response line :: !got
+  done;
+  Thread.join sender;
+  Serve.Client.close conn;
+  let got = List.rev !got in
+  let got_ids = List.sort compare (List.map (fun (id, _, _) -> id) got) in
+  Alcotest.(check (list string))
+    (tag ^ ": exactly its own ids, once each")
+    (List.sort compare ids) got_ids;
+  List.iter
+    (fun (id, ok, fields) ->
+      if not ok then
+        Alcotest.failf "%s: job %s failed: %s" tag id
+          (response_str "error" fields))
+    got;
+  got
+
+(* The saturation suite: three clients each pipeline far more requests
+   than the global queue bound (40 in flight against queue_cap 4,
+   client_cap 2).  Negotiated flow must hold every invariant at once:
+   nothing dropped, nothing duplicated, nothing failed, and the global
+   queue's high-water mark never above its bound. *)
+let test_serve_saturation () =
+  with_server ~queue_cap:4 ~client_cap:2 ~domains:3 (fun srv socket ->
+      let n = 40 in
+      let nclients = 3 in
+      let threads =
+        List.init nclients (fun k ->
+            Thread.create
+              (fun () ->
+                ignore
+                  (run_client ~socket
+                     ~tag:(Printf.sprintf "c%d" k)
+                     ~n ~seed0:(1 + (k * 100)) ()))
+              ())
+      in
+      List.iter Thread.join threads;
+      let sv = Serve.stats srv in
+      Alcotest.(check int) "every request answered" (n * nclients)
+        sv.Serve.sv_responses;
+      Alcotest.(check int) "no error responses" 0 sv.Serve.sv_errors;
+      if sv.Serve.sv_queue_peak > 4 then
+        Alcotest.failf "queue bound violated: peak %d > cap 4"
+          sv.Serve.sv_queue_peak;
+      let st = Service.stats (Serve.service srv) in
+      Alcotest.(check int) "no job errors" 0 st.Service.st_errors)
+
+(* Fairness: a flooding client and a small client start together; the
+   small client's five jobs must not be starved behind the flood's
+   sixty.  Round-robin pickup plus the per-client cap bound the small
+   client's wait to a few sibling jobs, so it finishes first. *)
+let test_serve_fairness () =
+  with_server ~queue_cap:4 ~client_cap:2 ~domains:2 (fun _srv socket ->
+      let t_flood = ref 0.0 and t_small = ref 0.0 in
+      let flood =
+        Thread.create
+          (fun () ->
+            ignore (run_client ~len:20 ~socket ~tag:"flood" ~n:60 ~seed0:500 ());
+            t_flood := Clock.now_s ())
+          ()
+      in
+      let small =
+        Thread.create
+          (fun () ->
+            ignore (run_client ~len:6 ~socket ~tag:"small" ~n:5 ~seed0:900 ());
+            t_small := Clock.now_s ())
+          ()
+      in
+      Thread.join small;
+      Thread.join flood;
+      if !t_small > !t_flood then
+        Alcotest.failf
+          "small client starved: finished %.3f s after the flood"
+          (!t_small -. !t_flood))
+
+(* The shared cache: a result computed for one connection is a memory
+   hit for the next one. *)
+let test_serve_shared_cache () =
+  with_server ~domains:2 (fun _srv socket ->
+      let source = Core.Workloads.yalll_program ~seed:7 ~len:8 in
+      let ask tag =
+        let conn = Serve.Client.connect socket in
+        Serve.Client.send_line conn
+          (Serve.request ~op:"compile" ~id:tag ~language:"yalll"
+             ~machine:"hp3" ~source ());
+        let r =
+          match Serve.Client.recv_line conn with
+          | Some line -> parse_response line
+          | None -> Alcotest.failf "%s: connection closed" tag
+        in
+        Serve.Client.close conn;
+        r
+      in
+      let _, ok1, f1 = ask "first" in
+      let _, ok2, f2 = ask "second" in
+      Alcotest.(check bool) "first ok" true ok1;
+      Alcotest.(check bool) "second ok" true ok2;
+      Alcotest.(check bool) "first is a miss" false (response_bool "cached" f1);
+      Alcotest.(check bool) "second connection hits the shared cache" true
+        (response_bool "cached" f2))
+
+(* Protocol robustness: malformed and invalid requests get an ok:false
+   answer on the same connection, which keeps serving afterwards. *)
+let test_serve_protocol_errors () =
+  with_server ~domains:2 (fun srv socket ->
+      let conn = Serve.Client.connect socket in
+      let expect_error what =
+        match Serve.Client.recv_line conn with
+        | None -> Alcotest.failf "%s: connection closed" what
+        | Some line ->
+            let _, ok, fields = parse_response line in
+            Alcotest.(check bool) (what ^ " is refused") false ok;
+            ignore (response_str "error" fields)
+      in
+      Serve.Client.send_line conn "this is not json";
+      expect_error "malformed JSON";
+      Serve.Client.send_line conn
+        (Serve.json_line
+           [ ("op", Trace.J_str "frobnicate"); ("id", Trace.J_str "x") ]);
+      expect_error "unknown op";
+      Serve.Client.send_line conn
+        (Serve.json_line
+           [ ("op", Trace.J_str "compile"); ("id", Trace.J_str "nosrc") ]);
+      expect_error "compile without source";
+      (* the same connection still serves real work *)
+      Serve.Client.send_line conn
+        (Serve.request ~op:"compile" ~id:"good" ~language:"yalll"
+           ~machine:"hp3"
+           ~source:(Core.Workloads.yalll_program ~seed:3 ~len:6)
+           ());
+      (match Serve.Client.recv_line conn with
+      | None -> Alcotest.fail "connection dead after protocol errors"
+      | Some line ->
+          let id, ok, _ = parse_response line in
+          Alcotest.(check string) "good job answered" "good" id;
+          Alcotest.(check bool) "good job ok" true ok);
+      Serve.Client.send_line conn (Serve.request ~op:"stats" ~id:"st" ());
+      (match Serve.Client.recv_line conn with
+      | None -> Alcotest.fail "no stats response"
+      | Some line ->
+          let id, ok, fields = parse_response line in
+          Alcotest.(check string) "stats id" "st" id;
+          Alcotest.(check bool) "stats ok" true ok;
+          (match List.assoc_opt "resp_errors" fields with
+          | Some (Trace.J_num n) ->
+              Alcotest.(check int) "three errors counted" 3 (int_of_float n)
+          | _ -> Alcotest.fail "stats lacks resp_errors"));
+      Serve.Client.close conn;
+      Alcotest.(check int) "server counted the errors" 3
+        (Serve.stats srv).Serve.sv_errors)
+
+(* A client's [shutdown] is acknowledged, then the daemon exits and
+   removes its socket. *)
+let test_serve_shutdown_request () =
+  with_server ~domains:2 (fun srv socket ->
+      let conn = Serve.Client.connect socket in
+      Serve.Client.send_line conn (Serve.request ~op:"shutdown" ~id:"bye" ());
+      (match Serve.Client.recv_line conn with
+      | None -> Alcotest.fail "shutdown not acknowledged"
+      | Some line ->
+          let id, ok, _ = parse_response line in
+          Alcotest.(check string) "ack id" "bye" id;
+          Alcotest.(check bool) "ack ok" true ok);
+      Serve.Client.close conn;
+      Serve.wait srv;
+      Alcotest.(check bool) "socket file removed on exit" false
+        (Sys.file_exists socket))
+
 let () =
   Alcotest.run "service"
     [
@@ -690,6 +996,8 @@ let () =
             test_disk_survives_restart;
           Alcotest.test_case "corruption tolerated and healed" `Quick
             test_disk_corruption_tolerated;
+          Alcotest.test_case "stale tmp files swept on create" `Quick
+            test_stale_tmp_sweep;
         ] );
       ( "concurrency",
         [
@@ -703,5 +1011,18 @@ let () =
           Alcotest.test_case "parse" `Quick test_manifest_parse;
           Alcotest.test_case "malformed lines" `Quick test_manifest_errors;
           Alcotest.test_case "end to end" `Quick test_manifest_end_to_end;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "saturation under negotiated flow" `Quick
+            test_serve_saturation;
+          Alcotest.test_case "fairness under a flooding client" `Quick
+            test_serve_fairness;
+          Alcotest.test_case "cache shared across connections" `Quick
+            test_serve_shared_cache;
+          Alcotest.test_case "protocol errors answered, connection kept"
+            `Quick test_serve_protocol_errors;
+          Alcotest.test_case "shutdown request stops the daemon" `Quick
+            test_serve_shutdown_request;
         ] );
     ]

@@ -6,6 +6,7 @@ module Diag = Msl_util.Diag
 module Scanner = Msl_util.Scanner
 module Tbl = Msl_util.Tbl
 module Safe_queue = Msl_util.Safe_queue
+module Clock = Msl_util.Clock
 
 let check_str = Alcotest.(check string)
 let check_int = Alcotest.(check int)
@@ -119,6 +120,79 @@ let test_queue_push_after_close () =
   Safe_queue.close q;
   check_bool "still rejected" false (Safe_queue.push q 3)
 
+(* -- the bounded queue (pushback-style negotiated flow) -------------------- *)
+
+(* A bounded push beyond capacity must block until a consumer pops; the
+   blocked pusher runs in its own domain so the test can observe the
+   block from outside. *)
+let test_queue_bounded_blocks () =
+  let q = Safe_queue.create ~capacity:2 () in
+  check_bool "push 1" true (Safe_queue.push q 1);
+  check_bool "push 2" true (Safe_queue.push q 2);
+  let entered = Atomic.make false in
+  let pushed = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Atomic.set entered true;
+        let r = Safe_queue.push q 3 in
+        Atomic.set pushed true;
+        r)
+  in
+  (* give the pusher ample time to block on the full queue *)
+  while not (Atomic.get entered) do Domain.cpu_relax () done;
+  Unix.sleepf 0.05;
+  check_bool "push at capacity is blocked" false (Atomic.get pushed);
+  check_int "queue holds exactly capacity" 2 (Safe_queue.length q);
+  (* one pop frees one slot and unblocks the pusher *)
+  Alcotest.(check (option int)) "pop head" (Some 1) (Safe_queue.pop q);
+  check_bool "blocked push completed after pop" true (Domain.join d);
+  check_int "bound still holds" 2 (Safe_queue.length q);
+  Safe_queue.close q;
+  (* bind each pop: list elements evaluate right-to-left *)
+  let p1 = Safe_queue.pop q in
+  let p2 = Safe_queue.pop q in
+  let p3 = Safe_queue.pop q in
+  Alcotest.(check (list (option int)))
+    "drains in order" [ Some 2; Some 3; None ] [ p1; p2; p3 ]
+
+(* close must wake a pusher blocked on a full queue, which then reports
+   the rejected push instead of sleeping forever. *)
+let test_queue_bounded_close_wakes_pusher () =
+  let q = Safe_queue.create ~capacity:1 () in
+  check_bool "push 1" true (Safe_queue.push q 1);
+  let d = Domain.spawn (fun () -> Safe_queue.push q 2) in
+  Unix.sleepf 0.05;
+  Safe_queue.close q;
+  check_bool "woken pusher sees the close" false (Domain.join d);
+  let p1 = Safe_queue.pop q in
+  let p2 = Safe_queue.pop q in
+  Alcotest.(check (list (option int)))
+    "only the accepted item drains" [ Some 1; None ] [ p1; p2 ]
+
+let test_queue_bad_capacity () =
+  match Safe_queue.create ~capacity:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for capacity 0"
+
+(* -- the monotonic clock --------------------------------------------------- *)
+
+(* The regression half of the Service clock switch: the source used for
+   deadlines/backoff/queue-wait must never go backwards (gettimeofday
+   can, under an NTP step) and must track real elapsed time. *)
+let test_clock_monotone () =
+  let prev = ref (Clock.now_ns ()) in
+  for _ = 1 to 10_000 do
+    let t = Clock.now_ns () in
+    if Int64.compare t !prev < 0 then
+      Alcotest.failf "clock went backwards: %Ld after %Ld" t !prev;
+    prev := t
+  done;
+  let t0 = Clock.now_s () in
+  Unix.sleepf 0.05;
+  let dt = Clock.elapsed_s t0 in
+  if dt < 0.04 || dt > 5.0 then
+    Alcotest.failf "elapsed_s across a 50 ms sleep: %.4f s" dt
+
 let () =
   Alcotest.run "util"
     [
@@ -132,5 +206,12 @@ let () =
           Alcotest.test_case "queue fifo" `Quick test_queue_fifo;
           Alcotest.test_case "queue push after close" `Quick
             test_queue_push_after_close;
+          Alcotest.test_case "bounded queue blocks at capacity" `Quick
+            test_queue_bounded_blocks;
+          Alcotest.test_case "bounded queue close wakes pushers" `Quick
+            test_queue_bounded_close_wakes_pusher;
+          Alcotest.test_case "bounded queue rejects capacity 0" `Quick
+            test_queue_bad_capacity;
+          Alcotest.test_case "monotonic clock" `Quick test_clock_monotone;
         ] );
     ]
